@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints paper-versus-measured rows. Experiments are deterministic
+discrete-event simulations, so a single round is meaningful; the
+benchmark timing reflects the harness cost of regenerating the artefact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with one warm round (deterministic experiments)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, lines) -> None:
+    """Print a regenerated table under a banner (visible with -s)."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}")
+    for line in lines:
+        print(line)

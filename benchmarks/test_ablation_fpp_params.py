@@ -1,0 +1,117 @@
+"""Ablation: FPP parameters (the paper's stated future work).
+
+Section IV-D: "We also did not explore FPP parameters, such as the
+power capping interval (90 seconds) or the ranges for power caps (50 W
+for power reduction, 10-25 W steps) in this paper. Exploring this
+research space ... is part of our future work."
+
+This bench sweeps the control interval and the probe depth on the
+Table IV workload and reports energy/runtime per setting.
+"""
+
+from dataclasses import replace
+
+from conftest import emit, run_once
+
+from repro.analysis.energy import combined_energy_kj
+from repro.cluster import PowerManagedCluster
+from repro.experiments import calibration as cal
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+from repro.manager.policies import FPPParams
+
+
+def _run_fpp(params: FPPParams, seed: int = 1):
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=cal.CLUSTER_NODES,
+        seed=seed,
+        trace=False,
+        manager_config=ManagerConfig(
+            global_cap_w=cal.GLOBAL_POWER_CAP_W,
+            policy="fpp",
+            static_node_cap_w=1950.0,
+        ),
+        fpp_params=params,
+    )
+    g = cluster.submit(
+        Jobspec(app="gemm", nnodes=6, params={"work_scale": cal.GEMM_WORK_SCALE})
+    )
+    q = cluster.submit(
+        Jobspec(
+            app="quicksilver",
+            nnodes=2,
+            params={"work_scale": cal.QUICKSILVER_WORK_SCALE},
+        )
+    )
+    cluster.run_until_complete(timeout_s=200_000)
+    metrics = [cluster.metrics(g.jobid), cluster.metrics(q.jobid)]
+    return {
+        "gemm_s": metrics[0].runtime_s,
+        "qs_s": metrics[1].runtime_s,
+        "energy_kj": combined_energy_kj(metrics),
+    }
+
+
+def test_ablation_powercap_interval(benchmark):
+    base = FPPParams()
+
+    def sweep():
+        return {
+            interval: _run_fpp(replace(base, powercap_time_s=interval))
+            for interval in (45.0, 90.0, 180.0)
+        }
+
+    results = run_once(benchmark, sweep)
+    lines = [f"{'interval s':>10} {'GEMM s':>9} {'QS s':>8} {'energy kJ':>10}"]
+    for interval, r in results.items():
+        lines.append(
+            f"{interval:>10.0f} {r['gemm_s']:>9.1f} {r['qs_s']:>8.1f} "
+            f"{r['energy_kj']:>10.0f}"
+        )
+    emit("Ablation — FPP power-capping interval (paper default 90 s)", lines)
+    # Any interval must stay within a sane band of the default outcome.
+    e90 = results[90.0]["energy_kj"]
+    for r in results.values():
+        assert abs(r["energy_kj"] - e90) / e90 < 0.10
+
+
+def test_ablation_probe_depth(benchmark):
+    base = FPPParams()
+
+    def sweep():
+        return {
+            reduce_w: _run_fpp(replace(base, p_reduce_w=reduce_w))
+            for reduce_w in (25.0, 50.0, 100.0)
+        }
+
+    results = run_once(benchmark, sweep)
+    lines = [f"{'P_reduce W':>10} {'GEMM s':>9} {'QS s':>8} {'energy kJ':>10}"]
+    for reduce_w, r in results.items():
+        lines.append(
+            f"{reduce_w:>10.0f} {r['gemm_s']:>9.1f} {r['qs_s']:>8.1f} "
+            f"{r['energy_kj']:>10.0f}"
+        )
+    emit("Ablation — FPP probe depth P_reduce (paper default 50 W)", lines)
+    # Deeper probes slow GEMM more (or equal) than shallow ones.
+    assert results[100.0]["gemm_s"] >= results[25.0]["gemm_s"] - 2.0
+
+
+def test_ablation_no_initial_probe(benchmark):
+    def sweep():
+        return {
+            "probe": _run_fpp(FPPParams(initial_probe=True)),
+            "no_probe": _run_fpp(FPPParams(initial_probe=False)),
+        }
+
+    results = run_once(benchmark, sweep)
+    emit(
+        "Ablation — FPP with/without the initial probe reduction",
+        [
+            f"{k:<9} GEMM {r['gemm_s']:7.1f} s  energy {r['energy_kj']:7.0f} kJ"
+            for k, r in results.items()
+        ],
+    )
+    # Without probing, FPP can never reduce power: it degenerates to
+    # proportional sharing (same or higher energy).
+    assert results["no_probe"]["gemm_s"] <= results["probe"]["gemm_s"] + 2.0

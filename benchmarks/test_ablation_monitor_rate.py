@@ -1,0 +1,64 @@
+"""Ablation: monitor sampling interval versus overhead and coverage.
+
+The paper fixes 2 s sampling and a 100k-sample buffer. This bench
+sweeps the interval: faster sampling costs proportionally more overhead
+(the Section IV-B model) and shortens the history the ring buffer can
+retain, which governs when clients see 'partial' job data.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec
+from repro.monitor.buffer import DEFAULT_CAPACITY
+from repro.monitor.module import attach_monitor
+from repro.monitor.overhead import sampling_overhead_fraction
+
+
+def _measure(interval_s: float, seed: int = 6) -> dict:
+    inst = FluxInstance(platform="lassen", n_nodes=2, seed=seed)
+    mon = attach_monitor(inst, sample_interval_s=interval_s)
+    rec = inst.submit(Jobspec(app="laghos", nnodes=2, params={"work_scale": 4.0}))
+    inst.run_until_complete()
+    runtime = inst.app_runs[rec.jobid].runtime_s
+    return {
+        "runtime_s": runtime,
+        "overhead_frac": mon.agent_for_rank(0).node_overhead_fraction,
+        "history_days": DEFAULT_CAPACITY * interval_s / 86400.0,
+    }
+
+
+def test_ablation_sampling_interval(benchmark):
+    intervals = (0.5, 1.0, 2.0, 5.0)
+
+    def sweep():
+        return {i: _measure(i) for i in intervals}
+
+    results = run_once(benchmark, sweep)
+    lines = [
+        f"{'interval s':>10} {'overhead %':>11} {'runtime s':>10} "
+        f"{'buffer history (days)':>21}"
+    ]
+    for i, r in sorted(results.items()):
+        lines.append(
+            f"{i:>10.1f} {r['overhead_frac']*100:>11.3f} {r['runtime_s']:>10.2f} "
+            f"{r['history_days']:>21.2f}"
+        )
+    emit("Ablation — monitor sampling interval (paper default 2 s)", lines)
+
+    # Overhead scales inversely with the interval...
+    assert results[0.5]["overhead_frac"] == pytest.approx(
+        4 * results[2.0]["overhead_frac"], rel=0.01
+    )
+    # ...and shows up in measured runtimes.
+    assert results[0.5]["runtime_s"] > results[5.0]["runtime_s"]
+    # The paper's default retains > 2 days of history per node.
+    assert results[2.0]["history_days"] > 2.0
+
+
+def test_overhead_model_constants(benchmark):
+    """The 2 s defaults give the platform overheads the model asserts."""
+    lassen = benchmark(lambda: sampling_overhead_fraction("lassen", 2.0))
+    assert lassen == pytest.approx(0.0035)
+    assert sampling_overhead_fraction("tioga", 2.0) == pytest.approx(0.0004)

@@ -1,0 +1,64 @@
+"""Ablation: IBM's Power Shifting Ratio (PSR).
+
+Section II-A: "The ratio of distribution can be modified using the
+Power Shifting Ratio (PSR), which ranges from 0% to 100% on each
+socket. In this paper, the PSR is always set to 100 (default), implying
+maximum power share to the GPUs." The paper never varies it; this
+ablation does: lower PSR hands less of the node budget to the GPUs, so
+a GPU-bound application slows down at the same node cap.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.apps.registry import get_profile
+from repro.apps.run import AppRun
+from repro.flux.jobspec import JobRecord, Jobspec
+from repro.hardware.firmware import ibm_derived_gpu_cap
+from repro.hardware.platforms.lassen import make_lassen_node
+from repro.simkernel import Simulator
+
+NODE_CAP_W = 1950.0
+
+
+def _gemm_under_psr(psr: float) -> dict:
+    sim = Simulator()
+    node = make_lassen_node("n0")
+    node.opal.psr = psr
+    derived = node.opal.set_node_power_cap(NODE_CAP_W)
+    record = JobRecord(jobid=1, spec=Jobspec(app="gemm", nnodes=1))
+    run = AppRun(sim, record, [node], get_profile("gemm"))
+    sim.run(until=20_000.0)
+    assert run.finished
+    return {
+        "derived_gpu_cap_w": derived,
+        "runtime_s": run.runtime_s,
+        "energy_kj": run.avg_node_energy_j / 1e3,
+    }
+
+
+def test_ablation_power_shifting_ratio(benchmark):
+    def sweep():
+        return {psr: _gemm_under_psr(psr) for psr in (0.0, 25.0, 50.0, 75.0, 100.0)}
+
+    results = run_once(benchmark, sweep)
+    lines = [f"{'PSR %':>5} {'GPU cap W':>10} {'GEMM s':>9} {'energy kJ':>10}"]
+    for psr, r in sorted(results.items()):
+        lines.append(
+            f"{psr:>5.0f} {r['derived_gpu_cap_w']:>10.0f} "
+            f"{r['runtime_s']:>9.1f} {r['energy_kj']:>10.0f}"
+        )
+    emit(f"Ablation — IBM PSR at a {NODE_CAP_W:.0f} W node cap", lines)
+
+    # PSR=100 reproduces the paper's derivation; lower PSR -> lower caps.
+    assert results[100.0]["derived_gpu_cap_w"] == pytest.approx(253.0, abs=1.0)
+    caps = [results[p]["derived_gpu_cap_w"] for p in (0.0, 25.0, 50.0, 75.0, 100.0)]
+    assert caps == sorted(caps)
+    assert caps[0] == 100.0  # clamped to the GPU floor at PSR=0
+    # GPU-bound GEMM is monotonically faster with more GPU share.
+    times = [results[p]["runtime_s"] for p in (0.0, 50.0, 100.0)]
+    assert times[0] > times[1] > times[2]
+    # The derivation helper agrees with the firmware.
+    assert results[50.0]["derived_gpu_cap_w"] == pytest.approx(
+        ibm_derived_gpu_cap(NODE_CAP_W, psr=50.0), abs=0.1
+    )

@@ -1,0 +1,42 @@
+"""Regenerates Figure 1: single-node power timelines on Lassen.
+
+Paper reference: Quicksilver shows pronounced periodic phase behaviour
+(bursts over a low baseline); LAMMPS is flat with no swings. Node, one
+socket and one GPU are plotted; we print series summaries plus the
+FFT-detected period.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.plotting import ascii_timeline
+from repro.experiments.fig1_timeline import run_fig1
+
+
+def _summarise(res):
+    lines = []
+    for name, series in res.series.items():
+        vals = [w for _, w in series]
+        lines.append(
+            f"{res.app:<12} {name:<5} samples={len(vals):>4} "
+            f"min={min(vals):7.1f} W  max={max(vals):7.1f} W"
+        )
+    lines.append(
+        f"{res.app:<12} swing={res.swing_w():.0f} W  "
+        f"FFT period={res.dominant_period_s():.1f} s"
+    )
+    # Render the first ~2 minutes, like the paper's figure window.
+    lines.append(ascii_timeline(res.series, t_range=(0.0, 120.0)))
+    return lines
+
+
+def test_fig1_quicksilver_timeline(benchmark):
+    res = run_once(benchmark, run_fig1, "quicksilver", work_scale=10)
+    emit("Fig 1b — Quicksilver on Lassen (1 node, 4 GPUs)", _summarise(res))
+    assert 17.0 <= res.dominant_period_s() <= 23.0  # periodic phases
+    assert res.swing_w() > 300.0
+
+
+def test_fig1_lammps_timeline(benchmark):
+    res = run_once(benchmark, run_fig1, "lammps", work_scale=2)
+    emit("Fig 1a — LAMMPS on Lassen (1 node, 4 GPUs)", _summarise(res))
+    assert res.dominant_period_s() == 0.0  # flat timeline

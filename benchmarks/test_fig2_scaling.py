@@ -1,0 +1,37 @@
+"""Regenerates Figure 2: telemetry while scaling on Lassen and Tioga.
+
+Paper reference shapes: weak-scaled apps (Quicksilver, Laghos) hold
+per-node power flat from 1-32 nodes; strong-scaled LAMMPS *drops*
+(mostly GPU power); Tioga reads higher absolute power (8 GCDs) but has
+no memory/node sensor (conservative CPU+OAM sum).
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.fig2_scaling import run_fig2
+
+
+def test_fig2_scaling_sweep(benchmark):
+    result = run_once(benchmark, run_fig2)
+    emit("Fig 2 — per-component average power vs node count", result.table_rows())
+
+    # LAMMPS (strong) power declines with scale on both systems.
+    for platform in ("lassen", "tioga"):
+        series = result.series("lammps", platform)
+        powers = [w for _, w in series]
+        assert powers[0] > powers[-1] + 100.0, platform
+
+    # Weak-scaled apps stay flat (within 6%).
+    for app in ("quicksilver", "laghos"):
+        series = result.series(app, "lassen")
+        powers = [w for _, w in series]
+        assert max(powers) / min(powers) < 1.06, app
+
+    # Tioga draws more than Lassen for LAMMPS at equal node count.
+    assert result.cell("lammps", "tioga", 4).avg_node_w > result.cell(
+        "lammps", "lassen", 4
+    ).avg_node_w
+
+    # Tioga node power is an estimate (no node sensor), Lassen's is not.
+    assert result.cell("laghos", "tioga", 4).node_is_estimate
+    assert not result.cell("laghos", "lassen", 4).node_is_estimate

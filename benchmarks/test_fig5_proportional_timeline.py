@@ -1,0 +1,41 @@
+"""Regenerates Figure 5: proportional power sharing timeline.
+
+Paper reference: with GEMM (6 nodes) and Quicksilver (2 nodes) sharing
+a 9.6 kW budget, GEMM's node power steps up when Quicksilver finishes —
+per-node share 1200 W -> 1600 W.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.plotting import ascii_timeline
+from repro.experiments.table4_policies import run_policy_scenario
+
+
+def test_fig5_proportional_sharing_timeline(benchmark):
+    res = run_once(benchmark, run_policy_scenario, "proportional", seed=1)
+    qs_end = res.metrics["quicksilver"].runtime_s
+    gemm_end = res.metrics["gemm"].runtime_s
+    gemm_host = sorted(res.timelines)[0]
+    tl = res.timelines[gemm_host]
+
+    before = [w for t, w in tl if 30.0 <= t <= qs_end - 30.0]
+    after = [w for t, w in tl if qs_end + 30.0 <= t <= gemm_end - 10.0]
+    avg_before = sum(before) / len(before)
+    avg_after = sum(after) / len(after)
+    emit(
+        "Fig 5 — proportional sharing timeline (one GEMM node)",
+        [
+            f"share transitions: {[(round(t,1), n, s) for t, n, s in res.share_log]}",
+            f"GEMM node power while QS running: {avg_before:7.1f} W",
+            f"GEMM node power after QS exits:   {avg_after:7.1f} W",
+            f"QS end at t={qs_end:.1f} s; GEMM end at t={gemm_end:.1f} s",
+            ascii_timeline(
+                {"gemm-node": tl, "qs-node": res.timelines[sorted(res.timelines)[1]]},
+                t_range=(0.0, gemm_end),
+            ),
+        ],
+    )
+    assert avg_after > avg_before + 50.0
+    shares = [s for (_, _, s) in res.share_log if s is not None]
+    assert any(abs(s - 1200.0) < 1 for s in shares)
+    assert any(abs(s - 1600.0) < 1 for s in shares)

@@ -1,0 +1,34 @@
+"""Regenerates Figure 7: proportional capping on a non-MPI job.
+
+Paper reference: a Charm++ NQueens application (2 nodes) runs alongside
+GEMM (6 nodes); GEMM power drops when NQueens enters the system and
+recovers when it leaves — the framework treats non-MPI jobs identically.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.plotting import ascii_timeline
+from repro.experiments.fig7_nonmpi import run_fig7
+
+
+def test_fig7_nonmpi_proportional_capping(benchmark):
+    res = run_once(benchmark, run_fig7, seed=9)
+    before = res.gemm_power_before_w()
+    during = res.gemm_power_during_w()
+    after = res.gemm_power_after_w()
+    emit(
+        "Fig 7 — GEMM + Charm++ NQueens under proportional capping",
+        [
+            f"NQueens (non-MPI) in system: t={res.nqueens_start_s:.1f}"
+            f"..{res.nqueens_end_s:.1f} s",
+            f"GEMM node power before NQueens: {before:7.1f} W",
+            f"GEMM node power during NQueens: {during:7.1f} W",
+            f"GEMM node power after NQueens:  {after:7.1f} W",
+            ascii_timeline(
+                {"gemm-node": res.gemm_timeline, "nqueens-node": res.nqueens_timeline},
+                t_range=(0.0, res.gemm_runtime_s),
+            ),
+        ],
+    )
+    assert during < before - 40.0
+    assert after > during + 40.0

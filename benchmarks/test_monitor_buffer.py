@@ -1,0 +1,55 @@
+"""Monitor sizing and telemetry-path microbenchmarks.
+
+Section III-A: the default circular buffer stores 100,000 Variorum JSON
+samples in 43.4 MiB. This bench verifies the sizing arithmetic against
+real serialised samples and times the node-agent hot path (one Variorum
+read + buffer append), the cost that underlies the overhead model.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro import variorum
+from repro.experiments import calibration as cal
+from repro.hardware.platforms.lassen import make_lassen_node
+from repro.monitor.buffer import CircularBuffer, DEFAULT_SAMPLE_BYTES
+
+
+def test_buffer_sizing_matches_paper(benchmark):
+    node = make_lassen_node("n0")
+
+    def measure():
+        samples = [variorum.get_node_power_json(node, float(t)) for t in range(200)]
+        return sum(variorum.sample_bytes_estimate(s) for s in samples) / len(samples)
+
+    avg_bytes = run_once(benchmark, measure)
+    projected_mib = avg_bytes * cal.MONITOR_BUFFER_SAMPLES / (1024 * 1024)
+    nominal_mib = (
+        DEFAULT_SAMPLE_BYTES * cal.MONITOR_BUFFER_SAMPLES / (1024 * 1024)
+    )
+    emit(
+        "Monitor buffer sizing (Section III-A)",
+        [
+            f"measured avg serialised sample: {avg_bytes:.0f} B",
+            f"projected buffer ({cal.MONITOR_BUFFER_SAMPLES} samples): "
+            f"{projected_mib:.1f} MiB (paper: {cal.MONITOR_BUFFER_MB} MiB)",
+            f"nominal accounting constant: {nominal_mib:.1f} MiB",
+        ],
+    )
+    assert nominal_mib == pytest.approx(cal.MONITOR_BUFFER_MB, abs=0.1)
+    # Real serialised samples are the same order of magnitude.
+    assert 200 <= avg_bytes <= 700
+
+
+def test_sampling_hot_path(benchmark):
+    """Time the per-sample work a node agent does every 2 s."""
+    node = make_lassen_node("n0")
+    buf = CircularBuffer()
+    clock = iter(range(10_000_000))
+
+    def one_sample():
+        t = float(next(clock))
+        buf.append(t, variorum.get_node_power_json(node, t))
+
+    benchmark(one_sample)
+    assert len(buf) > 0

@@ -1,0 +1,33 @@
+"""Regenerates Section IV-E: policy impact on a real job queue.
+
+Paper reference: 10 jobs (3 Laghos, 2 Quicksilver, 3 LAMMPS, 2 GEMM;
+1-8 nodes each) on a 16-node allocation; makespan 1539 s under both
+proportional sharing and FPP; FPP improves average per-job
+energy-per-node by 1.26%.
+"""
+
+import pytest
+from conftest import emit, run_once
+
+from repro.experiments import calibration as cal
+from repro.experiments.queue_campaign import run_queue_campaign
+
+
+def test_queue_campaign(benchmark):
+    result = run_once(benchmark, run_queue_campaign, seed=10)
+    emit("Section IV-E — 10-job queue on 16 nodes", result.table_rows())
+    imp = result.fpp_energy_improvement_pct()
+    emit(
+        "Section IV-E — summary",
+        [
+            f"makespans equal (<=10 s): {result.makespans_equal()}",
+            f"FPP energy-per-node improvement: {imp:+.2f}% (paper +1.26%)",
+            f"makespan vs paper: "
+            f"{result.runs['proportional'].makespan_s:.1f} / {cal.QUEUE_MAKESPAN_S}",
+        ],
+    )
+    assert result.makespans_equal(tolerance_s=10.0)
+    assert result.runs["proportional"].makespan_s == pytest.approx(
+        cal.QUEUE_MAKESPAN_S, rel=0.05
+    )
+    assert imp > 0.2

@@ -1,0 +1,32 @@
+"""Extension bench: telemetry scalability to full-machine size.
+
+The paper's framework is presented as *scalable*; its evaluation stops
+at 32 nodes. This bench queries a whole-machine job's power on
+simulated instances up to Lassen's full 792 nodes and compares the
+root's flat fan-out (the paper's implementation) with hierarchical
+tree aggregation.
+"""
+
+from conftest import emit, run_once
+
+from repro.experiments.scalability import run_scalability
+
+
+def test_telemetry_scalability(benchmark):
+    result = run_once(benchmark, run_scalability)
+    emit("Extension — whole-machine telemetry query vs instance size",
+         result.table_rows())
+
+    for strategy in ("fanout", "tree"):
+        small = result.cell(32, strategy)
+        full = result.cell(792, strategy)
+        # Latency grows sub-linearly with size (tree depth is log N).
+        assert full.query_latency_s < small.query_latency_s * (792 / 32)
+        # Every node answered.
+        assert full.samples_returned >= 792 * 30  # 60 s window at 2 s
+
+    # Tree aggregation relieves the root: far fewer root-link messages.
+    assert (
+        result.cell(792, "tree").root_messages
+        < result.cell(792, "fanout").root_messages / 10
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Dynamic power management on a power-constrained cluster.
+
+Reproduces the Section IV-C/D scenario interactively: an 8-node Lassen
+cluster with a 9.6 kW budget runs GEMM (6 nodes, compute-bound) next to
+Quicksilver (2 nodes, cap-insensitive) under each policy, and prints a
+Table IV-style comparison plus the proportional-sharing power timeline
+(Figure 5's shape: GEMM's node power steps up when Quicksilver exits).
+
+Run: ``python examples/power_constrained_cluster.py``
+"""
+
+from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.analysis.energy import JobMetrics
+
+BUDGET_W = 9600.0
+
+POLICIES = {
+    "unconstrained": ManagerConfig(global_cap_w=None, policy="static"),
+    "ibm-static-1200W": ManagerConfig(
+        global_cap_w=BUDGET_W, policy="static", static_node_cap_w=1200.0
+    ),
+    "ibm-static-1950W": ManagerConfig(
+        global_cap_w=BUDGET_W, policy="static", static_node_cap_w=1950.0
+    ),
+    "proportional": ManagerConfig(
+        global_cap_w=BUDGET_W, policy="proportional", static_node_cap_w=1950.0
+    ),
+    "fpp": ManagerConfig(
+        global_cap_w=BUDGET_W, policy="fpp", static_node_cap_w=1950.0
+    ),
+}
+
+
+def run_policy(name: str, config: ManagerConfig):
+    cluster = PowerManagedCluster(
+        platform="lassen", n_nodes=8, seed=1, manager_config=config
+    )
+    gemm = cluster.submit(Jobspec(app="gemm", nnodes=6, params={"work_scale": 2.0}))
+    qs = cluster.submit(
+        Jobspec(app="quicksilver", nnodes=2, params={"work_scale": 26.77})
+    )
+    cluster.run_until_complete(timeout_s=200_000)
+    return cluster, cluster.metrics(gemm.jobid), cluster.metrics(qs.jobid)
+
+
+def main() -> None:
+    print(f"{'policy':<18} " + JobMetrics.header())
+    timeline_cluster = None
+    for name, config in POLICIES.items():
+        cluster, gm, qm = run_policy(name, config)
+        for m in (gm, qm):
+            print(f"{name:<18} " + m.row())
+        if name == "proportional":
+            timeline_cluster = (cluster, qm.runtime_s)
+
+    # Figure 5's shape: one GEMM node's power before/after QS exits.
+    cluster, qs_end = timeline_cluster
+    timeline = cluster.trace.node_timeline("lassen000")
+    before = [w for t, w in timeline if 30 <= t <= qs_end - 30]
+    after = [w for t, w in timeline if qs_end + 30 <= t <= qs_end + 150]
+    print("\nProportional sharing timeline (GEMM node lassen000):")
+    print(f"  while Quicksilver runs: {sum(before)/len(before):7.1f} W")
+    print(f"  after Quicksilver ends: {sum(after)/len(after):7.1f} W "
+          "(share reclaimed, Fig 5)")
+
+
+if __name__ == "__main__":
+    main()

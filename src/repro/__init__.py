@@ -1,0 +1,63 @@
+"""repro — reproduction of "Vendor-neutral and Production-grade Job
+Power Management in High Performance Computing" (SC 2024).
+
+The package implements the paper's two Flux modules —
+``flux-power-monitor`` (job-level power telemetry) and
+``flux-power-manager`` (hierarchical static/dynamic power capping with
+proportional sharing and the FFT-based FPP policy) — together with
+every substrate they need, simulated: a Flux-like broker/TBON/job
+framework, Variorum-style vendor-neutral power APIs, and calibrated
+hardware + application models of the Lassen and Tioga systems.
+
+Quick start::
+
+    from repro import PowerManagedCluster, Jobspec, ManagerConfig
+
+    cluster = PowerManagedCluster(platform="lassen", n_nodes=8, seed=1,
+                                  manager_config=ManagerConfig(
+                                      global_cap_w=9600.0,
+                                      policy="fpp",
+                                      static_node_cap_w=1950.0))
+    job = cluster.submit(Jobspec(app="gemm", nnodes=6))
+    cluster.run_until_complete()
+    print(cluster.metrics(job.jobid))
+    print(cluster.telemetry(job.jobid).to_csv())
+"""
+
+from repro.cluster import PowerManagedCluster
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec, JobRecord, JobState
+from repro.flux.user_instance import UserInstance, spawn_user_instance
+from repro.manager.cluster_manager import ManagerConfig
+from repro.manager.module import attach_manager
+from repro.manager.policies import (
+    FPPParams,
+    FPPPolicy,
+    HistoryPolicy,
+    PowerPolicy,
+    ProportionalPolicy,
+    StaticPolicy,
+)
+from repro.monitor.module import attach_monitor
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "PowerManagedCluster",
+    "FluxInstance",
+    "UserInstance",
+    "spawn_user_instance",
+    "Jobspec",
+    "JobRecord",
+    "JobState",
+    "ManagerConfig",
+    "PowerPolicy",
+    "StaticPolicy",
+    "ProportionalPolicy",
+    "FPPPolicy",
+    "FPPParams",
+    "HistoryPolicy",
+    "attach_manager",
+    "attach_monitor",
+    "__version__",
+]

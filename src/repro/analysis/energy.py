@@ -1,0 +1,72 @@
+"""Energy accounting.
+
+The paper's metrics: execution time, maximum node power usage, average
+node power, and average per-node energy (kJ). Exact values come from
+the AppRun's piecewise-constant integration; telemetry-derived values
+(trapezoidal over 2 s samples) are what a real deployment would see and
+are used by the telemetry experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.apps.run import AppRun
+
+
+def integrate_energy_j(series: Sequence[Tuple[float, float]]) -> float:
+    """Trapezoidal energy (J) from a (timestamp, watts) series."""
+    if len(series) < 2:
+        return 0.0
+    total = 0.0
+    for (t0, p0), (t1, p1) in zip(series, series[1:]):
+        if t1 < t0:
+            raise ValueError("series timestamps must be nondecreasing")
+        total += 0.5 * (p0 + p1) * (t1 - t0)
+    return total
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """The per-job row of Table IV."""
+
+    app: str
+    nnodes: int
+    runtime_s: float
+    max_node_power_w: float
+    avg_node_power_w: float
+    avg_node_energy_kj: float
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'app':<12} {'nodes':>5} {'time(s)':>9} "
+            f"{'maxW':>8} {'avgW':>8} {'E/node(kJ)':>11}"
+        )
+
+    def row(self) -> str:
+        return (
+            f"{self.app:<12} {self.nnodes:>5} {self.runtime_s:>9.1f} "
+            f"{self.max_node_power_w:>8.0f} {self.avg_node_power_w:>8.0f} "
+            f"{self.avg_node_energy_kj:>11.1f}"
+        )
+
+
+def job_metrics(run: AppRun) -> JobMetrics:
+    """Extract the paper's metrics from a completed AppRun."""
+    if not run.finished:
+        raise ValueError("job has not finished")
+    return JobMetrics(
+        app=run.profile.name,
+        nnodes=len(run.nodes),
+        runtime_s=float(run.runtime_s),
+        max_node_power_w=run.max_node_power_w,
+        avg_node_power_w=float(run.avg_node_power_w),
+        avg_node_energy_kj=run.avg_node_energy_j / 1e3,
+    )
+
+
+def combined_energy_kj(metrics: Iterable[JobMetrics]) -> float:
+    """Total energy across jobs: sum over jobs of nodes * per-node energy."""
+    return sum(m.avg_node_energy_kj * m.nnodes for m in metrics)

@@ -1,0 +1,94 @@
+"""Terminal rendering of power timelines (the paper's figures, as text).
+
+The benchmark harness regenerates each figure's *data*; these helpers
+render it as ASCII so `pytest benchmarks/ -s` shows the actual shapes —
+Quicksilver's bursts, the Fig 5 share step, FPP's probe dips — without
+a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: Glyphs used for multi-series plots, in order.
+GLYPHS = "#*o+x%@&"
+
+
+def ascii_timeline(
+    series: Dict[str, Series],
+    width: int = 72,
+    height: int = 16,
+    y_label: str = "W",
+    t_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render one or more (t, value) series as an ASCII chart.
+
+    Multiple series share axes; each gets a glyph from :data:`GLYPHS`.
+    Later series overwrite earlier ones where they collide.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    all_points = [(t, v) for s in series.values() for (t, v) in s]
+    if not all_points:
+        raise ValueError("series are empty")
+
+    t_lo, t_hi = t_range or (
+        min(t for t, _ in all_points),
+        max(t for t, _ in all_points),
+    )
+    y_lo, y_hi = y_range or (
+        min(v for _, v in all_points),
+        max(v for _, v in all_points),
+    )
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, s), glyph in zip(series.items(), GLYPHS):
+        for t, v in s:
+            if not (t_lo <= t <= t_hi):
+                continue
+            col = int((t - t_lo) / (t_hi - t_lo) * (width - 1))
+            row = int((v - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), GLYPHS)
+    )
+    lines.append(legend)
+    top_label = f"{y_hi:8.0f} {y_label} "
+    pad = " " * len(top_label)
+    for i, row in enumerate(grid):
+        prefix = top_label if i == 0 else (
+            f"{y_lo:8.0f} {y_label} " if i == height - 1 else pad
+        )
+        lines.append(prefix + "|" + "".join(row))
+    axis = pad + "+" + "-" * width
+    lines.append(axis)
+    lines.append(pad + f"t={t_lo:.0f}s" + " " * max(1, width - 20) + f"t={t_hi:.0f}s")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line sparkline of a value sequence (resampled to ``width``)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    vals = list(values)
+    if not vals:
+        return ""
+    if len(vals) > width:
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return blocks[1] * len(vals)
+    out = []
+    for v in vals:
+        idx = 1 + int((v - lo) / (hi - lo) * (len(blocks) - 2))
+        out.append(blocks[min(idx, len(blocks) - 1)])
+    return "".join(out)

@@ -1,0 +1,127 @@
+"""Campaign reports: operator-facing summaries of a cluster run.
+
+Generates the kind of summary a site's power team reads after a
+campaign (cf. the paper's motivation of production telemetry): per-job
+metrics, cluster utilisation, energy totals, and power-policy activity.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.energy import JobMetrics
+from repro.analysis.stats import mean
+from repro.flux.jobspec import JobState
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import
+    from repro.cluster import PowerManagedCluster
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregates a completed campaign on one cluster."""
+
+    platform: str
+    n_nodes: int
+    n_jobs: int
+    n_completed: int
+    n_cancelled: int
+    n_failed: int
+    makespan_s: Optional[float]
+    total_energy_kj: float
+    avg_job_energy_per_node_kj: float
+    node_hours: float
+    utilisation: float
+    peak_cluster_kw: Optional[float]
+    policy: Optional[str]
+    global_cap_w: Optional[float]
+    share_changes: int
+    job_rows: List[JobMetrics]
+
+    def render(self) -> str:
+        """Human-readable report text."""
+        out = io.StringIO()
+        out.write("=== campaign report ===\n")
+        out.write(f"platform:        {self.platform} x {self.n_nodes} nodes\n")
+        out.write(
+            f"jobs:            {self.n_jobs} submitted, {self.n_completed} "
+            f"completed, {self.n_cancelled} cancelled, {self.n_failed} failed\n"
+        )
+        if self.makespan_s is not None:
+            out.write(f"makespan:        {self.makespan_s:.1f} s\n")
+        out.write(f"node-hours:      {self.node_hours:.2f}\n")
+        out.write(f"utilisation:     {self.utilisation * 100:.1f} %\n")
+        out.write(f"total energy:    {self.total_energy_kj:.0f} kJ\n")
+        out.write(
+            f"avg E/node/job:  {self.avg_job_energy_per_node_kj:.1f} kJ\n"
+        )
+        if self.peak_cluster_kw is not None:
+            out.write(f"peak cluster:    {self.peak_cluster_kw:.2f} kW\n")
+        if self.policy is not None:
+            cap = (
+                f"{self.global_cap_w:.0f} W"
+                if self.global_cap_w is not None
+                else "unconstrained"
+            )
+            out.write(
+                f"power policy:    {self.policy} (budget {cap}), "
+                f"{self.share_changes} share recomputations\n"
+            )
+        out.write("\nper-job metrics:\n")
+        out.write("  " + JobMetrics.header() + "\n")
+        for m in self.job_rows:
+            out.write("  " + m.row() + "\n")
+        return out.getvalue()
+
+
+def summarise_campaign(cluster: "PowerManagedCluster") -> CampaignSummary:
+    """Build a :class:`CampaignSummary` from a finished cluster run."""
+    jm = cluster.instance.jobmanager
+    records = list(jm.jobs.values())
+    completed = [r for r in records if r.state is JobState.COMPLETED]
+    cancelled = [r for r in records if r.state is JobState.CANCELLED]
+    failed = [r for r in records if r.state is JobState.FAILED]
+    metrics = [cluster.metrics(r.jobid) for r in completed if r.jobid in cluster.instance.app_runs]
+
+    node_seconds = sum(m.runtime_s * m.nnodes for m in metrics)
+    makespan = jm.makespan_s()
+    capacity = (
+        makespan * cluster.instance.n_nodes if makespan and makespan > 0 else None
+    )
+    utilisation = node_seconds / capacity if capacity else 0.0
+    total_energy = sum(m.avg_node_energy_kj * m.nnodes for m in metrics)
+
+    peak_kw = None
+    if cluster.trace is not None and cluster.trace.times:
+        peak_kw = cluster.trace.max_cluster_power_w() / 1e3
+
+    policy = None
+    cap = None
+    share_changes = 0
+    if cluster.manager is not None:
+        policy = cluster.manager.config.policy
+        cap = cluster.manager.config.global_cap_w
+        share_changes = len(cluster.manager.share_log)
+
+    return CampaignSummary(
+        platform=cluster.instance.platform,
+        n_nodes=cluster.instance.n_nodes,
+        n_jobs=len(records),
+        n_completed=len(completed),
+        n_cancelled=len(cancelled),
+        n_failed=len(failed),
+        makespan_s=makespan,
+        total_energy_kj=total_energy,
+        avg_job_energy_per_node_kj=(
+            mean([m.avg_node_energy_kj for m in metrics]) if metrics else 0.0
+        ),
+        node_hours=node_seconds / 3600.0,
+        utilisation=min(utilisation, 1.0),
+        peak_cluster_kw=peak_kw,
+        policy=policy,
+        global_cap_w=cap,
+        share_changes=share_changes,
+        job_rows=metrics,
+    )

@@ -1,0 +1,32 @@
+"""Application models.
+
+The paper evaluates five applications (Section II-D): LAMMPS (strong
+scaled, GPU compute-bound), GEMM from RajaPerf (weak, compute-bound),
+Quicksilver (weak, periodic phase behaviour, cap-insensitive), Laghos
+(weak, CPU-heavy, minor phases) and NQueens (CPU-only Charm++, i.e. a
+non-MPI Flux job).
+
+Each is modelled by an :class:`~repro.apps.base.AppProfile`: per-node,
+per-component power *demand* plus a cap→progress response. The policies
+under study only ever observe applications through (a) the power signal
+and (b) runtime under caps, so this is exactly the surface that must be
+calibrated — targets are the numbers in Fig 1/2 and Tables II–IV, as
+recorded in each profile's docstring.
+"""
+
+from repro.apps.base import AppProfile, PhaseProfile, PlatformDemand
+from repro.apps.registry import get_profile, list_apps, register_profile
+from repro.apps.run import AppRun
+from repro.apps.workloads import make_random_queue, QueueJob
+
+__all__ = [
+    "AppProfile",
+    "PhaseProfile",
+    "PlatformDemand",
+    "get_profile",
+    "list_apps",
+    "register_profile",
+    "AppRun",
+    "make_random_queue",
+    "QueueJob",
+]

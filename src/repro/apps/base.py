@@ -1,0 +1,228 @@
+"""Application profiles: demand + performance response.
+
+An application is characterised by
+
+* **power demand** per component on each platform (dynamic watts above
+  idle for CPU sockets, memory and each logical GPU),
+* **phase behaviour** — a rectangular high/low modulation of dynamic
+  demand whose position advances with *computation progress* (not wall
+  time), so power capping stretches the observed period. This is the
+  physical effect FPP's FFT period detector keys on,
+* a **performance response** to capping: the critical path is split
+  into a GPU-sensitive fraction, a CPU-sensitive fraction and an
+  insensitive remainder; a throttled component's speed follows the
+  concave curve ``g(x) = 1 - beta * (1 - x)**gamma`` where ``x`` is the
+  granted fraction of dynamic power. This captures real DVFS behaviour
+  under power caps: near the top of the power range the marginal
+  performance cost of shaving watts is tiny (V100 at 253/300 W loses
+  only a few percent), while deep caps hurt nearly linearly. A single
+  power law cannot fit both regimes the paper measured (Table IV:
+  GEMM loses 2.9 % at a 253 W GPU cap but 109 % at 100 W),
+* **scaling** — strong-scaled apps shrink per-node work (and per-node
+  dynamic power) as node count grows; weak-scaled apps keep both flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class PlatformDemand:
+    """Per-node dynamic power demand on one platform.
+
+    All values are watts *above idle* and represent the application's
+    peak (high-phase) demand at the reference node count.
+    """
+
+    cpu_dyn_w: float  #: per CPU socket
+    mem_dyn_w: float  #: whole-node memory subsystem
+    gpu_dyn_w: float  #: per logical GPU (a GCD counts as one on Tioga)
+    runtime_scale: float = 1.0  #: multiplier on the profile's base runtime
+    #: Optional phase overrides for this platform (e.g. Quicksilver's
+    #: HIP variant on Tioga behaves differently from the CUDA one).
+    phase: Optional["PhaseProfile"] = None
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Rectangular high/low power modulation tied to progress.
+
+    ``period_s`` is the period in *unconstrained* execution seconds; a
+    job progressing at rate r exhibits a wall-clock period of
+    ``period_s / r``. ``duty`` is the fraction of the period spent in
+    the high-power phase; in the low phase, GPU/memory dynamic demand
+    is scaled by ``1 - gpu_depth`` and CPU dynamic demand by
+    ``1 - cpu_depth``.
+    """
+
+    period_s: float = 0.0
+    duty: float = 1.0
+    gpu_depth: float = 0.0
+    cpu_depth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s < 0:
+            raise ValueError("period_s must be >= 0")
+        if not (0.0 < self.duty <= 1.0):
+            raise ValueError("duty must be in (0, 1]")
+        for d in (self.gpu_depth, self.cpu_depth):
+            if not (0.0 <= d <= 1.0):
+                raise ValueError("phase depths must be in [0, 1]")
+
+    @property
+    def flat(self) -> bool:
+        return self.period_s == 0.0 or (self.gpu_depth == 0.0 and self.cpu_depth == 0.0)
+
+    def demand_factor(self, progress_s: float) -> tuple:
+        """(gpu_factor, cpu_factor) of dynamic demand at a progress point."""
+        if self.flat:
+            return (1.0, 1.0)
+        pos = (progress_s % self.period_s) / self.period_s
+        if pos < self.duty:
+            return (1.0, 1.0)
+        return (1.0 - self.gpu_depth, 1.0 - self.cpu_depth)
+
+    def mean_factor(self) -> tuple:
+        """Time-averaged (gpu, cpu) demand factors."""
+        if self.flat:
+            return (1.0, 1.0)
+        g = self.duty + (1.0 - self.duty) * (1.0 - self.gpu_depth)
+        c = self.duty + (1.0 - self.duty) * (1.0 - self.cpu_depth)
+        return (g, c)
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Full model of one application.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"lammps"``, ``"gemm"``, ...).
+    scaling:
+        ``"strong"`` or ``"weak"``.
+    launcher:
+        ``"mpi"`` or ``"non-mpi"`` (Charm++, Python workflows, ...).
+    base_runtime_s:
+        Unconstrained runtime on Lassen at ``ref_nodes`` nodes with
+        ``work_scale=1``.
+    ref_nodes:
+        Node count the base runtime refers to.
+    strong_runtime_exp:
+        For strong scaling, runtime = base * (ref/n)**exp. Fitted from
+        Table II (LAMMPS 4→8 nodes gives exp ≈ 0.74, i.e. imperfect
+        speedup).
+    strong_power_exp:
+        Per-node dynamic demand scales as (ref/n)**exp for strong apps
+        (Fig 2: LAMMPS per-node power declines towards 32 nodes).
+    gpu_frac / cpu_frac:
+        Critical-path fractions sensitive to GPU / CPU throttling; the
+        remainder is insensitive (communication, latency-bound).
+    beta_gpu / gamma_gpu (and _cpu):
+        Parameters of the concave throttle response
+        ``g(x) = 1 - beta * (1 - x)**gamma``.
+    phases:
+        Default phase behaviour (platform demand may override).
+    demand:
+        Platform name → :class:`PlatformDemand`.
+    inputs:
+        The paper's Table I input description (documentation).
+    """
+
+    name: str
+    scaling: str
+    launcher: str
+    base_runtime_s: float
+    ref_nodes: int
+    gpu_frac: float
+    cpu_frac: float
+    beta_gpu: float
+    gamma_gpu: float
+    demand: Dict[str, PlatformDemand]
+    beta_cpu: float = 0.8
+    gamma_cpu: float = 1.6
+    phases: PhaseProfile = field(default_factory=PhaseProfile)
+    strong_runtime_exp: float = 0.74
+    strong_power_exp: float = 0.25
+    inputs: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scaling not in ("strong", "weak"):
+            raise ValueError(f"scaling must be strong|weak, got {self.scaling!r}")
+        if self.gpu_frac < 0 or self.cpu_frac < 0 or self.gpu_frac + self.cpu_frac > 1:
+            raise ValueError("gpu_frac and cpu_frac must be >=0 and sum to <=1")
+        if not self.demand:
+            raise ValueError("profile needs at least one platform demand entry")
+
+    # ------------------------------------------------------------------
+    # Scaling laws
+    # ------------------------------------------------------------------
+    def runtime_s(
+        self, platform: str, n_nodes: int, work_scale: float = 1.0
+    ) -> float:
+        """Unconstrained runtime for a job of ``n_nodes`` nodes."""
+        d = self.platform_demand(platform)
+        t = self.base_runtime_s * d.runtime_scale * work_scale
+        if self.scaling == "strong":
+            t *= (self.ref_nodes / n_nodes) ** self.strong_runtime_exp
+        return t
+
+    def power_scale(self, n_nodes: int) -> float:
+        """Per-node dynamic-demand factor at ``n_nodes`` nodes."""
+        if self.scaling == "strong":
+            return (self.ref_nodes / n_nodes) ** self.strong_power_exp
+        return 1.0
+
+    def platform_demand(self, platform: str) -> PlatformDemand:
+        d = self.demand.get(platform)
+        if d is None:
+            raise KeyError(
+                f"app {self.name!r} has no demand calibration for {platform!r}"
+            )
+        return d
+
+    def phase_profile(self, platform: str) -> PhaseProfile:
+        d = self.platform_demand(platform)
+        return d.phase if d.phase is not None else self.phases
+
+    # ------------------------------------------------------------------
+    # Performance response
+    # ------------------------------------------------------------------
+    @staticmethod
+    def component_response(x: float, beta: float, gamma: float) -> float:
+        """Concave speed response to a granted dynamic-power fraction."""
+        x = max(min(x, 1.0), 0.0)
+        return max(0.02, 1.0 - beta * (1.0 - x) ** gamma)
+
+    def progress_rate(self, gpu_throttle: float, cpu_throttle: float) -> float:
+        """Progress rate in [0, 1] given component throttle ratios.
+
+        Amdahl-style composition: each sensitive fraction is slowed by
+        its component's concave response; the insensitive remainder
+        always runs at full speed.
+        """
+        g = self.component_response(gpu_throttle, self.beta_gpu, self.gamma_gpu)
+        c = self.component_response(cpu_throttle, self.beta_cpu, self.gamma_cpu)
+        other = 1.0 - self.gpu_frac - self.cpu_frac
+        denom = self.gpu_frac / g + self.cpu_frac / c + other
+        return 1.0 / denom
+
+    # ------------------------------------------------------------------
+    # Mean power prediction (used by calibration and tests)
+    # ------------------------------------------------------------------
+    def mean_node_demand_w(
+        self, platform: str, n_nodes: int, node_idle_w: float, n_sockets: int, n_gpus: int
+    ) -> float:
+        """Expected average node power when unconstrained."""
+        d = self.platform_demand(platform)
+        ph = self.phase_profile(platform)
+        gf, cf = ph.mean_factor()
+        scale = self.power_scale(n_nodes)
+        dyn = (
+            n_sockets * d.cpu_dyn_w * cf
+            + d.mem_dyn_w * gf
+            + n_gpus * d.gpu_dyn_w * gf
+        ) * scale
+        return node_idle_w + dyn

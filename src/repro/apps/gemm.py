@@ -1,0 +1,63 @@
+"""GEMM: generalized matrix multiply from RajaPerf (weak, compute-bound).
+
+Paper inputs (Table I): ``--sizefact 700 -repfact 50``; Section IV-C/D
+run it with *double the iteration count* as a 6-node job
+(``work_scale=2``).
+
+Calibration targets (Table IV, Lassen, 6-node job, work_scale=2)
+----------------------------------------------------------------
+* Unconstrained: 548 s, max node power 1523 W, avg node energy 726 kJ
+  (=> ~1325 W average node power).
+* IBM default node cap 1200 W (GPU caps 100 W): 1145 s, 805 kJ — the
+  2.09x slowdown under a 100 W GPU cap fixes ``alpha_gpu``/``gpu_frac``.
+* Static 1950 W (GPU 253 W): 564 s, 652 kJ.
+* Fig 1 prose: "relatively flat power timeline" — phases are shallow
+  dips at kernel-iteration boundaries; deep enough that the FFT policy
+  can see the iteration period stretch under a cap (Section IV-D:
+  "FPP first tries to reduce power but sees that the period doubles").
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppProfile, PhaseProfile, PlatformDemand
+
+GEMM_INPUTS = "--sizefact 700 -repfact 50 (RajaPerf kernel)"
+
+
+def gemm_profile() -> AppProfile:
+    """Build the calibrated GEMM profile."""
+    return AppProfile(
+        name="gemm",
+        scaling="weak",
+        launcher="mpi",
+        base_runtime_s=274.0,  # work_scale=2 reproduces Table IV's 548 s
+        ref_nodes=1,
+        gpu_frac=0.95,
+        cpu_frac=0.03,
+        # Fitted to Table IV. The high gamma gives the V100-like knee
+        # the paper's numbers imply: near-max caps cost almost nothing
+        # (564 s at a 253 W cap), mid-range caps are cheap enough that
+        # proportional sharing *saves* energy versus the static cap
+        # (612 vs 652 kJ despite +33 s), and the 100 W floor is a cliff
+        # (1145 s). A single shallow power law cannot produce all three.
+        beta_gpu=1.42,
+        gamma_gpu=4.0,
+        # 12 s iteration envelope: 30% of each period is an inter-kernel
+        # segment where GPU demand collapses (below the 100 W cap floor,
+        # so deep node caps do not stretch the low phase).
+        phases=PhaseProfile(period_s=12.0, duty=0.70, gpu_depth=0.85, cpu_depth=0.05),
+        demand={
+            # peak dyn = 2*45 + 40 + 4*250 = 1130 W -> 1530 W max node
+            # (paper: 1523 W); phase-averaged ~1360 W (paper ~1325 W).
+            "lassen": PlatformDemand(
+                cpu_dyn_w=45.0, mem_dyn_w=40.0, gpu_dyn_w=250.0, runtime_scale=1.0
+            ),
+            "tioga": PlatformDemand(
+                cpu_dyn_w=160.0, mem_dyn_w=55.0, gpu_dyn_w=140.0, runtime_scale=0.70
+            ),
+            "generic": PlatformDemand(
+                cpu_dyn_w=140.0, mem_dyn_w=40.0, gpu_dyn_w=180.0, runtime_scale=1.4
+            ),
+        },
+        inputs=GEMM_INPUTS,
+    )

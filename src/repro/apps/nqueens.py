@@ -1,0 +1,48 @@
+"""NQueens: Charm++ chessboard puzzle (CPU-only, non-MPI).
+
+Paper inputs (Table I): ``+p160``, 14 queens, grainsize=1000. This is
+the paper's demonstration that the framework handles *anything*
+launched under a Flux job — Charm++ is not MPI, yet telemetry and
+proportional power capping apply unchanged (Fig 7 runs it on 2 nodes
+next to a 6-node GEMM).
+
+No quantitative targets exist in the paper beyond Fig 7's qualitative
+shape (GEMM node power drops when NQueens enters the system); the
+profile is therefore a plausible CPU-saturating Charm++ workload: flat
+power, ~155 dynamic W per Power9 socket, idle GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppProfile, PhaseProfile, PlatformDemand
+
+NQUEENS_INPUTS = "+p160, 14 queens, grainsize=1000"
+
+
+def nqueens_profile() -> AppProfile:
+    """Build the NQueens profile."""
+    return AppProfile(
+        name="nqueens",
+        scaling="weak",
+        launcher="non-mpi",
+        base_runtime_s=300.0,
+        ref_nodes=1,
+        gpu_frac=0.0,
+        cpu_frac=0.85,
+        beta_gpu=0.80,
+        gamma_gpu=1.6,
+        phases=PhaseProfile(),  # flat timeline (Section II-D)
+        demand={
+            # dyn = 2*155 + 30 = 340 W -> ~740 W node, GPUs idle.
+            "lassen": PlatformDemand(
+                cpu_dyn_w=155.0, mem_dyn_w=30.0, gpu_dyn_w=0.0, runtime_scale=1.0
+            ),
+            "tioga": PlatformDemand(
+                cpu_dyn_w=200.0, mem_dyn_w=25.0, gpu_dyn_w=0.0, runtime_scale=1.0
+            ),
+            "generic": PlatformDemand(
+                cpu_dyn_w=160.0, mem_dyn_w=25.0, gpu_dyn_w=0.0, runtime_scale=1.0
+            ),
+        },
+        inputs=NQUEENS_INPUTS,
+    )

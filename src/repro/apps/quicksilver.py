@@ -1,0 +1,72 @@
+"""Quicksilver: Monte Carlo transport proxy (weak, periodic phases).
+
+Paper inputs (Table I): base mesh size 16, 300 particles per mesh,
+``nsteps=40``; task partition derived from rank count. Section IV-C/D
+run it as a 2-node job with a 10x problem size.
+
+Calibration targets
+-------------------
+* Fig 1: pronounced periodic phase behaviour — short high-power bursts
+  over a low-power baseline (the one application with clear phases).
+* Table II (Lassen): 12.78 s / 546.99 W at 4 nodes, 13.63 s / 559.64 W
+  at 8 (weak: flat).
+* Table IV (Lassen, 2-node, 10x size): unconstrained 348 s, max node
+  power 952 W, 177 kJ avg node energy (=> ~509 W average); IBM default
+  1200 W cap: 359 s (only 3% slowdown — the cap-insensitive app).
+* Table II (Tioga): 102.03 s at 4 nodes versus an expected ~25 s — the
+  paper flags the HIP variant as anomalous (~8x slow, under
+  investigation) and skips the energy comparison; we reproduce the
+  anomaly via ``runtime_scale`` and a distinct busier phase profile
+  (915.82 W measured CPU+OAM average).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppProfile, PhaseProfile, PlatformDemand
+
+QUICKSILVER_INPUTS = (
+    "base mesh 16, 300 particles/mesh, nsteps=40; -pt per rank count"
+)
+
+#: The HIP-variant anomaly factor observed on Tioga (102.03 s vs 12.78 s).
+TIOGA_HIP_ANOMALY = 102.03 / 12.78
+
+
+def quicksilver_profile() -> AppProfile:
+    """Build the calibrated Quicksilver profile."""
+    return AppProfile(
+        name="quicksilver",
+        scaling="weak",
+        launcher="mpi",
+        base_runtime_s=13.0,
+        ref_nodes=4,
+        gpu_frac=0.55,
+        cpu_frac=0.30,
+        # Fitted to Table IV: only ~3% slowdown under the IBM 1200 W
+        # node cap (100 W GPU caps) — the cap-insensitive application.
+        beta_gpu=1.0,
+        gamma_gpu=1.7,
+        # 20 s cycle: 3 s compute burst, 17 s tracking/communication tail.
+        phases=PhaseProfile(period_s=20.0, duty=0.15, gpu_depth=0.97, cpu_depth=0.88),
+        demand={
+            # peak dyn = 2*80 + 40 + 4*88 = 552 W -> 952 W max node;
+            # phase-averaged ~509 W (Table IV energy).
+            "lassen": PlatformDemand(
+                cpu_dyn_w=80.0, mem_dyn_w=40.0, gpu_dyn_w=88.0, runtime_scale=1.0
+            ),
+            # HIP variant: ~8x runtime, busier power profile.
+            "tioga": PlatformDemand(
+                cpu_dyn_w=160.0,
+                mem_dyn_w=30.0,
+                gpu_dyn_w=64.0,
+                runtime_scale=TIOGA_HIP_ANOMALY,
+                phase=PhaseProfile(
+                    period_s=20.0, duty=0.50, gpu_depth=0.50, cpu_depth=0.50
+                ),
+            ),
+            "generic": PlatformDemand(
+                cpu_dyn_w=100.0, mem_dyn_w=30.0, gpu_dyn_w=70.0, runtime_scale=1.5
+            ),
+        },
+        inputs=QUICKSILVER_INPUTS,
+    )

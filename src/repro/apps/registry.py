@@ -1,0 +1,48 @@
+"""Application registry: name → profile lookup (extensible)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.apps.base import AppProfile
+from repro.apps.extras import kripke_profile, sw4lite_profile
+from repro.apps.gemm import gemm_profile
+from repro.apps.laghos import laghos_profile
+from repro.apps.lammps import lammps_profile
+from repro.apps.nqueens import nqueens_profile
+from repro.apps.quicksilver import quicksilver_profile
+
+_FACTORIES: Dict[str, Callable[[], AppProfile]] = {
+    "lammps": lammps_profile,
+    "gemm": gemm_profile,
+    "quicksilver": quicksilver_profile,
+    "laghos": laghos_profile,
+    "nqueens": nqueens_profile,
+    # Section V: the applications that did not survive Tioga.
+    "sw4lite": sw4lite_profile,
+    "kripke": kripke_profile,
+}
+
+_CACHE: Dict[str, AppProfile] = {}
+
+
+def get_profile(name: str) -> AppProfile:
+    """Look up an application profile by registry name."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown application {name!r}; registered: {sorted(_FACTORIES)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _FACTORIES[name]()
+    return _CACHE[name]
+
+
+def list_apps() -> List[str]:
+    """Registered application names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def register_profile(name: str, factory: Callable[[], AppProfile]) -> None:
+    """Register a custom application (user extensibility hook)."""
+    _FACTORIES[name] = factory
+    _CACHE.pop(name, None)

@@ -1,0 +1,214 @@
+"""AppRun: executes an application model on allocated hardware nodes.
+
+An :class:`AppRun` is a simulation process that repeatedly:
+
+1. places per-component power *demand* on each of its nodes (phase
+   position is a function of accumulated progress, so capping stretches
+   the observed period),
+2. reads back the per-component throttle ratios that result from
+   whatever caps firmware/managers have installed,
+3. advances job progress at the profile's composed rate — the *minimum*
+   across nodes, because the modelled applications are bulk-synchronous
+   (one slow node drags all ranks).
+
+It also integrates exact per-node energy (piecewise-constant power
+between steps) and tracks max node power, which is what the Table III/IV
+experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.apps.base import AppProfile
+from repro.hardware.node import Node
+from repro.simkernel import Process, Simulator, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.flux.jobspec import JobRecord
+
+#: Returns the fractional progress penalty imposed on a node by loaded
+#: telemetry modules (0.0 when the power monitor is not loaded).
+OverheadFn = Callable[[Node], float]
+
+
+class AppRun:
+    """One job's application execution.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    record:
+        The job record (provides jobid and label).
+    nodes:
+        Hardware nodes allocated to the job, in rank order.
+    profile:
+        The application model.
+    work_scale:
+        Problem-size multiplier (Table IV uses 2x GEMM, ~27x
+        Quicksilver relative to the Table I base inputs).
+    jitter_factor:
+        Multiplicative run-to-run noise on total work (drawn by the
+        caller from the :class:`~repro.hardware.noise.JitterModel`).
+    overhead_fn:
+        Telemetry overhead hook; see :data:`OverheadFn`.
+    on_done:
+        Called once with the jobid when execution completes.
+    dt:
+        Control step in simulated seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        record: "JobRecord",
+        nodes: List[Node],
+        profile: AppProfile,
+        work_scale: float = 1.0,
+        jitter_factor: float = 1.0,
+        overhead_fn: Optional[OverheadFn] = None,
+        on_done: Optional[Callable[[int], None]] = None,
+        on_fail: Optional[Callable[[int], None]] = None,
+        fail_at_progress_s: Optional[float] = None,
+        dt: float = 1.0,
+    ) -> None:
+        if not nodes:
+            raise ValueError("AppRun needs at least one node")
+        platforms = {n.spec.platform for n in nodes}
+        if len(platforms) != 1:
+            raise ValueError(f"job spans mixed platforms: {platforms}")
+        self.sim = sim
+        self.record = record
+        self.nodes = nodes
+        self.profile = profile
+        self.platform = nodes[0].spec.platform
+        self.work_scale = float(work_scale)
+        self.jitter_factor = float(jitter_factor)
+        self.overhead_fn = overhead_fn
+        self.on_done = on_done
+        self.on_fail = on_fail
+        #: Fault injection: the application crashes once its progress
+        #: crosses this point (None = never). Used by resilience tests.
+        self.fail_at_progress_s = fail_at_progress_s
+        self.failed = False
+        self.dt = float(dt)
+
+        self.total_work_s = (
+            profile.runtime_s(self.platform, len(nodes), work_scale) * jitter_factor
+        )
+        self.progress_s = 0.0
+        self.finished = False
+        self.t_start = sim.now
+        self.t_end: Optional[float] = None
+
+        # Exact accounting (what Table III/IV report).
+        self.energy_j: Dict[str, float] = {n.hostname: 0.0 for n in nodes}
+        self.max_node_power_w = 0.0
+        self.current_rate = 0.0
+
+        self._phase = profile.phase_profile(self.platform)
+        self._demand = profile.platform_demand(self.platform)
+        self._power_scale = profile.power_scale(len(nodes))
+        self.process = Process(sim, self._main(), name=f"app-{record.spec.label}")
+
+    # ------------------------------------------------------------------
+    # Demand placement
+    # ------------------------------------------------------------------
+    def _apply_demand(self) -> None:
+        gpu_f, cpu_f = self._phase.demand_factor(self.progress_s)
+        d = self._demand
+        s = self._power_scale
+        for node in self.nodes:
+            per_gcd = node.spec.gpus_per_telemetry_domain
+            for dom in node.cpu_domains:
+                dom.set_demand(dom.spec.idle_w + d.cpu_dyn_w * s * cpu_f)
+            for dom in node.memory_domains:
+                dom.set_demand(dom.spec.idle_w + d.mem_dyn_w * s * gpu_f)
+            for dom in node.gpu_domains:
+                dom.set_demand(dom.spec.idle_w + d.gpu_dyn_w * per_gcd * s * gpu_f)
+
+    def _clear_demand(self) -> None:
+        for node in self.nodes:
+            node.clear_demand()
+
+    # ------------------------------------------------------------------
+    # Rate
+    # ------------------------------------------------------------------
+    def _node_rate(self, node: Node) -> float:
+        gpu_thr = min(node.gpu_throttles(), default=1.0)
+        cpu_thr = node.cpu_throttle()
+        rate = self.profile.progress_rate(gpu_thr, cpu_thr)
+        if self.overhead_fn is not None:
+            rate *= max(0.0, 1.0 - self.overhead_fn(node))
+        return rate
+
+    def _job_rate(self) -> float:
+        # Bulk-synchronous: the slowest node paces every rank.
+        return min(self._node_rate(n) for n in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _account(self, dt: float) -> None:
+        for node in self.nodes:
+            p = node.total_power_w()
+            self.energy_j[node.hostname] += p * dt
+            if p > self.max_node_power_w:
+                self.max_node_power_w = p
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _main(self):
+        while self.progress_s < self.total_work_s:
+            if (
+                self.fail_at_progress_s is not None
+                and self.progress_s >= self.fail_at_progress_s
+            ):
+                self.failed = True
+                self.t_end = self.sim.now
+                self._clear_demand()
+                if self.on_fail is not None:
+                    self.on_fail(self.record.jobid)
+                return
+            self._apply_demand()
+            rate = self._job_rate()
+            self.current_rate = rate
+            if rate <= 1e-9:
+                # Fully starved (cap at idle floor): wait a step and
+                # retry — caps are dynamic and may be relaxed.
+                self._account(self.dt)
+                yield Timeout(self.dt)
+                continue
+            remaining_t = (self.total_work_s - self.progress_s) / rate
+            step = min(self.dt, remaining_t)
+            yield Timeout(step)
+            self._account(step)
+            self.progress_s += rate * step
+        self.finished = True
+        self.t_end = self.sim.now
+        self._clear_demand()
+        if self.on_done is not None:
+            self.on_done(self.record.jobid)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def runtime_s(self) -> Optional[float]:
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    @property
+    def avg_node_energy_j(self) -> float:
+        """Mean over nodes of integrated node energy (the paper's metric)."""
+        return sum(self.energy_j.values()) / len(self.energy_j)
+
+    @property
+    def avg_node_power_w(self) -> Optional[float]:
+        rt = self.runtime_s
+        if rt is None or rt <= 0:
+            return None
+        return self.avg_node_energy_j / rt

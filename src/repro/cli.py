@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Mirrors the user-facing tools of the paper's deployment:
+
+* ``repro telemetry`` — run a job on a simulated cluster and print its
+  power CSV (the flux-power-monitor client workflow).
+* ``repro policies`` — regenerate the Table IV policy comparison.
+* ``repro static-caps`` — regenerate the Table III static-cap sweep.
+* ``repro queue`` — the Section IV-E job-queue campaign.
+* ``repro apps`` — list the calibrated application models.
+
+Usage::
+
+    python -m repro.cli telemetry --app quicksilver --nodes 2
+    python -m repro.cli policies --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.registry import get_profile, list_apps
+from repro.cluster import PowerManagedCluster
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    cluster = PowerManagedCluster(
+        platform=args.platform, n_nodes=args.cluster_nodes, seed=args.seed
+    )
+    job = cluster.submit(
+        Jobspec(
+            app=args.app,
+            nnodes=args.nodes,
+            params={"work_scale": args.work_scale},
+        )
+    )
+    cluster.run_until_complete(timeout_s=10_000_000)
+    cluster.run_for(4.0)
+    data = cluster.telemetry(job.jobid)
+    if args.output:
+        data.write_csv(args.output)
+        print(f"wrote {len(data.rows)} samples to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(data.to_csv())
+    m = cluster.metrics(job.jobid)
+    print(
+        f"# job {job.jobid}: {m.runtime_s:.1f} s, avg {m.avg_node_power_w:.0f} W/node, "
+        f"{m.avg_node_energy_kj:.1f} kJ/node, complete={data.complete}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.experiments.table4_policies import run_table4
+
+    result = run_table4(seed=args.seed)
+    for line in result.table_rows():
+        print(line)
+    print()
+    for key, value in result.headline_claims().items():
+        print(f"{key}: {value:+.2f}")
+    return 0
+
+
+def _cmd_static_caps(args: argparse.Namespace) -> int:
+    from repro.experiments.table3_static import run_table3
+
+    result = run_table3(seed=args.seed)
+    for line in result.table_rows():
+        print(line)
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from repro.experiments.queue_campaign import run_queue_campaign
+
+    result = run_queue_campaign(seed=args.seed)
+    for line in result.table_rows():
+        print(line)
+    print(f"makespans equal: {result.makespans_equal()}")
+    print(f"FPP energy-per-node improvement: {result.fpp_energy_improvement_pct():+.2f}%")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Check every headline claim; exit nonzero on any failure."""
+    from repro.experiments.validate import run_validation
+
+    report = run_validation(seed=args.seed, queue_seed=args.queue_seed)
+    print(report.render())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run the queue campaign under one policy and print a report."""
+    import numpy as np
+
+    from repro.analysis.report import summarise_campaign
+    from repro.apps.workloads import make_random_queue
+    from repro.experiments.queue_campaign import QUEUE_WORK_SCALES
+
+    jobs = make_random_queue(
+        np.random.default_rng(args.seed),
+        min_nodes=1,
+        max_nodes=8,
+        work_scales=QUEUE_WORK_SCALES,
+    )
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=16,
+        seed=args.seed,
+        manager_config=ManagerConfig(
+            global_cap_w=19_200.0, policy=args.policy, static_node_cap_w=1950.0
+        ),
+    )
+    for entry in jobs:
+        cluster.submit(entry.spec)
+    cluster.run_until_complete(timeout_s=10_000_000)
+    cluster.run_for(1.0)
+    print(summarise_campaign(cluster).render())
+    return 0
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    print(f"{'app':<12} {'scaling':<7} {'launcher':<8} {'base s':>7}  inputs")
+    for name in list_apps():
+        p = get_profile(name)
+        print(
+            f"{p.name:<12} {p.scaling:<7} {p.launcher:<8} "
+            f"{p.base_runtime_s:>7.1f}  {p.inputs}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vendor-neutral job power management (SC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("telemetry", help="run a job and print its power CSV")
+    t.add_argument("--app", default="quicksilver", choices=list_apps())
+    t.add_argument("--nodes", type=int, default=2)
+    t.add_argument("--cluster-nodes", type=int, default=4)
+    t.add_argument("--platform", default="lassen",
+                   choices=("lassen", "tioga", "generic"))
+    t.add_argument("--work-scale", type=float, default=5.0)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--output", "-o", help="CSV output path (default: stdout)")
+    t.set_defaults(func=_cmd_telemetry)
+
+    p = sub.add_parser("policies", help="regenerate the Table IV comparison")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_policies)
+
+    s = sub.add_parser("static-caps", help="regenerate the Table III sweep")
+    s.add_argument("--seed", type=int, default=1)
+    s.set_defaults(func=_cmd_static_caps)
+
+    q = sub.add_parser("queue", help="run the Section IV-E queue campaign")
+    q.add_argument("--seed", type=int, default=10)
+    q.set_defaults(func=_cmd_queue)
+
+    v = sub.add_parser("validate", help="check every headline claim (PASS/FAIL)")
+    v.add_argument("--seed", type=int, default=1)
+    v.add_argument("--queue-seed", type=int, default=10)
+    v.set_defaults(func=_cmd_validate)
+
+    r = sub.add_parser("report", help="run a queue campaign and print a report")
+    r.add_argument("--seed", type=int, default=10)
+    r.add_argument(
+        "--policy", default="proportional",
+        choices=("static", "proportional", "fpp", "fpp-socket"),
+    )
+    r.set_defaults(func=_cmd_report)
+
+    a = sub.add_parser("apps", help="list calibrated application models")
+    a.set_defaults(func=_cmd_apps)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,147 @@
+"""Top-level facade: a power-managed cluster in one object.
+
+Wraps a :class:`~repro.flux.instance.FluxInstance` with the power
+monitor and (optionally) the power manager loaded, plus a cluster power
+trace — the configuration every experiment and example starts from.
+
+Example
+-------
+>>> from repro import PowerManagedCluster, Jobspec, ManagerConfig
+>>> cluster = PowerManagedCluster(
+...     platform="lassen", n_nodes=8, seed=7,
+...     manager_config=ManagerConfig(global_cap_w=9600.0,
+...                                  policy="proportional",
+...                                  static_node_cap_w=1950.0))
+>>> job = cluster.submit(Jobspec(app="gemm", nnodes=6))
+>>> cluster.run_until_complete()
+>>> cluster.metrics(job.jobid).runtime_s  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.energy import JobMetrics, job_metrics
+from repro.analysis.traces import ClusterPowerTrace
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import JobRecord, Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+from repro.manager.module import PowerManager, attach_manager
+from repro.monitor.client import JobPowerData
+from repro.monitor.module import PowerMonitor, attach_monitor
+
+
+class PowerManagedCluster:
+    """A simulated cluster with telemetry and power management loaded.
+
+    Parameters
+    ----------
+    platform:
+        ``"lassen"``, ``"tioga"`` or ``"generic"``.
+    n_nodes:
+        Cluster size.
+    seed:
+        Root seed for all randomness.
+    with_monitor:
+        Load flux-power-monitor (node agents + root agent + client).
+    manager_config:
+        Load flux-power-manager with this config; ``None`` loads no
+        manager (telemetry-only deployment).
+    monitor_interval_s:
+        Telemetry sampling period (paper default 2 s).
+    trace:
+        Record a cluster-wide power trace (Table III / Fig 5-7 data).
+    enable_jitter:
+        Run-to-run variability on (Fig 3/4 experiments).
+    """
+
+    def __init__(
+        self,
+        platform: str = "lassen",
+        n_nodes: int = 8,
+        seed: int = 0,
+        with_monitor: bool = True,
+        manager_config: Optional[ManagerConfig] = None,
+        fpp_params=None,
+        monitor_interval_s: float = 2.0,
+        trace: bool = True,
+        trace_interval_s: float = 2.0,
+        enable_jitter: bool = False,
+        nvml_failure_rate: float = 0.0,
+        sensor_noise_sigma_w: float = 0.0,
+        fanout: int = 2,
+        app_dt: float = 1.0,
+        backfill: bool = False,
+        scheduler_factory=None,
+    ) -> None:
+        self.instance = FluxInstance(
+            platform=platform,
+            n_nodes=n_nodes,
+            seed=seed,
+            fanout=fanout,
+            enable_jitter=enable_jitter,
+            nvml_failure_rate=nvml_failure_rate,
+            sensor_noise_sigma_w=sensor_noise_sigma_w,
+            app_dt=app_dt,
+            backfill=backfill,
+            scheduler_factory=scheduler_factory,
+        )
+        self.monitor: Optional[PowerMonitor] = None
+        if with_monitor:
+            self.monitor = attach_monitor(
+                self.instance, sample_interval_s=monitor_interval_s
+            )
+        self.manager: Optional[PowerManager] = None
+        if manager_config is not None:
+            self.manager = attach_manager(
+                self.instance, manager_config, fpp_params=fpp_params
+            )
+        self.trace: Optional[ClusterPowerTrace] = None
+        if trace:
+            self.trace = ClusterPowerTrace(self.instance, interval_s=trace_interval_s)
+
+    # ------------------------------------------------------------------
+    # Delegation
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.instance.sim
+
+    @property
+    def nodes(self):
+        return self.instance.nodes
+
+    def submit(self, spec: Jobspec, depends_on=None) -> JobRecord:
+        return self.instance.submit(spec, depends_on=depends_on)
+
+    def submit_at(self, spec: Jobspec, when: float) -> None:
+        self.instance.submit_at(spec, when)
+
+    def run_until_complete(self, timeout_s: float = 1e7) -> float:
+        return self.instance.run_until_complete(timeout_s=timeout_s)
+
+    def run_for(self, duration_s: float) -> float:
+        return self.instance.run_for(duration_s)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def metrics(self, jobid: int) -> JobMetrics:
+        """Exact power/energy metrics for a completed job."""
+        return job_metrics(self.instance.app_runs[jobid])
+
+    def all_metrics(self) -> Dict[int, JobMetrics]:
+        return {
+            jid: job_metrics(run)
+            for jid, run in self.instance.app_runs.items()
+            if run.finished
+        }
+
+    def telemetry(self, jobid: int) -> JobPowerData:
+        """Fetch the monitor client's CSV-backed job telemetry."""
+        if self.monitor is None:
+            raise RuntimeError("monitor not loaded on this cluster")
+        return self.monitor.client.fetch(jobid)
+
+    def makespan_s(self) -> Optional[float]:
+        return self.instance.jobmanager.makespan_s()

@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver builds the scenario, runs it in simulated time, and returns
+a structured result carrying both the measured values and the paper's
+reference numbers (from :mod:`repro.experiments.calibration`), so the
+benchmark harness can print paper-versus-measured rows directly.
+"""
+
+from repro.experiments import calibration
+from repro.experiments.fig1_timeline import run_fig1
+from repro.experiments.fig2_scaling import run_fig2
+from repro.experiments.table2_cross_system import run_table2
+from repro.experiments.fig3_overhead import run_fig3
+from repro.experiments.fig4_variability import run_fig4
+from repro.experiments.table3_static import run_table3
+from repro.experiments.table4_policies import run_table4, run_policy_scenario
+from repro.experiments.queue_campaign import run_queue_campaign
+from repro.experiments.fig7_nonmpi import run_fig7
+from repro.experiments.section5_failures import run_failure_sweep
+from repro.experiments.scalability import run_scalability
+from repro.experiments.budget_sweep import run_budget_sweep
+from repro.experiments.workflow_campaign import run_workflow_campaign
+from repro.experiments.converged_queue import run_converged_queue
+from repro.experiments.validate import run_validation
+
+__all__ = [
+    "calibration",
+    "run_fig1",
+    "run_fig2",
+    "run_table2",
+    "run_fig3",
+    "run_fig4",
+    "run_table3",
+    "run_table4",
+    "run_policy_scenario",
+    "run_queue_campaign",
+    "run_fig7",
+    "run_failure_sweep",
+    "run_scalability",
+    "run_budget_sweep",
+    "run_workflow_campaign",
+    "run_converged_queue",
+    "run_validation",
+]

@@ -1,0 +1,109 @@
+"""Budget sweep: energy/performance Pareto of the cluster power cap.
+
+The paper evaluates one power-constrained point (9.6 kW on 8 nodes).
+This study sweeps the cluster budget from deeply constrained to
+unconstrained and records, for proportional sharing on the Table IV
+workload, the makespan and total energy at each point — the
+hardware-overprovisioning trade-off curve [28] that motivates dynamic
+power management in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.energy import combined_energy_kj
+from repro.cluster import PowerManagedCluster
+from repro.experiments import calibration as cal
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+
+
+@dataclass
+class BudgetPoint:
+    budget_w: Optional[float]  # None = unconstrained
+    makespan_s: float
+    gemm_runtime_s: float
+    total_energy_kj: float
+    max_cluster_kw: float
+    #: Max of *allocated-node* power: the quantity the proportional
+    #: formula P_n = P_G/(N_k+N_i) actually bounds. Idle (released)
+    #: nodes draw their ~400 W on top of the budget, so the raw
+    #: cluster max exceeds P_G whenever the machine is not fully
+    #: allocated (see EXPERIMENTS.md, "Reproduction insight").
+    max_allocated_kw: float
+
+
+@dataclass
+class BudgetSweepResult:
+    points: List[BudgetPoint] = field(default_factory=list)
+
+    def table_rows(self) -> List[str]:
+        lines = [
+            f"{'budget kW':>9} {'makespan s':>11} {'GEMM s':>9} "
+            f"{'energy kJ':>10} {'max kW':>8} {'steady kW':>10}"
+        ]
+        for p in self.points:
+            label = f"{p.budget_w / 1e3:.1f}" if p.budget_w else "unc."
+            lines.append(
+                f"{label:>9} {p.makespan_s:>11.1f} {p.gemm_runtime_s:>9.1f} "
+                f"{p.total_energy_kj:>10.0f} {p.max_cluster_kw:>8.2f} "
+                f"{p.max_allocated_kw:>10.2f}"
+            )
+        return lines
+
+
+def run_budget_point(
+    budget_w: Optional[float], policy: str = "proportional", seed: int = 1
+) -> BudgetPoint:
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=cal.CLUSTER_NODES,
+        seed=seed,
+        manager_config=ManagerConfig(
+            global_cap_w=budget_w,
+            policy=policy if budget_w is not None else "static",
+            static_node_cap_w=1950.0 if budget_w is not None else None,
+        ),
+    )
+    gemm = cluster.submit(
+        Jobspec(app="gemm", nnodes=6, params={"work_scale": cal.GEMM_WORK_SCALE})
+    )
+    qs = cluster.submit(
+        Jobspec(
+            app="quicksilver",
+            nnodes=2,
+            params={"work_scale": cal.QUICKSILVER_WORK_SCALE},
+        )
+    )
+    cluster.run_until_complete(timeout_s=2_000_000)
+    metrics = [cluster.metrics(gemm.jobid), cluster.metrics(qs.jobid)]
+    trace = cluster.trace
+    assert trace is not None
+    idle_w = cluster.nodes[0].idle_power_w()
+    max_allocated = 0.0
+    for i, _t in enumerate(trace.times):
+        busy = sum(
+            s[i] for s in trace.node_series.values() if s[i] > idle_w + 10.0
+        )
+        max_allocated = max(max_allocated, busy)
+    return BudgetPoint(
+        budget_w=budget_w,
+        makespan_s=float(cluster.makespan_s()),
+        gemm_runtime_s=metrics[0].runtime_s,
+        total_energy_kj=combined_energy_kj(metrics),
+        max_cluster_kw=trace.max_cluster_power_w() / 1e3,
+        max_allocated_kw=max_allocated / 1e3,
+    )
+
+
+def run_budget_sweep(
+    budgets=(6400.0, 8000.0, 9600.0, 12_000.0, 16_000.0, None),
+    policy: str = "proportional",
+    seed: int = 1,
+) -> BudgetSweepResult:
+    result = BudgetSweepResult()
+    for b in budgets:
+        result.points.append(run_budget_point(b, policy=policy, seed=seed))
+    return result

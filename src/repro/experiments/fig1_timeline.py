@@ -1,0 +1,66 @@
+"""Figure 1: power timelines for LAMMPS and Quicksilver on one Lassen node.
+
+Single-node, all four GPUs, telemetry from flux-power-monitor at 2 s.
+The paper plots total node power, one socket (CPU) and one GPU;
+Quicksilver shows pronounced periodic phases, LAMMPS is flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cluster import PowerManagedCluster
+from repro.flux.jobspec import Jobspec
+
+
+@dataclass
+class TimelineResult:
+    app: str
+    #: series name ("node", "cpu0", "gpu0") -> [(t, W)].
+    series: Dict[str, List[Tuple[float, float]]]
+
+    def swing_w(self, name: str = "node") -> float:
+        """Peak-to-trough power swing of one series (phase amplitude).
+
+        Skips the first and last two samples: those catch the idle-to-
+        running ramp at job start/end, not phase behaviour.
+        """
+        vals = [w for _, w in self.series[name]][2:-2]
+        if not vals:
+            vals = [w for _, w in self.series[name]]
+        return max(vals) - min(vals)
+
+    def dominant_period_s(self, name: str = "node") -> float:
+        """FFT-detected period of the series (None-safe: 0 if flat)."""
+        from repro.manager.fft import estimate_period
+
+        ts = [t for t, _ in self.series[name]]
+        vals = [w for _, w in self.series[name]]
+        if len(ts) < 2:
+            return 0.0
+        dt = float(np.median(np.diff(ts)))
+        period = estimate_period(vals, dt)
+        return period if period is not None else 0.0
+
+
+def run_fig1(app: str, work_scale: float = 10.0, seed: int = 3) -> TimelineResult:
+    """One app on one Lassen node; returns node/CPU/GPU power series.
+
+    ``work_scale`` stretches the run so several phase periods are
+    visible (the paper's Fig 1 runs are minutes long).
+    """
+    cluster = PowerManagedCluster(platform="lassen", n_nodes=1, seed=seed)
+    rec = cluster.submit(Jobspec(app=app, nnodes=1, params={"work_scale": work_scale}))
+    cluster.run_until_complete(timeout_s=50_000)
+    data = cluster.telemetry(rec.jobid)
+    host = data.hostnames[0]
+    rows = data.samples_for(host)
+    series: Dict[str, List[Tuple[float, float]]] = {
+        "node": [(r["timestamp"], r["node_w"]) for r in rows],
+        "cpu": [(r["timestamp"], r["cpu_w"] / 2.0) for r in rows],  # one socket
+        "gpu": [(r["timestamp"], r["gpu_w"] / 4.0) for r in rows],  # one GPU
+    }
+    return TimelineResult(app=app, series=series)

@@ -1,0 +1,103 @@
+"""Figure 2: vendor-neutral telemetry while scaling across two systems.
+
+LAMMPS, Quicksilver and Laghos scaled 1-32 nodes on Lassen and 1-8 on
+Tioga, with per-component average power from the monitor's job CSVs.
+Shapes to reproduce: weak-scaled apps are flat in per-node power;
+strong-scaled LAMMPS *drops* with node count (mostly from the GPU
+component); Tioga reports no memory/node domain (conservative CPU+OAM
+sum) and draws more absolute power (8 GCDs vs 4 GPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cluster import PowerManagedCluster
+from repro.flux.jobspec import Jobspec
+
+LASSEN_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+TIOGA_NODE_COUNTS = (1, 2, 4, 8)
+APPS = ("lammps", "quicksilver", "laghos")
+
+
+@dataclass
+class ScalingCell:
+    app: str
+    platform: str
+    nnodes: int
+    runtime_s: float
+    avg_node_w: float
+    avg_cpu_w: float
+    avg_mem_w: float
+    avg_gpu_w: float
+    node_is_estimate: bool
+
+
+@dataclass
+class Fig2Result:
+    cells: List[ScalingCell] = field(default_factory=list)
+
+    def series(self, app: str, platform: str) -> List[Tuple[int, float]]:
+        """(node count, avg node W) for one app/platform."""
+        return sorted(
+            (c.nnodes, c.avg_node_w)
+            for c in self.cells
+            if c.app == app and c.platform == platform
+        )
+
+    def cell(self, app: str, platform: str, nnodes: int) -> ScalingCell:
+        for c in self.cells:
+            if (c.app, c.platform, c.nnodes) == (app, platform, nnodes):
+                return c
+        raise KeyError((app, platform, nnodes))
+
+    def table_rows(self) -> List[str]:
+        lines = [
+            f"{'app':<12} {'platform':<8} {'nodes':>5} {'time(s)':>9} "
+            f"{'node W':>8} {'cpu W':>7} {'mem W':>7} {'gpu W':>8} {'node est?':>9}"
+        ]
+        for c in sorted(self.cells, key=lambda c: (c.app, c.platform, c.nnodes)):
+            lines.append(
+                f"{c.app:<12} {c.platform:<8} {c.nnodes:>5} {c.runtime_s:>9.1f} "
+                f"{c.avg_node_w:>8.0f} {c.avg_cpu_w:>7.0f} {c.avg_mem_w:>7.0f} "
+                f"{c.avg_gpu_w:>8.0f} {str(c.node_is_estimate):>9}"
+            )
+        return lines
+
+
+def run_fig2(
+    platforms: Tuple[str, ...] = ("lassen", "tioga"),
+    apps: Tuple[str, ...] = APPS,
+    seed: int = 5,
+) -> Fig2Result:
+    """Run the scaling sweep; one instance per platform, jobs sequential."""
+    result = Fig2Result()
+    for platform in platforms:
+        counts = LASSEN_NODE_COUNTS if platform == "lassen" else TIOGA_NODE_COUNTS
+        cluster = PowerManagedCluster(
+            platform=platform, n_nodes=max(counts), seed=seed, trace=False
+        )
+        for app in apps:
+            for n in counts:
+                rec = cluster.submit(Jobspec(app=app, nnodes=n))
+                cluster.run_until_complete(timeout_s=500_000)
+                data = cluster.telemetry(rec.jobid)
+                run = cluster.instance.app_runs[rec.jobid]
+                mem_w = (
+                    data.mean("mem_w") if platform != "tioga" else 0.0
+                )  # no memory sensor on Tioga
+                result.cells.append(
+                    ScalingCell(
+                        app=app,
+                        platform=platform,
+                        nnodes=n,
+                        runtime_s=float(run.runtime_s),
+                        avg_node_w=data.mean("node_w"),
+                        avg_cpu_w=data.mean("cpu_w"),
+                        avg_mem_w=mem_w,
+                        avg_gpu_w=data.mean("gpu_w"),
+                        node_is_estimate=not cluster.nodes[0].spec.node_power_measurable,
+                    )
+                )
+    return result

@@ -1,0 +1,68 @@
+"""Figure 4: run-to-run variability behind the Fig 3 outliers.
+
+Box-plot statistics of the raw repeated runtimes from the overhead
+experiment: Laghos and Quicksilver at 1-2 Lassen nodes spread by more
+than 20 % of the median — with the monitor loaded *or not* — while the
+other cells are tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.stats import BoxStats, boxplot_stats
+from repro.experiments.fig3_overhead import Fig3Result, run_fig3
+
+
+@dataclass
+class VariabilityCell:
+    app: str
+    platform: str
+    nnodes: int
+    monitor_on: BoxStats
+    monitor_off: BoxStats
+
+    @property
+    def max_spread_pct(self) -> float:
+        return max(self.monitor_on.spread_pct, self.monitor_off.spread_pct)
+
+
+@dataclass
+class Fig4Result:
+    cells: Dict[Tuple[str, str, int], VariabilityCell] = field(default_factory=dict)
+
+    def high_variability_cells(self, threshold_pct: float = 20.0) -> List[tuple]:
+        return sorted(
+            key
+            for key, c in self.cells.items()
+            if c.max_spread_pct > threshold_pct
+        )
+
+    def table_rows(self) -> List[str]:
+        lines = [
+            f"{'app':<12} {'platform':<8} {'nodes':>5} "
+            f"{'spread%% (on)':>13} {'spread%% (off)':>14}"
+        ]
+        for (app, platform, n), c in sorted(self.cells.items()):
+            lines.append(
+                f"{app:<12} {platform:<8} {n:>5} "
+                f"{c.monitor_on.spread_pct:>13.1f} {c.monitor_off.spread_pct:>14.1f}"
+            )
+        return lines
+
+
+def run_fig4(fig3: Fig3Result = None, **fig3_kwargs) -> Fig4Result:
+    """Derive box statistics from (or run) the overhead experiment."""
+    if fig3 is None:
+        fig3 = run_fig3(**fig3_kwargs)
+    result = Fig4Result()
+    for (app, platform, n), cell in fig3.cells.items():
+        result.cells[(app, platform, n)] = VariabilityCell(
+            app=app,
+            platform=platform,
+            nnodes=n,
+            monitor_on=boxplot_stats(cell.runtimes_on_s),
+            monitor_off=boxplot_stats(cell.runtimes_off_s),
+        )
+    return result

@@ -1,0 +1,91 @@
+"""Figure 7: proportional power capping on a non-MPI application.
+
+A Charm++ NQueens job (2 nodes, launcher="non-mpi") enters a
+power-constrained cluster where a 6-node GEMM is already running under
+proportional sharing. Expected shape: GEMM's node power *drops* when
+NQueens arrives (its share shrinks from P_G/6 to P_G/8 per node) and
+recovers when NQueens leaves — identical treatment to any MPI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.stats import mean
+from repro.cluster import PowerManagedCluster
+from repro.experiments import calibration as cal
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+
+
+@dataclass
+class Fig7Result:
+    #: (t, W) for one GEMM node across the run.
+    gemm_timeline: List[Tuple[float, float]]
+    #: (t, W) for one NQueens node.
+    nqueens_timeline: List[Tuple[float, float]]
+    nqueens_start_s: float
+    nqueens_end_s: float
+    gemm_runtime_s: float
+
+    def gemm_power_before_w(self) -> float:
+        vals = [
+            w for t, w in self.gemm_timeline if 10.0 <= t < self.nqueens_start_s
+        ]
+        return mean(vals) if vals else 0.0
+
+    def gemm_power_during_w(self) -> float:
+        vals = [
+            w
+            for t, w in self.gemm_timeline
+            if self.nqueens_start_s + 10.0 <= t < self.nqueens_end_s
+        ]
+        return mean(vals) if vals else 0.0
+
+    def gemm_power_after_w(self) -> float:
+        vals = [
+            w
+            for t, w in self.gemm_timeline
+            if self.nqueens_end_s + 10.0 <= t < self.gemm_runtime_s
+        ]
+        return mean(vals) if vals else 0.0
+
+
+def run_fig7(seed: int = 9, nqueens_delay_s: float = 60.0) -> Fig7Result:
+    """GEMM first, NQueens arrives mid-run, leaves before GEMM ends."""
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=cal.CLUSTER_NODES,
+        seed=seed,
+        manager_config=ManagerConfig(
+            global_cap_w=cal.GLOBAL_POWER_CAP_W,
+            policy="proportional",
+            static_node_cap_w=1950.0,
+        ),
+    )
+    gemm = cluster.submit(
+        Jobspec(app="gemm", nnodes=6, params={"work_scale": cal.GEMM_WORK_SCALE})
+    )
+    nq_spec = Jobspec(
+        app="nqueens",
+        nnodes=2,
+        launcher="non-mpi",
+        params={"work_scale": 0.8},
+    )
+    cluster.submit_at(nq_spec, nqueens_delay_s)
+    cluster.run_until_complete(timeout_s=100_000)
+
+    jm = cluster.instance.jobmanager
+    nq_record = next(r for r in jm.jobs.values() if r.spec.app == "nqueens")
+    gemm_host = cluster.nodes[jm.jobs[gemm.jobid].ranks[0]].hostname
+    nq_host = cluster.nodes[nq_record.ranks[0]].hostname
+    trace = cluster.trace
+    assert trace is not None
+    return Fig7Result(
+        gemm_timeline=trace.node_timeline(gemm_host),
+        nqueens_timeline=trace.node_timeline(nq_host),
+        nqueens_start_s=float(nq_record.t_start),
+        nqueens_end_s=float(nq_record.t_end),
+        gemm_runtime_s=float(cluster.metrics(gemm.jobid).runtime_s),
+    )

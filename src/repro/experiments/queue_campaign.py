@@ -1,0 +1,113 @@
+"""Section IV-E: policy impact on a real job queue.
+
+Ten jobs (3 Laghos, 2 Quicksilver, 3 LAMMPS, 2 GEMM; 1-8 nodes each,
+seeded random order) on a 16-node power-constrained Lassen allocation,
+scheduled FCFS. The paper's findings to reproduce: the queue makespan
+is *identical* under proportional sharing and FPP (1539 s there), and
+FPP improves average per-job energy-per-node by ~1.26 %.
+
+Problem sizes are scaled so the queue runs for O(25 minutes) like the
+paper's (the Table I base inputs finish in seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.energy import JobMetrics
+from repro.analysis.stats import mean, percent_change
+from repro.apps.workloads import make_random_queue
+from repro.cluster import PowerManagedCluster
+from repro.experiments import calibration as cal
+from repro.manager.cluster_manager import ManagerConfig
+
+#: Per-app problem-size multipliers for the queue (see module docstring).
+QUEUE_WORK_SCALES: Dict[str, float] = {
+    "laghos": 22.8,
+    "quicksilver": 22.8,
+    "lammps": 4.56,
+    "gemm": 1.71,
+}
+
+#: 16 nodes at 1200 W each — the same per-node budget density as IV-C/D.
+QUEUE_GLOBAL_CAP_W = 19_200.0
+
+
+@dataclass
+class QueueRun:
+    policy: str
+    makespan_s: float
+    job_metrics: Dict[int, JobMetrics]
+
+    def avg_energy_per_node_kj(self) -> float:
+        """Average over jobs of per-node energy (the paper's metric)."""
+        return mean([m.avg_node_energy_kj for m in self.job_metrics.values()])
+
+
+@dataclass
+class QueueCampaignResult:
+    runs: Dict[str, QueueRun] = field(default_factory=dict)
+
+    def makespans_equal(self, tolerance_s: float = 10.0) -> bool:
+        """Within ``tolerance_s`` (paper: identical to the second; FPP's
+        probe transients can shift the critical path a few seconds)."""
+        spans = [r.makespan_s for r in self.runs.values()]
+        return max(spans) - min(spans) <= tolerance_s
+
+    def fpp_energy_improvement_pct(self) -> float:
+        """Positive = FPP uses less energy per job-node than proportional."""
+        return -percent_change(
+            self.runs["fpp"].avg_energy_per_node_kj(),
+            self.runs["proportional"].avg_energy_per_node_kj(),
+        )
+
+    def table_rows(self) -> List[str]:
+        lines = [
+            f"{'policy':<14} {'makespan s':>11} {'avg E/node kJ':>14}",
+        ]
+        for name, run in self.runs.items():
+            lines.append(
+                f"{name:<14} {run.makespan_s:>11.1f} "
+                f"{run.avg_energy_per_node_kj():>14.1f}"
+            )
+        return lines
+
+
+def run_queue_once(policy: str, seed: int = 10) -> QueueRun:
+    """One queue campaign under one policy (identical seeded queue)."""
+    queue_rng = np.random.default_rng(seed)  # shared across policies
+    jobs = make_random_queue(
+        queue_rng,
+        min_nodes=1,
+        max_nodes=8,
+        work_scales=QUEUE_WORK_SCALES,
+    )
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=cal.QUEUE_NODES,
+        seed=seed,
+        trace=False,
+        manager_config=ManagerConfig(
+            global_cap_w=QUEUE_GLOBAL_CAP_W,
+            policy=policy,
+            static_node_cap_w=1950.0,
+        ),
+    )
+    records = [cluster.submit(j.spec) for j in jobs]
+    cluster.run_until_complete(timeout_s=1_000_000)
+    return QueueRun(
+        policy=policy,
+        makespan_s=float(cluster.makespan_s()),
+        job_metrics={r.jobid: cluster.metrics(r.jobid) for r in records},
+    )
+
+
+def run_queue_campaign(seed: int = 10) -> QueueCampaignResult:
+    """Run the queue under proportional sharing and FPP."""
+    result = QueueCampaignResult()
+    for policy in ("proportional", "fpp"):
+        result.runs[policy] = run_queue_once(policy, seed=seed)
+    return result

@@ -1,0 +1,109 @@
+"""Scalability of the telemetry path (the title's "scalable" claim).
+
+The paper deploys on up to 32 nodes but positions the framework for
+full production systems (Lassen is 792 nodes; El Capitan larger). This
+study scales the simulated instance to Lassen's full size and measures
+the things that grow with node count:
+
+* job-power query latency (root fan-out versus tree aggregation),
+* messages through the TBON root per query,
+* aggregate telemetry payload returned for a whole-machine job.
+
+The monitor's sampling itself is perfectly parallel (stateless local
+loops), so query aggregation is the only scaling bottleneck — the
+design point Section III-A's statelessness argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro import variorum
+from repro.flux.instance import FluxInstance
+from repro.monitor.module import attach_monitor
+from repro.monitor.root_agent import GET_JOB_POWER_TOPIC
+
+
+@dataclass
+class ScaleCell:
+    n_nodes: int
+    strategy: str
+    query_latency_s: float
+    root_messages: int
+    samples_returned: int
+    payload_mb: float
+
+
+@dataclass
+class ScalabilityResult:
+    cells: List[ScaleCell] = field(default_factory=list)
+
+    def cell(self, n_nodes: int, strategy: str) -> ScaleCell:
+        for c in self.cells:
+            if (c.n_nodes, c.strategy) == (n_nodes, strategy):
+                return c
+        raise KeyError((n_nodes, strategy))
+
+    def table_rows(self) -> List[str]:
+        lines = [
+            f"{'nodes':>6} {'strategy':<8} {'latency ms':>11} "
+            f"{'root msgs':>10} {'samples':>9} {'payload MB':>11}"
+        ]
+        for c in sorted(self.cells, key=lambda c: (c.n_nodes, c.strategy)):
+            lines.append(
+                f"{c.n_nodes:>6} {c.strategy:<8} {c.query_latency_s * 1e3:>11.2f} "
+                f"{c.root_messages:>10} {c.samples_returned:>9} {c.payload_mb:>11.2f}"
+            )
+        return lines
+
+
+def measure_scale_point(
+    n_nodes: int,
+    strategy: str,
+    window_s: float = 60.0,
+    fanout: int = 2,
+    seed: int = 7,
+) -> ScaleCell:
+    """One whole-machine telemetry query at a given instance size."""
+    inst = FluxInstance(platform="lassen", n_nodes=n_nodes, seed=seed, fanout=fanout)
+    attach_monitor(inst, strategy=strategy)
+    inst.run_for(window_s)
+
+    root = inst.brokers[0]
+    msgs_before = root.messages_delivered + root.messages_sent
+    t0 = inst.sim.now
+    fut = root.rpc(
+        0,
+        GET_JOB_POWER_TOPIC,
+        {"ranks": list(range(n_nodes)), "t_start": 0.0, "t_end": window_s},
+    )
+    while not fut.triggered:
+        if not inst.sim.step():
+            raise RuntimeError("drained before query completed")
+    latency = inst.sim.now - t0
+    nodes = fut.value["nodes"]
+    n_samples = sum(len(n["samples"]) for n in nodes)
+    payload_bytes = sum(
+        variorum.sample_bytes_estimate(s) for n in nodes[:1] for s in n["samples"]
+    ) * n_nodes  # all nodes return identically-shaped samples
+    return ScaleCell(
+        n_nodes=n_nodes,
+        strategy=strategy,
+        query_latency_s=latency,
+        root_messages=(root.messages_delivered + root.messages_sent) - msgs_before,
+        samples_returned=n_samples,
+        payload_mb=payload_bytes / 1e6,
+    )
+
+
+def run_scalability(
+    sizes: Tuple[int, ...] = (32, 128, 512, 792),
+    strategies: Tuple[str, ...] = ("fanout", "tree"),
+    seed: int = 7,
+) -> ScalabilityResult:
+    result = ScalabilityResult()
+    for n in sizes:
+        for strategy in strategies:
+            result.cells.append(measure_scale_point(n, strategy, seed=seed))
+    return result

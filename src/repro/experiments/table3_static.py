@@ -1,0 +1,101 @@
+"""Table III: static job-level power allocation with IBM node caps.
+
+Same workload as Table IV, but the only control is the IBM OPAL
+node-level cap, swept over the paper's four values. Reported per cap:
+the firmware's derived per-GPU cap, and the maximum and average
+*cluster* power (node power summed across all 8 nodes per 2 s sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster import PowerManagedCluster
+from repro.experiments import calibration as cal
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+
+
+@dataclass
+class StaticCapResult:
+    node_cap_w: float
+    derived_gpu_cap_w: Optional[float]
+    max_cluster_kw: float
+    avg_cluster_kw: float
+    gemm_runtime_s: float
+    qs_runtime_s: float
+
+
+@dataclass
+class Table3Result:
+    rows: Dict[float, StaticCapResult]
+
+    def table_rows(self) -> List[str]:
+        lines = [
+            f"{'node cap W':>10} {'GPU cap meas/paper':>20} "
+            f"{'max kW meas/paper':>20} {'avg kW meas/paper':>20}"
+        ]
+        for cap, r in sorted(self.rows.items(), reverse=True):
+            ref = cal.TABLE3[cap]
+            gpu = f"{r.derived_gpu_cap_w:.0f}" if r.derived_gpu_cap_w else "-"
+            lines.append(
+                f"{cap:>10.0f} {gpu:>9}/{ref[0]:<10.0f} "
+                f"{r.max_cluster_kw:>9.2f}/{ref[1]:<10.2f} "
+                f"{r.avg_cluster_kw:>9.2f}/{ref[2]:<10.2f}"
+            )
+        return lines
+
+
+def run_static_cap(node_cap_w: Optional[float], seed: int = 1) -> StaticCapResult:
+    """One Table III row: run the workload under one static node cap."""
+    cfg = ManagerConfig(
+        global_cap_w=None if node_cap_w is None else cal.GLOBAL_POWER_CAP_W,
+        policy="static",
+        static_node_cap_w=node_cap_w
+        if node_cap_w is not None and node_cap_w < 3050.0
+        else None,
+    )
+    cluster = PowerManagedCluster(
+        platform="lassen", n_nodes=cal.CLUSTER_NODES, seed=seed, manager_config=cfg
+    )
+    gemm = cluster.submit(
+        Jobspec(app="gemm", nnodes=6, params={"work_scale": cal.GEMM_WORK_SCALE})
+    )
+    qs = cluster.submit(
+        Jobspec(
+            app="quicksilver",
+            nnodes=2,
+            params={"work_scale": cal.QUICKSILVER_WORK_SCALE},
+        )
+    )
+    cluster.run_until_complete(timeout_s=100_000)
+
+    # Derived GPU cap as the firmware reports it (uncapped -> vendor max).
+    opal = cluster.nodes[0].opal
+    derived = opal.derived_gpu_cap_w if opal is not None else None
+    if derived is None:
+        gpus = cluster.nodes[0].gpu_domains
+        derived = gpus[0].spec.max_cap_w if gpus else None
+
+    trace = cluster.trace
+    assert trace is not None
+    gm = cluster.metrics(gemm.jobid)
+    qm = cluster.metrics(qs.jobid)
+    t_end = max(gm.runtime_s, qm.runtime_s)
+    return StaticCapResult(
+        node_cap_w=node_cap_w if node_cap_w is not None else 3050.0,
+        derived_gpu_cap_w=derived,
+        max_cluster_kw=trace.max_cluster_power_w() / 1e3,
+        avg_cluster_kw=trace.avg_cluster_power_w(t_start=0.0, t_end=t_end) / 1e3,
+        gemm_runtime_s=gm.runtime_s,
+        qs_runtime_s=qm.runtime_s,
+    )
+
+
+def run_table3(seed: int = 1) -> Table3Result:
+    """All four Table III rows (3050 = unconstrained)."""
+    rows = {}
+    for cap in (3050.0, 1200.0, 1800.0, 1950.0):
+        rows[cap] = run_static_cap(None if cap >= 3050.0 else cap, seed=seed)
+    return Table3Result(rows=rows)

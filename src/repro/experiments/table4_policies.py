@@ -1,0 +1,165 @@
+"""Table IV (and Figures 5/6): static versus dynamic power capping.
+
+The Section IV-C/D scenario: an 8-node Lassen cluster with a 9.6 kW
+budget running GEMM on 6 nodes (double iterations) next to Quicksilver
+on 2 nodes (10x problem), under five policies:
+
+* ``unconstrained`` — no budget, no capping (24.4 kW bound).
+* ``ibm_default_1200`` — static IBM OPAL node caps of 1200 W (whose
+  firmware conservatively caps each GPU to 100 W).
+* ``static_1950`` — static IBM node caps of 1950 W (GPU 253 W), the
+  manually-swept value whose measured peak approaches the 9.6 kW bound.
+* ``proportional`` — flux-power-manager proportional sharing over the
+  9.6 kW budget, with the 1950 W OPAL backstop.
+* ``fpp`` — proportional sharing plus the per-GPU FFT policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.energy import JobMetrics, combined_energy_kj
+from repro.analysis.stats import percent_change
+from repro.cluster import PowerManagedCluster
+from repro.experiments import calibration as cal
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+
+#: Scenario name -> ManagerConfig kwargs.
+SCENARIOS: Dict[str, dict] = {
+    "unconstrained": dict(global_cap_w=None, policy="static"),
+    "ibm_default_1200": dict(
+        global_cap_w=cal.GLOBAL_POWER_CAP_W, policy="static", static_node_cap_w=1200.0
+    ),
+    "static_1950": dict(
+        global_cap_w=cal.GLOBAL_POWER_CAP_W, policy="static", static_node_cap_w=1950.0
+    ),
+    "proportional": dict(
+        global_cap_w=cal.GLOBAL_POWER_CAP_W,
+        policy="proportional",
+        static_node_cap_w=1950.0,
+    ),
+    "fpp": dict(
+        global_cap_w=cal.GLOBAL_POWER_CAP_W, policy="fpp", static_node_cap_w=1950.0
+    ),
+}
+
+
+@dataclass
+class ScenarioResult:
+    """One Table IV row pair, plus the timelines behind Figures 5/6."""
+
+    name: str
+    metrics: Dict[str, JobMetrics]
+    #: hostname -> [(t, node W)] — one GEMM node and one QS node.
+    timelines: Dict[str, List[Tuple[float, float]]]
+    #: (t, active nodes, per-node share W) from the cluster manager.
+    share_log: List[tuple]
+    max_cluster_power_w: float
+    avg_cluster_power_w: float
+
+    def combined_energy_kj(self) -> float:
+        return combined_energy_kj(self.metrics.values())
+
+
+def run_policy_scenario(name: str, seed: int = 1) -> ScenarioResult:
+    """Run one Table IV scenario end to end."""
+    try:
+        cfg_kwargs = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; choices: {sorted(SCENARIOS)}")
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=cal.CLUSTER_NODES,
+        seed=seed,
+        manager_config=ManagerConfig(**cfg_kwargs),
+    )
+    gemm = cluster.submit(
+        Jobspec(app="gemm", nnodes=6, params={"work_scale": cal.GEMM_WORK_SCALE})
+    )
+    qs = cluster.submit(
+        Jobspec(
+            app="quicksilver",
+            nnodes=2,
+            params={"work_scale": cal.QUICKSILVER_WORK_SCALE},
+        )
+    )
+    cluster.run_until_complete(timeout_s=100_000)
+
+    metrics = {
+        "gemm": cluster.metrics(gemm.jobid),
+        "quicksilver": cluster.metrics(qs.jobid),
+    }
+    trace = cluster.trace
+    assert trace is not None
+    gemm_host = cluster.nodes[cluster.instance.jobmanager.jobs[gemm.jobid].ranks[0]].hostname
+    qs_host = cluster.nodes[cluster.instance.jobmanager.jobs[qs.jobid].ranks[0]].hostname
+    t_end = max(m.runtime_s for m in metrics.values())
+    share_log = (
+        cluster.manager.share_log if cluster.manager is not None else []
+    )
+    return ScenarioResult(
+        name=name,
+        metrics=metrics,
+        timelines={
+            gemm_host: trace.node_timeline(gemm_host),
+            qs_host: trace.node_timeline(qs_host),
+        },
+        share_log=list(share_log),
+        max_cluster_power_w=trace.max_cluster_power_w(),
+        avg_cluster_power_w=trace.avg_cluster_power_w(t_start=0.0, t_end=t_end),
+    )
+
+
+@dataclass
+class Table4Result:
+    scenarios: Dict[str, ScenarioResult]
+
+    def headline_claims(self) -> Dict[str, float]:
+        """The abstract's comparisons, computed from measured data."""
+        fpp = self.scenarios["fpp"]
+        prop = self.scenarios["proportional"]
+        ibm = self.scenarios["ibm_default_1200"]
+        out = {}
+        out["fpp_vs_prop_energy_pct"] = percent_change(
+            fpp.combined_energy_kj(), prop.combined_energy_kj()
+        )
+        out["fpp_vs_prop_gemm_slowdown_pct"] = percent_change(
+            fpp.metrics["gemm"].runtime_s, prop.metrics["gemm"].runtime_s
+        )
+        out["fpp_vs_ibm_energy_pct"] = percent_change(
+            fpp.combined_energy_kj(), ibm.combined_energy_kj()
+        )
+        out["fpp_vs_ibm_gemm_speedup"] = (
+            ibm.metrics["gemm"].runtime_s / fpp.metrics["gemm"].runtime_s
+        )
+        out["prop_vs_ibm_energy_pct"] = percent_change(
+            prop.combined_energy_kj(), ibm.combined_energy_kj()
+        )
+        return out
+
+    def table_rows(self) -> List[str]:
+        """Formatted paper-vs-measured rows, one per scenario x app."""
+        lines = [
+            f"{'scenario':<18} {'app':<12} {'maxW meas/paper':>18} "
+            f"{'time meas/paper':>18} {'E(kJ) meas/paper':>18}"
+        ]
+        for name, res in self.scenarios.items():
+            for app, m in res.metrics.items():
+                ref = cal.TABLE4[name][app]
+                lines.append(
+                    f"{name:<18} {app:<12} "
+                    f"{m.max_node_power_w:>8.0f}/{ref[0]:<8.0f} "
+                    f"{m.runtime_s:>8.1f}/{ref[1]:<8.1f} "
+                    f"{m.avg_node_energy_kj:>8.0f}/{ref[2]:<8.0f}"
+                )
+        return lines
+
+
+def run_table4(seed: int = 1, scenarios: Optional[List[str]] = None) -> Table4Result:
+    """Run the full policy comparison (all five scenarios by default)."""
+    names = scenarios or list(SCENARIOS)
+    return Table4Result(
+        scenarios={name: run_policy_scenario(name, seed=seed) for name in names}
+    )

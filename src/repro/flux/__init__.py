@@ -1,0 +1,49 @@
+"""A discrete-event Flux-like resource management framework.
+
+This package substitutes for ``flux-core`` (v0.63 in the paper). It
+reproduces the *interfaces* the power-management modules rely on:
+
+* :class:`~repro.flux.broker.Broker` — one message-broker daemon per
+  node; brokers form a Tree-Based Overlay Network
+  (:class:`~repro.flux.overlay.TBON`) and exchange request/response
+  RPCs and published events over it, with per-hop latency.
+* :class:`~repro.flux.module.Module` — a dynamically loadable broker
+  plugin with its own control flow, interacting with Flux exclusively
+  via messages (RFC 5 semantics).
+* :class:`~repro.flux.jobspec.Jobspec` and the FCFS
+  :class:`~repro.flux.scheduler.Scheduler` +
+  :class:`~repro.flux.jobmanager.JobManager` — job lifecycle with
+  ``job-state`` events, the hook the state-aware power manager uses.
+* :class:`~repro.flux.instance.FluxInstance` — bootstraps brokers over
+  a set of hardware nodes, loads modules, submits jobs and runs the
+  simulation (the analogue of a system or user-level Flux instance).
+"""
+
+from repro.flux.message import Message, MessageType, FluxRPCError
+from repro.flux.overlay import TBON
+from repro.flux.broker import Broker
+from repro.flux.module import Module
+from repro.flux.kvs import KVSModule
+from repro.flux.jobspec import Jobspec, JobRecord, JobState
+from repro.flux.scheduler import Scheduler
+from repro.flux.jobmanager import JobManager
+from repro.flux.instance import FluxInstance
+from repro.flux.user_instance import UserInstance, spawn_user_instance
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "FluxRPCError",
+    "TBON",
+    "Broker",
+    "Module",
+    "KVSModule",
+    "Jobspec",
+    "JobRecord",
+    "JobState",
+    "Scheduler",
+    "JobManager",
+    "FluxInstance",
+    "UserInstance",
+    "spawn_user_instance",
+]

@@ -1,0 +1,238 @@
+"""The per-node message broker daemon.
+
+A broker owns the services registered by its loaded modules, delivers
+requests to them, routes responses back to waiting RPC futures, and
+participates in event distribution (events are sequenced at rank 0 and
+broadcast down the tree, per Flux semantics).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.flux.message import FluxRPCError, Message, MessageType
+from repro.simkernel import SimEvent, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.flux.module import Module
+    from repro.flux.overlay import TBON
+    from repro.hardware.node import Node
+
+ServiceHandler = Callable[["Broker", Message], None]
+EventCallback = Callable[[Message], None]
+
+
+class Broker:
+    """One ``flux-broker`` process.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    rank:
+        This broker's rank on the overlay (0 is the TBON root).
+    overlay:
+        The shared :class:`~repro.flux.overlay.TBON`.
+    node:
+        The hardware node this broker runs on (used by power modules).
+    registry:
+        Rank → broker map shared by the instance, used for delivery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rank: int,
+        overlay: "TBON",
+        node: Optional["Node"] = None,
+        registry: Optional[Dict[int, "Broker"]] = None,
+    ) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.overlay = overlay
+        self.node = node
+        self._registry = registry if registry is not None else {rank: self}
+        self._registry[rank] = self
+
+        self.modules: Dict[str, "Module"] = {}
+        self._services: Dict[str, ServiceHandler] = {}
+        self._pending_rpcs: Dict[int, SimEvent] = {}
+        self._subscriptions: List[Tuple[str, EventCallback]] = []
+        self._event_seq = 0  # only used at rank 0
+        #: Last scheduled arrival per destination rank: Flux overlay
+        #: channels are ordered streams, so two messages we send to the
+        #: same peer must arrive in send order even when per-hop
+        #: latency jitter would say otherwise.
+        self._fifo_horizon: Dict[int, float] = {}
+        #: This broker's inbound-link serialisation horizon: bytes from
+        #: *all* senders share the receiver's link, so concurrent large
+        #: responses (a root fan-in) queue behind one another.
+        self._ingest_horizon = 0.0
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Module management (RFC 5: dynamically loaded broker plugins)
+    # ------------------------------------------------------------------
+    def load_module(self, module: "Module") -> None:
+        if module.name in self.modules:
+            raise ValueError(f"module {module.name!r} already loaded on rank {self.rank}")
+        self.modules[module.name] = module
+        module.on_load()
+
+    def unload_module(self, name: str) -> None:
+        module = self.modules.pop(name, None)
+        if module is None:
+            raise KeyError(f"module {name!r} not loaded on rank {self.rank}")
+        module.on_unload()
+        module.teardown()
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def register_service(self, topic: str, handler: ServiceHandler) -> None:
+        """Register a request handler for an exact topic string."""
+        if topic in self._services:
+            raise ValueError(f"service {topic!r} already registered on rank {self.rank}")
+        self._services[topic] = handler
+
+    def unregister_service(self, topic: str) -> None:
+        self._services.pop(topic, None)
+
+    def has_service(self, topic: str) -> bool:
+        return topic in self._services
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+    def rpc(
+        self,
+        dst_rank: int,
+        topic: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> SimEvent:
+        """Send a request; returns a future for the response payload.
+
+        The future succeeds with the response payload dict, or fails
+        with :class:`FluxRPCError` when the service sets ``errnum``.
+        """
+        tag = Message.new_matchtag()
+        future = SimEvent(self.sim)
+        self._pending_rpcs[tag] = future
+        msg = Message(
+            msg_type=MessageType.REQUEST,
+            topic=topic,
+            payload=dict(payload or {}),
+            src_rank=self.rank,
+            dst_rank=dst_rank,
+            matchtag=tag,
+        )
+        self._transmit(msg)
+        return future
+
+    def respond(
+        self,
+        request: Message,
+        payload: Optional[Dict[str, Any]] = None,
+        errnum: int = 0,
+        errmsg: str = "",
+    ) -> None:
+        """Send the response for a request previously delivered here."""
+        self._transmit(request.make_response(payload, errnum=errnum, errmsg=errmsg))
+
+    # ------------------------------------------------------------------
+    # Events (pub/sub)
+    # ------------------------------------------------------------------
+    def subscribe(self, topic_prefix: str, callback: EventCallback) -> None:
+        """Deliver events whose topic starts with ``topic_prefix``."""
+        self._subscriptions.append((topic_prefix, callback))
+
+    def unsubscribe(self, topic_prefix: str, callback: EventCallback) -> None:
+        self._subscriptions = [
+            (p, c)
+            for (p, c) in self._subscriptions
+            if not (p == topic_prefix and c is callback)
+        ]
+
+    def publish(self, topic: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Publish an event: routed to rank 0, sequenced, broadcast."""
+        msg = Message(
+            msg_type=MessageType.EVENT,
+            topic=topic,
+            payload=dict(payload or {}),
+            src_rank=self.rank,
+            dst_rank=0,
+        )
+        self.messages_sent += 1
+        arrival = self._fifo_arrival(0, self.overlay.path_delay(self.rank, 0))
+        self.sim.schedule_at(arrival, self._registry[0]._sequence_event, msg)
+
+    def _sequence_event(self, msg: Message) -> None:
+        """Rank 0: assign a sequence number and broadcast down the tree."""
+        assert self.rank == 0, "events are sequenced at the TBON root"
+        self._event_seq += 1
+        msg.seq = self._event_seq
+        self._broadcast_event(msg)
+
+    def _broadcast_event(self, msg: Message) -> None:
+        self._deliver_event(msg)
+        for child in self.overlay.children(self.rank):
+            arrival = self._fifo_arrival(child, self.overlay.hop_delay())
+            self.sim.schedule_at(arrival, self._registry[child]._broadcast_event, msg)
+
+    def _deliver_event(self, msg: Message) -> None:
+        self.messages_delivered += 1
+        for prefix, callback in list(self._subscriptions):
+            if msg.topic.startswith(prefix):
+                callback(msg)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _transmit(self, msg: Message) -> None:
+        """Route a point-to-point message over the tree with latency.
+
+        Delay = per-hop latency + per-hop serialisation of the payload
+        (store-and-forward through intermediate brokers).
+        """
+        assert msg.dst_rank is not None
+        self.messages_sent += 1
+        size = msg.size_bytes()
+        delay = self.overlay.path_delay(msg.src_rank, msg.dst_rank, size_bytes=size)
+        arrival = self._fifo_arrival(msg.dst_rank, delay)
+        target = self._registry[msg.dst_rank]
+        # Receiver-side ingest: concurrent senders share the target's
+        # inbound link, so its serialisation time queues across them.
+        if msg.dst_rank != self.rank:
+            ingest = size * 8.0 / self.overlay.bandwidth_bps
+            arrival = max(arrival, target._ingest_horizon + ingest)
+            target._ingest_horizon = max(target._ingest_horizon, arrival)
+        self.sim.schedule_at(arrival, target._deliver, msg)
+
+    def _fifo_arrival(self, dst_rank: int, delay: float) -> float:
+        """Arrival time respecting per-peer FIFO ordering."""
+        arrival = self.sim.now + delay
+        horizon = self._fifo_horizon.get(dst_rank, 0.0)
+        if arrival <= horizon:
+            arrival = horizon + 1e-9
+        self._fifo_horizon[dst_rank] = arrival
+        return arrival
+
+    def _deliver(self, msg: Message) -> None:
+        self.messages_delivered += 1
+        if msg.msg_type is MessageType.REQUEST:
+            handler = self._services.get(msg.topic)
+            if handler is None:
+                self.respond(msg, errnum=38, errmsg=f"no service {msg.topic!r}")
+                return
+            handler(self, msg)
+        elif msg.msg_type is MessageType.RESPONSE:
+            future = self._pending_rpcs.pop(msg.matchtag, None)
+            if future is None:
+                return  # response to a cancelled/unknown RPC: drop
+            if msg.errnum != 0:
+                future.fail(FluxRPCError(msg.topic, msg.errnum, msg.errmsg))
+            else:
+                future.succeed(msg.payload)
+        else:  # pragma: no cover - events use the broadcast path
+            self._deliver_event(msg)

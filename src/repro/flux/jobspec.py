@@ -1,0 +1,106 @@
+"""Jobspecs and job records.
+
+A :class:`Jobspec` is what a user submits: which application, how many
+nodes, application parameters, and whether it is launched as an MPI
+program or a non-MPI framework (Charm++, a Python workflow, ...). The
+framework treats both identically — the paper's point is that telemetry
+and power management apply to *anything launched under a Flux job*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class JobState(enum.Enum):
+    """Job lifecycle states (subset of Flux's RFC 21 state machine)."""
+
+    SUBMITTED = "submitted"
+    SCHEDULED = "scheduled"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    @property
+    def active(self) -> bool:
+        return self in (JobState.SUBMITTED, JobState.SCHEDULED, JobState.RUNNING)
+
+
+@dataclass(frozen=True)
+class Jobspec:
+    """A job request.
+
+    Attributes
+    ----------
+    app:
+        Registered application name (see :mod:`repro.apps.registry`).
+    nnodes:
+        Whole nodes requested (Flux jobs in the paper are node-exclusive).
+    params:
+        Application parameters (problem size factors, iteration counts).
+    tasks_per_node:
+        MPI ranks (or Charm++ PEs) per node; defaults to one per GPU,
+        or per core group for CPU-only apps.
+    launcher:
+        ``"mpi"`` or ``"non-mpi"``; informational — the framework's
+        telemetry/capping path is identical for both.
+    user:
+        Submitting user (user-level instances can apply their own
+        policies).
+    """
+
+    app: str
+    nnodes: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    tasks_per_node: Optional[int] = None
+    launcher: str = "mpi"
+    user: str = "user0"
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 1:
+            raise ValueError(f"nnodes must be >= 1, got {self.nnodes}")
+        if self.launcher not in ("mpi", "non-mpi"):
+            raise ValueError(f"unknown launcher {self.launcher!r}")
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.app}-{self.nnodes}n"
+
+
+@dataclass
+class JobRecord:
+    """Mutable lifecycle record kept by the job manager (and in KVS)."""
+
+    jobid: int
+    spec: Jobspec
+    state: JobState = JobState.SUBMITTED
+    ranks: List[int] = field(default_factory=list)
+    t_submit: float = 0.0
+    t_start: Optional[float] = None
+    t_end: Optional[float] = None
+
+    @property
+    def runtime_s(self) -> Optional[float]:
+        if self.t_start is None or self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def to_kvs(self) -> Dict[str, Any]:
+        """JSON-compatible record for the KVS (what clients read)."""
+        return {
+            "jobid": self.jobid,
+            "app": self.spec.app,
+            "name": self.spec.label,
+            "nnodes": self.spec.nnodes,
+            "user": self.spec.user,
+            "launcher": self.spec.launcher,
+            "state": self.state.value,
+            "ranks": list(self.ranks),
+            "t_submit": self.t_submit,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+        }

@@ -1,0 +1,60 @@
+"""A minimal key-value store module.
+
+Flux's KVS holds job records (R, eventlog) that external clients read.
+Here it backs the telemetry client's job lookup: the job manager writes
+``jobs.<id>`` records (nodes, start/end times) and the power-monitor
+client reads them via RPC to rank 0.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.flux.broker import Broker
+from repro.flux.message import Message
+from repro.flux.module import Module
+
+
+class KVSModule(Module):
+    """Rank-0 key-value store with ``kvs.put`` / ``kvs.get`` services."""
+
+    name = "kvs"
+
+    def __init__(self, broker: Broker) -> None:
+        if broker.rank != 0:
+            raise ValueError("KVS module runs on rank 0 only")
+        super().__init__(broker)
+        self._store: Dict[str, Any] = {}
+
+    def on_load(self) -> None:
+        self.register_service("kvs.put", self._handle_put)
+        self.register_service("kvs.get", self._handle_get)
+
+    # -- direct (same-rank) access --------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        self._store[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._store.get(key, default)
+
+    def keys(self):  # noqa: D102 - trivial
+        return list(self._store.keys())
+
+    # -- RPC services ----------------------------------------------------
+    def _handle_put(self, broker: Broker, msg: Message) -> None:
+        key = msg.payload.get("key")
+        if not isinstance(key, str):
+            broker.respond(msg, errnum=22, errmsg="missing or invalid 'key'")
+            return
+        self._store[key] = msg.payload.get("value")
+        broker.respond(msg, {"key": key})
+
+    def _handle_get(self, broker: Broker, msg: Message) -> None:
+        key = msg.payload.get("key")
+        if not isinstance(key, str):
+            broker.respond(msg, errnum=22, errmsg="missing or invalid 'key'")
+            return
+        if key not in self._store:
+            broker.respond(msg, errnum=2, errmsg=f"no such key {key!r}")
+            return
+        broker.respond(msg, {"key": key, "value": self._store[key]})

@@ -1,0 +1,94 @@
+"""Broker modules (RFC 5 analogue).
+
+A module is a dynamically loadable broker plugin: it has its own
+control flow (timers / processes on the shared simulator) and interacts
+with the rest of Flux exclusively through messages. The base class
+tracks every service, subscription and timer a module creates so that
+unloading tears all of it down — the monitor-overhead experiments load
+and unload modules repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.flux.broker import Broker, ServiceHandler
+from repro.flux.message import Message
+from repro.simkernel import PeriodicTimer, Process, SimEvent
+
+
+class Module:
+    """Base class for broker modules.
+
+    Subclasses override :meth:`on_load` (register services, start
+    timers) and optionally :meth:`on_unload`. Use the provided
+    ``register_service`` / ``subscribe`` / ``add_timer`` / ``spawn``
+    helpers rather than going to the broker directly, so teardown is
+    automatic.
+    """
+
+    #: Subclasses set this; it is the `flux module load` name.
+    name: str = "module"
+
+    def __init__(self, broker: Broker) -> None:
+        self.broker = broker
+        self.sim = broker.sim
+        self._topics: List[str] = []
+        self._subs: List[Tuple[str, Callable[[Message], None]]] = []
+        self._timers: List[PeriodicTimer] = []
+        self._procs: List[Process] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_load(self) -> None:
+        """Called when the broker loads the module."""
+
+    def on_unload(self) -> None:
+        """Called just before teardown on unload."""
+
+    def teardown(self) -> None:
+        """Tear down everything this module created (idempotent)."""
+        for topic in self._topics:
+            self.broker.unregister_service(topic)
+        self._topics.clear()
+        for prefix, cb in self._subs:
+            self.broker.unsubscribe(prefix, cb)
+        self._subs.clear()
+        for t in self._timers:
+            t.stop()
+        self._timers.clear()
+        for p in self._procs:
+            p.kill()
+        self._procs.clear()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def register_service(self, topic: str, handler: ServiceHandler) -> None:
+        self.broker.register_service(topic, handler)
+        self._topics.append(topic)
+
+    def subscribe(self, prefix: str, callback: Callable[[Message], None]) -> None:
+        self.broker.subscribe(prefix, callback)
+        self._subs.append((prefix, callback))
+
+    def add_timer(
+        self,
+        period: float,
+        callback: Callable[[PeriodicTimer], Any],
+        start_delay: Optional[float] = None,
+    ) -> PeriodicTimer:
+        timer = PeriodicTimer(self.sim, period, callback, start_delay=start_delay)
+        self._timers.append(timer)
+        return timer
+
+    def spawn(self, gen, name: Optional[str] = None) -> Process:
+        proc = Process(self.sim, gen, name=name or f"{self.name}@{self.broker.rank}")
+        self._procs.append(proc)
+        return proc
+
+    def rpc(
+        self, dst_rank: int, topic: str, payload: Optional[Dict[str, Any]] = None
+    ) -> SimEvent:
+        return self.broker.rpc(dst_rank, topic, payload)

@@ -1,0 +1,48 @@
+"""Simulated cluster hardware.
+
+This package substitutes for the physical Lassen (IBM Power AC922) and
+Tioga (HPE Cray EX235a) machines the paper evaluates on. It models:
+
+* per-component **power domains** (CPU sockets, memory, GPUs, OAM
+  packages, uncore) with idle/max power and capping semantics,
+* **firmware** behaviours — IBM OPAL node-level capping with its
+  conservative node→GPU cap derivation (calibrated to Table III),
+  the NVML GPU-cap driver (including the intermittent failures the
+  paper reports in Section V), and AMD's E-SMI/ROCm path where user
+  capping is disabled on the early-access system,
+* **sensors** — which domains are measurable on each platform and at
+  what granularity (Lassen: node/CPU/mem/GPU via OCC; Tioga: CPU and
+  per-OAM only, no memory or node domain),
+* a **run-to-run noise** model (OS jitter / congestion) used to
+  reproduce the variability analysis in Figures 3 and 4.
+"""
+
+from repro.hardware.domains import DomainKind, DomainSpec, PowerDomain
+from repro.hardware.node import Node, NodeSpec
+from repro.hardware.firmware import (
+    CappingError,
+    ESMIDriver,
+    NVMLDriver,
+    OPALFirmware,
+    RAPLDriver,
+    ibm_derived_gpu_cap,
+)
+from repro.hardware.sensors import SensorReading, SensorSuite
+from repro.hardware.noise import JitterModel
+
+__all__ = [
+    "DomainKind",
+    "DomainSpec",
+    "PowerDomain",
+    "Node",
+    "NodeSpec",
+    "CappingError",
+    "OPALFirmware",
+    "NVMLDriver",
+    "ESMIDriver",
+    "RAPLDriver",
+    "ibm_derived_gpu_cap",
+    "SensorReading",
+    "SensorSuite",
+    "JitterModel",
+]

@@ -1,0 +1,73 @@
+"""Run-to-run variability model (OS jitter, network congestion).
+
+Section IV-B attributes the apparent monitor overhead spikes at 1–2
+Lassen nodes to run-to-run variability exceeding 20 % for Laghos and
+Quicksilver — present with *and* without the monitor loaded — caused by
+OS daemon jitter [22] and neighbouring-job congestion [8]. We model a
+multiplicative lognormal runtime factor whose sigma depends on
+(platform, application, node count), with elevated values exactly where
+the paper observed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+#: Default variability sigma by (platform, app) at low node counts (<= 2).
+#: The paper's Fig 4 shows >20% spread for laghos/quicksilver on Lassen.
+_LOW_NODE_SIGMA: Dict[Tuple[str, str], float] = {
+    ("lassen", "laghos"): 0.115,
+    ("lassen", "quicksilver"): 0.125,
+}
+
+#: Baseline sigma for everything else (small, sub-percent scale spread).
+_BASE_SIGMA: Dict[str, float] = {
+    "lassen": 0.004,
+    "tioga": 0.0015,
+    "generic": 0.003,
+}
+
+
+@dataclass
+class JitterModel:
+    """Draws multiplicative runtime-noise factors.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator; with ``None`` the model is disabled (factor
+        1.0 always), which keeps calibration experiments deterministic.
+    low_node_threshold:
+        Node counts at or below this use the elevated sigmas.
+    """
+
+    rng: Optional[np.random.Generator] = None
+    low_node_threshold: int = 2
+    extra_sigma: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def sigma(self, platform: str, app: str, n_nodes: int) -> float:
+        """Lognormal sigma for one (platform, app, node count) cell."""
+        key = (platform, app)
+        if key in self.extra_sigma:
+            return self.extra_sigma[key]
+        if n_nodes <= self.low_node_threshold and key in _LOW_NODE_SIGMA:
+            return _LOW_NODE_SIGMA[key]
+        return _BASE_SIGMA.get(platform, 0.003)
+
+    def runtime_factor(self, platform: str, app: str, n_nodes: int) -> float:
+        """A multiplicative factor applied to one run's execution time.
+
+        Lognormal with median 1.0 — jitter can only be symmetric in log
+        space; congestion skews runs slow more often than fast, which
+        lognormal captures.
+        """
+        if self.rng is None:
+            return 1.0
+        s = self.sigma(platform, app, n_nodes)
+        if s <= 0:
+            return 1.0
+        return float(self.rng.lognormal(mean=0.0, sigma=s))

@@ -1,0 +1,113 @@
+"""Power sensors: what each platform can actually measure.
+
+Lassen's On-Chip Controller (OCC) reports node, socket, memory and
+per-GPU power at 500 µs granularity; the node-level reading is taken
+directly in hardware and *includes uncore*. Tioga exposes only CPU
+socket power (via E-SMI MSRs) and per-OAM power (two GPUs combined,
+via ROCm); memory, uncore and true node power are not measurable, so a
+"node" value on Tioga is a conservative sum of CPU + OAM readings —
+exactly how the paper reports it (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.hardware.domains import DomainKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+
+
+@dataclass
+class SensorReading:
+    """One instantaneous sample of a node's measurable power domains.
+
+    ``node_w`` is the hardware node-level reading where one exists
+    (Lassen); otherwise it is the conservative sum of measurable
+    domains and ``node_measured`` is False.
+    """
+
+    timestamp: float
+    hostname: str
+    node_w: float
+    node_measured: bool
+    domains_w: Dict[str, float] = field(default_factory=dict)
+
+    def total_by_kind(self, kind: DomainKind) -> float:
+        """Sum of readings for all measurable domains of one kind."""
+        total = 0.0
+        for name, watts in self.domains_w.items():
+            if name.startswith(kind.value):
+                total += watts
+        return total
+
+
+class SensorSuite:
+    """Reads a node's measurable domains, with sensor quantisation.
+
+    Parameters
+    ----------
+    node:
+        The node to sample.
+    granularity_s:
+        Native sensor update period (500 µs on Lassen's OCC, ~1 ms for
+        MSR-based readings on Tioga). Readings are timestamps rounded
+        down to this grid, modelling that a sample sees the last sensor
+        update rather than the true instantaneous value.
+    noise_sigma_w:
+        Additive gaussian measurement noise per domain (small; sensors
+        are good but not perfect). Uses a seeded stream when given.
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        granularity_s: float = 500e-6,
+        noise_sigma_w: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._node = node
+        self.granularity_s = float(granularity_s)
+        self.noise_sigma_w = float(noise_sigma_w)
+        self._rng = rng
+
+    def _noise(self) -> float:
+        if self.noise_sigma_w <= 0.0 or self._rng is None:
+            return 0.0
+        return float(self._rng.normal(0.0, self.noise_sigma_w))
+
+    def read(self, timestamp: float) -> SensorReading:
+        """Sample every measurable domain on the node."""
+        node = self._node
+        quantised = (
+            np.floor(timestamp / self.granularity_s) * self.granularity_s
+            if self.granularity_s > 0
+            else timestamp
+        )
+        domains: Dict[str, float] = {}
+        measured_sum = 0.0
+        for dom in node.domains.values():
+            if not dom.spec.measurable:
+                continue
+            watts = max(0.0, dom.actual_w + self._noise())
+            domains[dom.spec.name] = watts
+            measured_sum += watts
+        if node.spec.node_power_measurable:
+            # Hardware node sensor sees everything, including uncore and
+            # any unmeasurable domains.
+            node_w = max(0.0, node.total_power_w() + self._noise())
+            node_measured = True
+        else:
+            node_w = measured_sum
+            node_measured = False
+        return SensorReading(
+            timestamp=float(quantised),
+            hostname=node.hostname,
+            node_w=node_w,
+            node_measured=node_measured,
+            domains_w=domains,
+        )

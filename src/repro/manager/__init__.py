@@ -1,0 +1,46 @@
+"""``flux-power-manager``: hierarchical, state-aware power management.
+
+Three components, mirroring Section III-B:
+
+* :class:`ClusterLevelManager` (rank 0) — owns the cluster power
+  budget. Unconstrained clusters get peak power per node and no
+  capping; constrained clusters share power across jobs in proportion
+  to node count (Section III-B1), recomputed on every job arrival and
+  departure.
+* :class:`JobLevelManager` (rank 0) — splits each job's power limit
+  equally across its nodes and pushes *node-level power limits* to the
+  node managers over the TBON.
+* :class:`NodeManagerModule` (every rank) — enforces node limits by
+  deriving per-GPU caps (via Variorum/NVML), tracks node power in a
+  sampling loop, and hosts pluggable dynamic policies — including
+  :class:`~repro.manager.policies.fpp.FPPPolicy`, the paper's
+  FFT-based per-GPU algorithm (Algorithm 1).
+"""
+
+from repro.manager.cluster_manager import ClusterLevelManager, ManagerConfig
+from repro.manager.job_level import JobLevelManager
+from repro.manager.node_manager import NodeManagerModule
+from repro.manager.module import PowerManager, attach_manager
+from repro.manager.fft import estimate_period
+from repro.manager.policies import (
+    FPPParams,
+    FPPPolicy,
+    PowerPolicy,
+    ProportionalPolicy,
+    StaticPolicy,
+)
+
+__all__ = [
+    "ClusterLevelManager",
+    "ManagerConfig",
+    "JobLevelManager",
+    "NodeManagerModule",
+    "PowerManager",
+    "attach_manager",
+    "estimate_period",
+    "PowerPolicy",
+    "StaticPolicy",
+    "ProportionalPolicy",
+    "FPPPolicy",
+    "FPPParams",
+]

@@ -1,0 +1,141 @@
+"""The cluster-level manager (Section III-B, III-B1).
+
+State-aware: subscribes to ``job-state.*`` events from the job manager,
+so it always knows which jobs occupy which nodes. On every arrival or
+departure it recomputes power shares:
+
+* **Unconstrained** cluster (no global cap): every node is allowed its
+  theoretical peak and no capping is performed.
+* **Power-constrained**: first try to give every active node peak
+  power; if the budget does not cover that, redistribute to *all* jobs
+  proportionally to node count — per-node allocation
+  ``P_n = P_G / (N_k + N_i)``, a new job receiving ``N_i * P_n``.
+
+A configured static node cap (IBM OPAL on Lassen) is installed by every
+node manager at load time; this is the Table III/IV "static" baseline
+and also the hard backstop above the dynamic policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.flux.broker import Broker
+from repro.flux.message import Message
+from repro.flux.module import Module
+from repro.manager.job_level import JobLevelManager
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """Deployment configuration for flux-power-manager.
+
+    Attributes
+    ----------
+    global_cap_w:
+        Cluster power budget; ``None`` models an unconstrained system.
+    node_peak_w:
+        Theoretical per-node peak (3050 W on Lassen) — the allocation
+        when the budget allows it.
+    policy:
+        ``"static"``, ``"proportional"`` or ``"fpp"`` (node policy).
+    static_node_cap_w:
+        OPAL node cap installed on every node at load time (IBM's
+        mechanism; also the backstop for the dynamic policies, 1950 W
+        in Table IV).
+    sample_interval_s:
+        Node managers' power-tracking period.
+    account_idle_nodes:
+        The paper's formula ``P_n = P_G/(N_k + N_i)`` divides the whole
+        budget over *allocated* nodes; idle nodes' draw rides on top,
+        so total cluster power exceeds ``P_G`` whenever the machine is
+        partially allocated. With this flag the manager reserves
+        ``idle_node_w`` per unallocated node out of the budget first,
+        making the constraint hold for the *whole* cluster.
+    idle_node_w:
+        Reserved per idle node when ``account_idle_nodes`` is set
+        (Lassen idles at ~400 W).
+    """
+
+    global_cap_w: Optional[float] = None
+    node_peak_w: float = 3050.0
+    policy: str = "proportional"
+    static_node_cap_w: Optional[float] = None
+    sample_interval_s: float = 2.0
+    account_idle_nodes: bool = False
+    idle_node_w: float = 400.0
+
+
+class ClusterLevelManager(Module):
+    """Rank-0 budget owner: proportional sharing across jobs."""
+
+    name = "power-manager-root"
+
+    def __init__(self, broker: Broker, config: ManagerConfig) -> None:
+        if broker.rank != 0:
+            raise ValueError("cluster manager runs on rank 0")
+        super().__init__(broker)
+        self.config = config
+        self.job_level = JobLevelManager(broker)
+        #: (time, total_active_nodes, per_node_share_w) — Fig 5 series.
+        self.share_log: List[tuple] = []
+
+    def on_load(self) -> None:
+        self.subscribe("job-state.", self._on_job_state)
+
+    # ------------------------------------------------------------------
+    # Job state tracking
+    # ------------------------------------------------------------------
+    def _on_job_state(self, msg: Message) -> None:
+        state = msg.topic.split(".", 1)[1]
+        jobid = msg.payload["jobid"]
+        if state == "running":
+            self.job_level.job_started(jobid, msg.payload["ranks"])
+            self._recompute()
+        elif state in ("completed", "cancelled"):
+            self.job_level.job_ended(jobid)
+            self._recompute()
+
+    # ------------------------------------------------------------------
+    # Proportional sharing (Section III-B1)
+    # ------------------------------------------------------------------
+    def per_node_share_w(self) -> Optional[float]:
+        """Current per-node allocation, or None when uncapped."""
+        if self.config.global_cap_w is None:
+            return None
+        total_nodes = self.job_level.active_node_count()
+        if total_nodes == 0:
+            return None
+        budget = self.config.global_cap_w
+        if self.config.account_idle_nodes:
+            idle = max(0, self.broker.overlay.size - total_nodes)
+            budget = max(0.0, budget - idle * self.config.idle_node_w)
+        if total_nodes * self.config.node_peak_w <= budget:
+            return self.config.node_peak_w
+        return budget / total_nodes
+
+    def _recompute(self) -> None:
+        if self.config.policy == "static":
+            # Static deployments never push dynamic shares; the OPAL
+            # node cap installed at load time is the entire policy.
+            return
+        share = self.per_node_share_w()
+        self.share_log.append(
+            (self.sim.now, self.job_level.active_node_count(), share)
+        )
+        for jobid, state in list(self.job_level.jobs.items()):
+            job_limit = None if share is None else share * len(state.ranks)
+            self.job_level.assign(jobid, job_limit)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        return {
+            "global_cap_w": self.config.global_cap_w,
+            "policy": self.config.policy,
+            "active_jobs": sorted(self.job_level.jobs),
+            "active_nodes": self.job_level.active_node_count(),
+            "per_node_share_w": self.per_node_share_w(),
+        }

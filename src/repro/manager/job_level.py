@@ -1,0 +1,70 @@
+"""The job-level manager (Section III-B).
+
+Runs on the root node alongside the cluster-level manager. For each
+job it receives a *job-level power limit* — the maximum power the whole
+job may draw — splits it equally across the job's nodes, and pushes the
+resulting *node-level power limits* to the node managers over the TBON.
+It also maintains the full per-job state (ranks, current limits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.flux.broker import Broker
+from repro.manager.node_manager import JOB_DEPARTED_TOPIC, SET_LIMIT_TOPIC
+
+
+@dataclass
+class JobPowerState:
+    """What the job-level manager knows about one job."""
+
+    jobid: int
+    ranks: List[int]
+    job_limit_w: Optional[float] = None
+
+    @property
+    def node_limit_w(self) -> Optional[float]:
+        if self.job_limit_w is None:
+            return None
+        return self.job_limit_w / len(self.ranks)
+
+
+class JobLevelManager:
+    """Splits job power limits across nodes and pushes them out."""
+
+    def __init__(self, broker: Broker) -> None:
+        self.broker = broker
+        self.jobs: Dict[int, JobPowerState] = {}
+        #: (time, jobid, node_limit_w) history, for the Fig 5/6 timelines.
+        self.assignment_log: List[tuple] = []
+
+    def job_started(self, jobid: int, ranks: List[int]) -> None:
+        self.jobs[jobid] = JobPowerState(jobid=jobid, ranks=list(ranks))
+
+    def job_ended(self, jobid: int) -> None:
+        state = self.jobs.pop(jobid, None)
+        if state is None:
+            return
+        for rank in state.ranks:
+            self.broker.rpc(rank, JOB_DEPARTED_TOPIC, {"jobid": jobid})
+
+    def assign(self, jobid: int, job_limit_w: Optional[float]) -> None:
+        """Set a job's power limit and distribute it equally to its nodes."""
+        state = self.jobs.get(jobid)
+        if state is None:
+            raise KeyError(f"job {jobid} is not active")
+        state.job_limit_w = job_limit_w
+        node_limit = state.node_limit_w
+        self.assignment_log.append((self.broker.sim.now, jobid, node_limit))
+        for rank in state.ranks:
+            self.broker.rpc(
+                rank, SET_LIMIT_TOPIC, {"limit_w": node_limit, "jobid": jobid}
+            )
+
+    def active_node_count(self) -> int:
+        return sum(len(s.ranks) for s in self.jobs.values())
+
+    def state_of(self, jobid: int) -> Optional[JobPowerState]:
+        return self.jobs.get(jobid)

@@ -1,0 +1,41 @@
+"""Node-level dynamic power policies.
+
+A policy plugs into the :class:`~repro.manager.node_manager.NodeManagerModule`
+and decides how a node's power limit translates into device caps over
+time. The paper evaluates:
+
+* :class:`StaticPolicy` — no dynamic behaviour; the cluster manager's
+  static node cap (IBM OPAL) is the whole story.
+* :class:`ProportionalPolicy` — enforce whatever share the cluster
+  manager assigns, by deriving uniform per-GPU caps from the share.
+* :class:`FPPPolicy` — Algorithm 1: per-GPU FFT period tracking with
+  probe/adjust/converge cap control on a 90 s cadence.
+"""
+
+from repro.manager.policies.base import PowerPolicy
+from repro.manager.policies.static import StaticPolicy
+from repro.manager.policies.proportional import ProportionalPolicy
+from repro.manager.policies.fpp import FPPParams, FPPPolicy, FPPGpuController
+from repro.manager.policies.fpp_socket import FPPSocketPolicy, SOCKET_FPP_PARAMS
+from repro.manager.policies.history import HistoryPolicy
+
+POLICY_FACTORIES = {
+    "static": StaticPolicy,
+    "proportional": ProportionalPolicy,
+    "fpp": FPPPolicy,
+    "fpp-socket": FPPSocketPolicy,
+    "history": HistoryPolicy,
+}
+
+__all__ = [
+    "PowerPolicy",
+    "StaticPolicy",
+    "ProportionalPolicy",
+    "FPPPolicy",
+    "FPPParams",
+    "FPPGpuController",
+    "FPPSocketPolicy",
+    "SOCKET_FPP_PARAMS",
+    "HistoryPolicy",
+    "POLICY_FACTORIES",
+]

@@ -1,0 +1,40 @@
+"""Policy interface."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.manager.node_manager import NodeManagerModule
+
+
+class PowerPolicy:
+    """Base class for node-level power policies.
+
+    Lifecycle: the node manager calls :meth:`attach` once, then
+    :meth:`on_node_limit` whenever the cluster/job managers assign a new
+    node power limit, :meth:`on_sample` from its power-tracking loop,
+    and :meth:`detach` when the job leaves the node. Policies create
+    their own timers through the node manager's module helpers.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.manager: Optional["NodeManagerModule"] = None
+
+    def attach(self, manager: "NodeManagerModule") -> None:
+        self.manager = manager
+
+    def detach(self) -> None:
+        self.manager = None
+
+    def on_node_limit(self, limit_w: Optional[float]) -> None:
+        """A new node power limit arrived (None = unconstrained)."""
+
+    def on_sample(self, timestamp: float, node_w: float, gpu_w: list) -> None:
+        """Periodic power reading from the node manager's tracker."""
+
+    def describe(self) -> dict:
+        """Telemetry/debug snapshot of policy state."""
+        return {"policy": self.name}

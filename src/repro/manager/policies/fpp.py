@@ -1,0 +1,298 @@
+"""FPP: the FFT-based dynamic power policy (Algorithm 1).
+
+Per GPU, FPP keeps a buffer of power samples, estimates the signal's
+dominant period every ``fft_update_s`` (30 s), and every
+``powercap_time_s`` (90 s) adjusts the GPU cap based on how the period
+moved since the previous control interval:
+
+* ``|Δ| <= converge_th`` (2 s) — the application is unaffected by the
+  current cap: stop adjusting (persistent converged flag).
+* ``Δ < 0`` and ``converge_th < |Δ| < change_th`` (5 s) — the period
+  shrank a little: the application is not significantly affected, so
+  reduce the cap by ``P_reduce`` (50 W).
+* otherwise — the period grew (the cap is hurting progress): give
+  power back in steps of ``powercap_levels[min(|Δ|/5, 2)]`` W.
+
+Two points in the published pseudocode are ambiguous and resolved here,
+consistent with the paper's narrative (Section IV-D):
+
+1. ``F_converge`` is initialised inside GET-GPU-CAP, which would reset
+   it on every call; the text says "power adjustments cease when the
+   delta falls below the convergence threshold", so the flag is kept
+   *persistent* per GPU.
+2. On the very first control interval (``P_cap_prev is None``) the
+   pseudocode returns the current cap unchanged — but then no reduction
+   could ever occur, since a stable app converges immediately. The text
+   says "FPP first *tries to reduce power*", so the first interval
+   records the baseline period and applies an initial probe reduction
+   of ``P_reduce``.
+
+When the period detector returns ``None`` (flat or noise-dominated
+signal — GEMM/LAMMPS/NQueens have "relatively flat power timelines"),
+the change is treated as exceeding the change threshold and power is
+restored at the maximum step — reproducing "FPP ... sees that the
+period doubles and instantly gives back the power".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.manager.fft import estimate_period
+from repro.manager.policies.base import PowerPolicy
+
+
+@dataclass(frozen=True)
+class FPPParams:
+    """Algorithm 1 constants (all overridable; defaults are the paper's).
+
+    The defaults assume "a GPU similar to the NVIDIA Volta" (300 W max);
+    the ablation bench sweeps ``p_reduce_w``, ``powercap_time_s`` and
+    the step levels, which the paper lists as unexplored future work.
+    """
+
+    converge_th_s: float = 2.0
+    change_th_s: float = 5.0
+    p_reduce_w: float = 50.0
+    powercap_levels_w: Tuple[float, float, float] = (10.0, 15.0, 25.0)
+    powercap_time_s: float = 90.0
+    fft_update_s: float = 30.0
+    max_gpu_cap_w: float = 300.0
+    initial_probe: bool = True
+
+
+class FPPGpuController:
+    """Per-GPU FPP state machine: buffer, period history, cap decisions."""
+
+    def __init__(self, index: int, params: FPPParams, sample_dt_s: float) -> None:
+        self.index = index
+        self.params = params
+        self.sample_dt_s = float(sample_dt_s)
+        self.buffer: List[float] = []
+        self.period_s: Optional[float] = None
+        self.t_prev: Optional[float] = None
+        self.cap_prev: Optional[float] = None
+        self.converged = False
+        self.last_delta: Optional[float] = None
+        self._samples_since_update = 0
+
+    # ------------------------------------------------------------------
+    # FFT-GET-PERIOD
+    # ------------------------------------------------------------------
+    def store_power(self, watts: float) -> None:
+        """STOREPOWERDATA + the 30 s rolling period refresh."""
+        self.buffer.append(float(watts))
+        self._samples_since_update += 1
+        if self._samples_since_update * self.sample_dt_s >= self.params.fft_update_s:
+            self._samples_since_update = 0
+            period = estimate_period(self.buffer, self.sample_dt_s)
+            if period is not None or len(self.buffer) * self.sample_dt_s >= (
+                self.params.fft_update_s
+            ):
+                self.period_s = period
+
+    def refresh_period(self) -> None:
+        """Re-estimate from the full current buffer (freshest data).
+
+        Called by the policy right before a control decision so the
+        decision never acts on an estimate up to 30 s stale.
+        """
+        period = estimate_period(self.buffer, self.sample_dt_s)
+        if period is not None or (
+            len(self.buffer) * self.sample_dt_s >= self.params.fft_update_s
+        ):
+            self.period_s = period
+
+    def reset_buffer(self) -> None:
+        """MAIN line 42: reset the FFT buffer each control interval."""
+        self.buffer.clear()
+        self._samples_since_update = 0
+
+    # ------------------------------------------------------------------
+    # GET-GPU-CAP
+    # ------------------------------------------------------------------
+    def next_cap(
+        self, cap_cur: float, cap_floor: float, cap_ceiling: float
+    ) -> float:
+        """One control-interval decision; returns the cap to install."""
+        p = self.params
+        t_cur = self.period_s
+        if self.converged:
+            return cap_cur
+        if self.cap_prev is None:
+            # First interval: record baseline, probe downward (see
+            # module docstring, disambiguation 2).
+            self.t_prev = t_cur
+            self.cap_prev = cap_cur
+            if p.initial_probe:
+                return max(cap_floor, cap_cur - p.p_reduce_w)
+            return cap_cur
+
+        if t_cur is None or self.t_prev is None:
+            delta = math.inf
+            delta_abs = math.inf
+        else:
+            delta = t_cur - self.t_prev
+            delta_abs = abs(delta)
+        self.last_delta = None if math.isinf(delta_abs) else delta
+        self.t_prev = t_cur
+        self.cap_prev = cap_cur
+
+        if delta_abs <= p.converge_th_s:
+            self.converged = True
+            return cap_cur
+        if delta < 0 and p.converge_th_s < delta_abs < p.change_th_s:
+            return max(cap_floor, cap_cur - p.p_reduce_w)
+        if math.isinf(delta_abs):
+            level = p.powercap_levels_w[-1]
+        else:
+            idx = min(int(delta_abs / p.change_th_s), len(p.powercap_levels_w) - 1)
+            level = p.powercap_levels_w[idx]
+        return min(cap_ceiling, cap_cur + level)
+
+    def describe(self) -> dict:
+        return {
+            "gpu": self.index,
+            "period_s": self.period_s,
+            "converged": self.converged,
+            "last_delta_s": self.last_delta,
+        }
+
+
+class FPPPolicy(PowerPolicy):
+    """Node-level FPP: one controller per GPU, 90 s control cadence.
+
+    The node power limit assigned by the job-level manager defines each
+    GPU's *ceiling* (``GPU_Power_Lim``, derived exactly like the
+    proportional policy's uniform split); FPP then moves each GPU's cap
+    independently below that ceiling — non-uniform per-GPU distribution
+    is the point of running it per device.
+    """
+
+    name = "fpp"
+
+    def __init__(self, params: Optional[FPPParams] = None) -> None:
+        super().__init__()
+        self.params = params or FPPParams()
+        self.controllers: List[FPPGpuController] = []
+        self.caps_w: List[float] = []
+        self._timer = None
+        self._last_limit_w: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, manager) -> None:
+        super().attach(manager)
+        n = manager.gpu_count
+        self.controllers = [
+            FPPGpuController(i, self.params, manager.sample_interval_s)
+            for i in range(n)
+        ]
+        lo, hi = manager.gpu_cap_range
+        self.caps_w = [min(self.params.max_gpu_cap_w, hi)] * n
+        self._timer = manager.add_timer(
+            self.params.powercap_time_s, self._control_tick
+        )
+
+    def detach(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+        super().detach()
+
+    # ------------------------------------------------------------------
+    def _ceiling(self) -> float:
+        """GPU_Power_Lim: derived max cap from the node-level limit."""
+        assert self.manager is not None
+        lo, hi = self.manager.gpu_cap_range
+        limit = self.manager.node_limit_w
+        if limit is None:
+            derived = hi
+        else:
+            derived = self.manager.derive_gpu_share(limit)
+        return min(self.params.max_gpu_cap_w, derived, hi)
+
+    def on_node_limit(self, limit_w: Optional[float]) -> None:
+        assert self.manager is not None
+        ceiling = self._ceiling()
+        lo, _hi = self.manager.gpu_cap_range
+        previous = self._last_limit_w
+        self._last_limit_w = limit_w
+        if limit_w != previous:
+            increased = (
+                previous is not None
+                and limit_w is not None
+                and limit_w > previous
+            ) or (limit_w is None and previous is not None)
+            if increased:
+                # Headroom appeared (a co-running job departed).
+                # Algorithm 1's MAIN derives P_cap_cur from the
+                # node-level limit, so restart the per-GPU state
+                # machines at the new ceiling and probe again.
+                self.reset_job_state()
+                return
+            # A share decrease is a hard budget change: clamp caps
+            # below (handled by the loop that follows) but keep the
+            # controllers' learned state — repeated re-probing on
+            # every arrival would thrash busy queues.
+        for i in range(len(self.caps_w)):
+            # Same limit re-announced: only enforce the (possibly
+            # refined) ceiling downward; FPP walks caps up on its own
+            # cadence.
+            if self.caps_w[i] > ceiling:
+                self.caps_w[i] = max(lo, ceiling)
+            self.manager.set_gpu_cap(i, self.caps_w[i])
+
+    def on_sample(self, timestamp: float, node_w: float, gpu_w: list) -> None:
+        for ctl, w in zip(self.controllers, gpu_w):
+            ctl.store_power(w)
+        # The budget ceiling moves as the node manager's non-GPU power
+        # estimate refines; a meaningful ceiling decrease must be
+        # enforced at once (the share is a hard limit), while increases
+        # wait for FPP's own control cadence. The 10 W hysteresis stops
+        # phase-induced jitter in the estimate from ratcheting caps
+        # down between control ticks.
+        assert self.manager is not None
+        if self.manager.node_limit_w is not None:
+            ceiling = self._ceiling()
+            lo, _hi = self.manager.gpu_cap_range
+            for i in range(len(self.caps_w)):
+                if self.caps_w[i] > ceiling + 10.0:
+                    self.caps_w[i] = max(lo, ceiling)
+                    self.manager.set_gpu_cap(i, self.caps_w[i])
+
+    def _control_tick(self, _timer) -> None:
+        assert self.manager is not None
+        if self.manager.node_limit_w is None and not self.manager.job_present:
+            return  # idle node: nothing to manage
+        lo, _hi = self.manager.gpu_cap_range
+        ceiling = self._ceiling()
+        for i, ctl in enumerate(self.controllers):
+            ctl.refresh_period()
+            new_cap = ctl.next_cap(self.caps_w[i], lo, ceiling)
+            if new_cap != self.caps_w[i]:
+                self.caps_w[i] = new_cap
+                self.manager.set_gpu_cap(i, new_cap)
+            ctl.reset_buffer()
+
+    def reset_job_state(self) -> None:
+        """Fresh controllers when a new job lands on the node."""
+        assert self.manager is not None
+        n = self.manager.gpu_count
+        self.controllers = [
+            FPPGpuController(i, self.params, self.manager.sample_interval_s)
+            for i in range(n)
+        ]
+        lo, hi = self.manager.gpu_cap_range
+        ceiling = self._ceiling()
+        self.caps_w = [max(lo, ceiling)] * n
+        for i in range(n):
+            self.manager.set_gpu_cap(i, self.caps_w[i])
+
+    def describe(self) -> dict:
+        return {
+            "policy": self.name,
+            "caps_w": list(self.caps_w),
+            "controllers": [c.describe() for c in self.controllers],
+        }

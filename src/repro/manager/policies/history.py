@@ -1,0 +1,93 @@
+"""History-based power policy.
+
+Section III-B: "The node-level-manager can also utilize dynamic power
+management policies, such as ones based on past power history, measured
+performance counters, or other progress metrics." FPP is the paper's
+FFT instance of this family; this module implements the plain
+power-history variant: cap each GPU a fixed margin above its recent
+peak draw, reclaiming headroom the workload demonstrably does not use.
+
+Compared to FPP it needs no periodicity at all — it works on flat apps
+— but it can never push a device *below* its demand (no energy saving
+on compute-bound work), only defragment unused allocation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.manager.policies.base import PowerPolicy
+
+
+class HistoryPolicy(PowerPolicy):
+    """Cap each GPU at (recent peak + margin), within the node share.
+
+    Parameters
+    ----------
+    window:
+        Number of tracking samples of history per GPU (2 s apart by
+        default — 15 samples ≈ 30 s of history).
+    margin_w:
+        Headroom above the observed peak, absorbing demand spikes
+        between control actions.
+    """
+
+    name = "history"
+
+    def __init__(self, window: int = 15, margin_w: float = 20.0) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if margin_w < 0:
+            raise ValueError("margin_w must be >= 0")
+        self.window = int(window)
+        self.margin_w = float(margin_w)
+        self._history: List[deque] = []
+
+    def attach(self, manager) -> None:
+        super().attach(manager)
+        self._history = [
+            deque(maxlen=self.window) for _ in range(manager.gpu_count)
+        ]
+
+    def on_node_limit(self, limit_w: Optional[float]) -> None:
+        assert self.manager is not None
+        if limit_w is None:
+            self.manager.clear_gpu_caps()
+            return
+        # The share is the ceiling until history accumulates.
+        self.manager.enforce_limit_via_gpus(limit_w)
+
+    def _share_ceiling(self) -> float:
+        assert self.manager is not None
+        lo, hi = self.manager.gpu_cap_range
+        if self.manager.node_limit_w is None:
+            return hi
+        return self.manager.derive_gpu_share(self.manager.node_limit_w)
+
+    def on_sample(self, timestamp: float, node_w: float, gpu_w: list) -> None:
+        assert self.manager is not None
+        ceiling = self._share_ceiling()
+        lo, hi = self.manager.gpu_cap_range
+        for i, watts in enumerate(gpu_w):
+            self._history[i].append(watts)
+            if len(self._history[i]) < self.window:
+                continue  # not enough history yet
+            cap = max(self._history[i]) + self.margin_w
+            cap = min(max(cap, lo), ceiling, hi)
+            self.manager.set_gpu_cap(i, cap)
+
+    def reset_job_state(self) -> None:
+        assert self.manager is not None
+        self._history = [
+            deque(maxlen=self.window) for _ in range(self.manager.gpu_count)
+        ]
+
+    def describe(self) -> dict:
+        return {
+            "policy": self.name,
+            "window": self.window,
+            "margin_w": self.margin_w,
+            "history_fill": [len(h) for h in self._history],
+        }

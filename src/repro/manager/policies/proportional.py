@@ -1,0 +1,36 @@
+"""Proportional-share enforcement policy (Section III-B1).
+
+The cluster manager computes each job's share; the job manager splits
+it per node; this policy *enforces* the resulting node limit by setting
+uniform per-GPU caps: the GPU budget is the node limit minus the node
+manager's running estimate of non-GPU power (CPU + memory + uncore,
+tracked from live measurements), divided across GPUs and clamped into
+the device capping range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.manager.policies.base import PowerPolicy
+
+
+class ProportionalPolicy(PowerPolicy):
+    """Enforce the assigned node share via uniform per-GPU caps."""
+
+    name = "proportional"
+
+    def on_node_limit(self, limit_w: Optional[float]) -> None:
+        assert self.manager is not None
+        if limit_w is None:
+            self.manager.clear_gpu_caps()
+            return
+        self.manager.enforce_limit_via_gpus(limit_w)
+
+    def on_sample(self, timestamp: float, node_w: float, gpu_w: list) -> None:
+        # Re-derive caps as the non-GPU power estimate refines — a share
+        # computed against a stale estimate can strand or overshoot
+        # power. Cheap: only reissues NVML calls when the cap moved.
+        assert self.manager is not None
+        if self.manager.node_limit_w is not None:
+            self.manager.enforce_limit_via_gpus(self.manager.node_limit_w)

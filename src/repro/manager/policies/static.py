@@ -1,0 +1,25 @@
+"""Static policy: no node-local dynamics.
+
+Used for the Table III/IV baselines where the only control is the
+IBM OPAL node-level cap the cluster manager installs at configuration
+time (the firmware's conservative GPU derivation does the rest). The
+node manager still tracks power; this policy just never touches a dial.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.manager.policies.base import PowerPolicy
+
+
+class StaticPolicy(PowerPolicy):
+    """No node-local dynamics; the OPAL static cap is the whole policy."""
+
+    name = "static"
+
+    def on_node_limit(self, limit_w: Optional[float]) -> None:
+        # Intentionally nothing: enforcement is entirely the firmware's
+        # static node cap. Shares pushed by the cluster manager are
+        # recorded by the node manager but not acted upon.
+        return

@@ -1,0 +1,101 @@
+"""Fixed-capacity circular sample buffer.
+
+The node agent stores Variorum JSON samples in a ring: when full, the
+oldest sample is overwritten. The paper's default is 100,000 samples ≈
+43.4 MiB (~455 bytes per serialised Variorum JSON object); at the 2 s
+default sampling rate that is ~2.3 days of history per node. A job
+whose start predates the oldest retained sample gets a *partial* data
+flag in the client CSV.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bytes per serialised sample used for capacity accounting; chosen so
+#: the paper's default (100,000 samples) comes to 43.4 MiB.
+DEFAULT_SAMPLE_BYTES = 455
+
+#: The paper's default buffer capacity.
+DEFAULT_CAPACITY = 100_000
+
+
+class CircularBuffer:
+    """A ring buffer of (timestamp, sample) pairs, oldest-first.
+
+    Timestamps must be appended in nondecreasing order (they come from
+    one periodic sampler), which lets range queries bisect.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._buf: deque = deque(maxlen=self.capacity)
+        self.total_appended = 0
+
+    def append(self, timestamp: float, sample: Dict[str, Any]) -> None:
+        if self._buf and timestamp < self._buf[-1][0]:
+            raise ValueError(
+                f"timestamps must be nondecreasing "
+                f"({timestamp} < {self._buf[-1][0]})"
+            )
+        self._buf.append((float(timestamp), sample))
+        self.total_appended += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        """Samples overwritten because the ring wrapped."""
+        return self.total_appended - len(self._buf)
+
+    @property
+    def oldest_timestamp(self) -> Optional[float]:
+        return self._buf[0][0] if self._buf else None
+
+    @property
+    def newest_timestamp(self) -> Optional[float]:
+        return self._buf[-1][0] if self._buf else None
+
+    def size_bytes(self, per_sample: int = DEFAULT_SAMPLE_BYTES) -> int:
+        """Estimated storage footprint at the current fill level."""
+        return len(self._buf) * per_sample
+
+    def capacity_bytes(self, per_sample: int = DEFAULT_SAMPLE_BYTES) -> int:
+        """Storage footprint when full (the paper's 43.4 MiB)."""
+        return self.capacity * per_sample
+
+    def range(
+        self, t_start: float, t_end: float
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Samples with ``t_start <= t <= t_end``, plus a completeness flag.
+
+        ``complete`` is False when the buffer's retained history begins
+        after ``t_start`` — i.e. some of the requested window has been
+        flushed out (the paper's partial-data case).
+        """
+        if t_end < t_start:
+            raise ValueError("t_end must be >= t_start")
+        samples = [s for (t, s) in self._buf if t_start <= t <= t_end]
+        oldest = self.oldest_timestamp
+        complete = self.total_appended == 0 or (
+            oldest is not None and (oldest <= t_start or self.dropped == 0)
+        )
+        return samples, complete
+
+    def flush(self) -> int:
+        """Drop retained samples (administrative flush); returns count.
+
+        ``total_appended`` is preserved so later range queries still
+        know history was lost and report partial data.
+        """
+        n = len(self._buf)
+        self._buf.clear()
+        return n
+
+    def snapshot(self) -> List[Tuple[float, Dict[str, Any]]]:
+        """Copy of current contents (oldest first); for tests/inspection."""
+        return list(self._buf)

@@ -1,0 +1,72 @@
+"""Convenience wiring for the power monitor.
+
+``attach_monitor(instance)`` is the analogue of
+
+.. code-block:: console
+
+   $ flux exec -r all flux module load flux-power-monitor
+
+on a production system: node agents everywhere, a root agent at rank 0,
+and a client handle for job telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.flux.instance import FluxInstance
+from repro.monitor.client import PowerMonitorClient
+from repro.monitor.node_agent import (
+    DEFAULT_SAMPLE_INTERVAL_S,
+    NodeAgentModule,
+)
+from repro.monitor.buffer import DEFAULT_CAPACITY
+from repro.monitor.root_agent import RootAgentModule, SubtreeAggregatorModule
+
+
+@dataclass
+class PowerMonitor:
+    """Handle over a loaded monitor deployment."""
+
+    instance: FluxInstance
+    node_agents: List[NodeAgentModule]
+    root_agent: RootAgentModule
+    client: PowerMonitorClient
+
+    def detach(self) -> None:
+        """Unload the monitor everywhere (the overhead experiment's off case)."""
+        self.instance.unload_module_everywhere(NodeAgentModule.name)
+        self.instance.unload_module_everywhere(RootAgentModule.name)
+        self.instance.unload_module_everywhere(SubtreeAggregatorModule.name)
+
+    def agent_for_rank(self, rank: int) -> NodeAgentModule:
+        return self.node_agents[rank]
+
+
+def attach_monitor(
+    instance: FluxInstance,
+    sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+    buffer_capacity: int = DEFAULT_CAPACITY,
+    strategy: str = "fanout",
+) -> PowerMonitor:
+    """Load the flux-power-monitor modules across an instance."""
+    node_agents = instance.load_module_on_all(
+        lambda broker: NodeAgentModule(
+            broker,
+            sample_interval_s=sample_interval_s,
+            buffer_capacity=buffer_capacity,
+        )
+    )
+    if strategy == "tree":
+        instance.load_module_on_all(SubtreeAggregatorModule)
+    root_agent = instance.load_module_on_root(
+        lambda broker: RootAgentModule(broker, strategy=strategy)
+    )
+    client = PowerMonitorClient(instance)
+    return PowerMonitor(
+        instance=instance,
+        node_agents=node_agents,  # type: ignore[arg-type]
+        root_agent=root_agent,  # type: ignore[arg-type]
+        client=client,
+    )

@@ -1,0 +1,134 @@
+"""The monitor's per-node agent.
+
+Stateless with respect to jobs: it samples Variorum on a fixed period
+into its circular buffer and answers range queries. It neither knows
+nor cares what is running — the design decision the paper credits for
+the monitor's low overhead (Section III-A).
+"""
+
+from __future__ import annotations
+
+from repro import variorum
+from repro.flux.broker import Broker
+from repro.flux.message import Message
+from repro.flux.module import Module
+from repro.monitor.buffer import DEFAULT_CAPACITY, CircularBuffer
+from repro.monitor.overhead import sampling_overhead_fraction
+
+#: The paper's default sampling period.
+DEFAULT_SAMPLE_INTERVAL_S = 2.0
+
+QUERY_TOPIC = "power-monitor.query"
+STATUS_TOPIC = "power-monitor.status"
+CLEAR_TOPIC = "power-monitor.clear"
+
+
+class NodeAgentModule(Module):
+    """Samples node power via Variorum into a circular buffer."""
+
+    name = "power-monitor"
+
+    def __init__(
+        self,
+        broker: Broker,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+        buffer_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if broker.node is None:
+            raise ValueError("node agent requires a broker with hardware attached")
+        super().__init__(broker)
+        self.sample_interval_s = float(sample_interval_s)
+        self.buffer = CircularBuffer(buffer_capacity)
+        self.samples_taken = 0
+
+    @property
+    def node_overhead_fraction(self) -> float:
+        """Progress penalty this module imposes on co-located work.
+
+        Picked up by :class:`~repro.apps.run.AppRun` through the
+        instance's telemetry-overhead hook.
+        """
+        return sampling_overhead_fraction(
+            self.broker.node.spec.platform, self.sample_interval_s
+        )
+
+    def on_load(self) -> None:
+        self.register_service(QUERY_TOPIC, self._handle_query)
+        self.register_service(STATUS_TOPIC, self._handle_status)
+        self.register_service(CLEAR_TOPIC, self._handle_clear)
+        # First sample at load time, then on the fixed grid.
+        self.add_timer(self.sample_interval_s, self._sample, start_delay=0.0)
+
+    # ------------------------------------------------------------------
+    # Sampling loop
+    # ------------------------------------------------------------------
+    def _sample(self, _timer) -> None:
+        sample = variorum.get_node_power_json(self.broker.node, self.sim.now)
+        self.buffer.append(self.sim.now, sample)
+        self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def _handle_query(self, broker: Broker, msg: Message) -> None:
+        try:
+            t_start = float(msg.payload["t_start"])
+            t_end = float(msg.payload["t_end"])
+        except (KeyError, TypeError, ValueError):
+            broker.respond(msg, errnum=22, errmsg="need numeric t_start/t_end")
+            return
+        if t_end < t_start:
+            broker.respond(msg, errnum=22, errmsg="t_end < t_start")
+            return
+        samples, complete = self.buffer.range(t_start, t_end)
+        # Optional downsampling: long windows on big machines produce
+        # multi-megabyte responses; a client that only needs the shape
+        # asks for at most N samples and gets an even stride.
+        max_samples = msg.payload.get("max_samples")
+        downsampled = False
+        if max_samples is not None:
+            try:
+                max_samples = int(max_samples)
+            except (TypeError, ValueError):
+                broker.respond(msg, errnum=22, errmsg="bad max_samples")
+                return
+            if max_samples < 1:
+                broker.respond(msg, errnum=22, errmsg="max_samples must be >= 1")
+                return
+            if len(samples) > max_samples:
+                stride = -(-len(samples) // max_samples)  # ceil division
+                samples = samples[::stride]
+                downsampled = True
+        broker.respond(
+            msg,
+            {
+                "hostname": self.broker.node.hostname,
+                "rank": broker.rank,
+                "samples": samples,
+                "complete": complete,
+                "downsampled": downsampled,
+            },
+        )
+
+    def _handle_clear(self, broker: Broker, msg: Message) -> None:
+        """Administrative flush: drop the retained history.
+
+        Subsequent job queries covering earlier windows will report
+        partial data — the flush case the client CSV flag exists for.
+        """
+        flushed = self.buffer.flush()
+        broker.respond(msg, {"rank": broker.rank, "flushed": flushed})
+
+    def _handle_status(self, broker: Broker, msg: Message) -> None:
+        broker.respond(
+            msg,
+            {
+                "hostname": self.broker.node.hostname,
+                "sample_interval_s": self.sample_interval_s,
+                "buffer_len": len(self.buffer),
+                "buffer_capacity": self.buffer.capacity,
+                "buffer_bytes": self.buffer.size_bytes(),
+                "dropped": self.buffer.dropped,
+                "samples_taken": self.samples_taken,
+            },
+        )

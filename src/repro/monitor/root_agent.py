@@ -1,0 +1,187 @@
+"""The monitor's root agent (TBON rank 0).
+
+Serves external clients: a ``power-monitor.get-job-power`` request
+carries a job's ranks and time window; the root agent fans RPCs out to
+the node agents, gathers their buffered samples, and relays the
+aggregate back. Two collection strategies are provided:
+
+* ``"fanout"`` (default) — the root RPCs every node agent directly.
+  This is what the paper's implementation does.
+* ``"tree"`` — requests aggregate hierarchically along the TBON (each
+  broker collects its subtree). Same result; fewer root-link messages.
+  Exercised by the TBON ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.flux.broker import Broker
+from repro.flux.message import Message
+from repro.flux.module import Module
+from repro.monitor.node_agent import QUERY_TOPIC
+from repro.simkernel import AllOf
+
+GET_JOB_POWER_TOPIC = "power-monitor.get-job-power"
+SUBTREE_TOPIC = "power-monitor.query-subtree"
+
+
+class RootAgentModule(Module):
+    """Aggregates job telemetry from node agents for external clients."""
+
+    name = "power-monitor-root"
+
+    def __init__(self, broker: Broker, strategy: str = "fanout") -> None:
+        if broker.rank != 0:
+            raise ValueError("root agent runs at the TBON root (rank 0)")
+        if strategy not in ("fanout", "tree"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        super().__init__(broker)
+        self.strategy = strategy
+
+    def on_load(self) -> None:
+        self.register_service(GET_JOB_POWER_TOPIC, self._handle_get_job_power)
+
+    # ------------------------------------------------------------------
+    # Client-facing service
+    # ------------------------------------------------------------------
+    def _handle_get_job_power(self, broker: Broker, msg: Message) -> None:
+        try:
+            ranks = [int(r) for r in msg.payload["ranks"]]
+            t_start = float(msg.payload["t_start"])
+            t_end = float(msg.payload["t_end"])
+        except (KeyError, TypeError, ValueError):
+            broker.respond(msg, errnum=22, errmsg="need ranks, t_start, t_end")
+            return
+        if not ranks:
+            broker.respond(msg, errnum=22, errmsg="empty rank list")
+            return
+        max_samples = msg.payload.get("max_samples")
+        if self.strategy == "tree":
+            self.spawn(self._collect_tree(msg, ranks, t_start, t_end, max_samples))
+        else:
+            self.spawn(self._collect_fanout(msg, ranks, t_start, t_end, max_samples))
+
+    def _collect_fanout(
+        self, msg: Message, ranks: List[int], t0: float, t1: float, max_samples=None
+    ):
+        query = {"t_start": t0, "t_end": t1}
+        if max_samples is not None:
+            query["max_samples"] = max_samples
+        futures = [self.rpc(rank, QUERY_TOPIC, query) for rank in ranks]
+        try:
+            results = yield AllOf(self.sim, futures)
+        except Exception as exc:  # node agent missing / errored
+            self.broker.respond(msg, errnum=5, errmsg=str(exc))
+            return
+        self.broker.respond(msg, {"nodes": results})
+
+    def _collect_tree(
+        self, msg: Message, ranks: List[int], t0: float, t1: float, max_samples=None
+    ):
+        """Hierarchical collection: ask each root child for its subtree."""
+        wanted = set(ranks)
+        extra = {} if max_samples is None else {"max_samples": max_samples}
+        futures = []
+        # Rank 0 itself, if requested.
+        if 0 in wanted:
+            futures.append(
+                self.rpc(0, QUERY_TOPIC, {"t_start": t0, "t_end": t1, **extra})
+            )
+        for child in self.broker.overlay.children(0):
+            subtree = _subtree_ranks(self.broker.overlay, child) & wanted
+            if subtree:
+                futures.append(
+                    self.rpc(
+                        child,
+                        SUBTREE_TOPIC,
+                        {
+                            "ranks": sorted(subtree),
+                            "t_start": t0,
+                            "t_end": t1,
+                            **extra,
+                        },
+                    )
+                )
+        try:
+            results = yield AllOf(self.sim, futures)
+        except Exception as exc:
+            self.broker.respond(msg, errnum=5, errmsg=str(exc))
+            return
+        nodes = []
+        for res in results:
+            if "nodes" in res:
+                nodes.extend(res["nodes"])
+            else:
+                nodes.append(res)
+        self.broker.respond(msg, {"nodes": nodes})
+
+
+class SubtreeAggregatorModule(Module):
+    """Loaded on every broker when using the ``tree`` strategy.
+
+    Answers :data:`SUBTREE_TOPIC` by querying its own node agent plus
+    recursively delegating to children whose subtrees intersect the
+    request.
+    """
+
+    name = "power-monitor-subtree"
+
+    def on_load(self) -> None:
+        self.register_service(SUBTREE_TOPIC, self._handle_subtree)
+
+    def _handle_subtree(self, broker: Broker, msg: Message) -> None:
+        ranks = set(int(r) for r in msg.payload.get("ranks", []))
+        t0 = float(msg.payload["t_start"])
+        t1 = float(msg.payload["t_end"])
+        self.spawn(self._collect(msg, ranks, t0, t1, msg.payload.get("max_samples")))
+
+    def _collect(self, msg: Message, ranks, t0: float, t1: float, max_samples=None):
+        extra = {} if max_samples is None else {"max_samples": max_samples}
+        futures = []
+        if self.broker.rank in ranks:
+            futures.append(
+                self.rpc(
+                    self.broker.rank,
+                    QUERY_TOPIC,
+                    {"t_start": t0, "t_end": t1, **extra},
+                )
+            )
+        for child in self.broker.overlay.children(self.broker.rank):
+            subtree = _subtree_ranks(self.broker.overlay, child) & ranks
+            if subtree:
+                futures.append(
+                    self.rpc(
+                        child,
+                        SUBTREE_TOPIC,
+                        {
+                            "ranks": sorted(subtree),
+                            "t_start": t0,
+                            "t_end": t1,
+                            **extra,
+                        },
+                    )
+                )
+        try:
+            results = yield AllOf(self.sim, futures)
+        except Exception as exc:
+            self.broker.respond(msg, errnum=5, errmsg=str(exc))
+            return
+        nodes = []
+        for res in results:
+            if "nodes" in res:
+                nodes.extend(res["nodes"])
+            else:
+                nodes.append(res)
+        self.broker.respond(msg, {"nodes": nodes})
+
+
+def _subtree_ranks(overlay, root: int) -> set:
+    """All ranks in the subtree rooted at ``root`` (inclusive)."""
+    out = set()
+    stack = [root]
+    while stack:
+        r = stack.pop()
+        out.add(r)
+        stack.extend(overlay.children(r))
+    return out

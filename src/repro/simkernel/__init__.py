@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction — Flux brokers, power-monitor sampling
+loops, power-manager control loops, and the applications themselves —
+runs on this kernel in *simulated* time. The kernel provides:
+
+* :class:`~repro.simkernel.engine.Simulator` — the event loop with a
+  deterministic total order over events (time, priority, sequence).
+* :class:`~repro.simkernel.process.Process` — generator-based processes
+  in the style of SimPy: a process yields :class:`Timeout` or
+  :class:`SimEvent` objects to suspend itself.
+* :class:`~repro.simkernel.rng.RandomStreams` — named, reproducible
+  random substreams derived from a single root seed, so adding a new
+  consumer of randomness never perturbs existing ones.
+* :class:`~repro.simkernel.timers.PeriodicTimer` — fixed-rate callbacks
+  (sampling loops, control loops).
+"""
+
+from repro.simkernel.engine import Simulator, ScheduledEvent
+from repro.simkernel.process import (
+    Process,
+    ProcessKilled,
+    SimEvent,
+    Timeout,
+    AllOf,
+    AnyOf,
+)
+from repro.simkernel.rng import RandomStreams
+from repro.simkernel.timers import PeriodicTimer
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "Process",
+    "ProcessKilled",
+    "SimEvent",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "RandomStreams",
+    "PeriodicTimer",
+]

@@ -1,0 +1,185 @@
+"""The discrete-event simulator core.
+
+The engine keeps a binary heap of scheduled callbacks keyed by
+``(time, priority, sequence)``. The sequence number makes the ordering a
+deterministic total order: two events scheduled for the same simulated
+time and priority fire in the order they were scheduled, regardless of
+heap internals. Determinism of the whole reproduction rests on this.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled on the simulator's event heap.
+
+    Instances are returned by :meth:`Simulator.schedule` and may be
+    cancelled. Comparison order is the execution order.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Safe to call more than once."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated time in seconds (default 0.0).
+
+    Notes
+    -----
+    Time is a ``float`` number of seconds. Callbacks run synchronously;
+    a callback may schedule further events (including at the current
+    time, which run after all currently-pending same-time events of
+    equal priority).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still on the heap."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite. Lower ``priority``
+        values run first among events at the same simulated time.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self._now}): in the past"
+            )
+        ev = ScheduledEvent(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if the heap is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = ev.time
+            self._processed += 1
+            ev.callback(*ev.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events until the heap drains or ``until`` is reached.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this time; the
+            clock is advanced to ``until`` itself so periodic processes
+            observe a consistent end time.
+        max_events:
+            Safety valve; raise :class:`SimulationError` if exceeded.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        count = 0
+        try:
+            while self._heap:
+                # Peek past cancelled events without executing.
+                while self._heap and self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    self._now = max(self._now, float(until))
+                    return self._now
+                self.step()
+                count += 1
+                if max_events is not None and count > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None:
+                self._now = max(self._now, float(until))
+            return self._now
+        finally:
+            self._running = False

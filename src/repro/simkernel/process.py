@@ -1,0 +1,282 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator driven by the simulator. The generator
+yields *waitables*:
+
+* ``Timeout(dt)`` — resume after ``dt`` simulated seconds.
+* ``SimEvent()`` — resume when someone calls :meth:`SimEvent.succeed`
+  (or raise if :meth:`SimEvent.fail` is called).
+* another ``Process`` — resume when that process finishes; the yielded
+  value is the process's return value.
+* ``AllOf([...])`` / ``AnyOf([...])`` — composite waits.
+
+The value passed to ``succeed(value)`` is delivered as the result of the
+``yield`` expression, which lets request/response protocols (the Flux
+RPC layer) be written in direct style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from repro.simkernel.engine import Simulator
+
+
+class ProcessKilled(Exception):
+    """Injected into a generator when its process is killed."""
+
+
+class Waitable:
+    """Base class for things a process may ``yield``."""
+
+    def _subscribe(self, sim: Simulator, process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Suspend the yielding process for ``delay`` simulated seconds."""
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, sim: Simulator, process: "Process") -> None:
+        process._pending_event = sim.schedule(
+            self.delay, process._resume, self.value
+        )
+
+
+class SimEvent(Waitable):
+    """A one-shot event that processes can wait on.
+
+    May be succeeded or failed exactly once; waiting on an already
+    triggered event resumes the waiter immediately (at the current
+    simulated time).
+    """
+
+    _PENDING = object()
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._value: Any = SimEvent._PENDING
+        self._error: Optional[BaseException] = None
+        self._done = False
+        self._waiters: List[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError("event not yet triggered")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        if self._done:
+            raise RuntimeError("event already triggered")
+        self._done = True
+        self._value = value
+        for proc in self._waiters:
+            self._sim.schedule(0.0, proc._resume, value)
+        self._waiters.clear()
+        return self
+
+    def fail(self, error: BaseException) -> "SimEvent":
+        if self._done:
+            raise RuntimeError("event already triggered")
+        self._done = True
+        self._error = error
+        for proc in self._waiters:
+            self._sim.schedule(0.0, proc._throw, error)
+        self._waiters.clear()
+        return self
+
+    def _subscribe(self, sim: Simulator, process: "Process") -> None:
+        if self._done:
+            if self._error is not None:
+                process._pending_event = sim.schedule(
+                    0.0, process._throw, self._error
+                )
+            else:
+                process._pending_event = sim.schedule(
+                    0.0, process._resume, self._value
+                )
+        else:
+            self._waiters.append(process)
+
+
+class AllOf(Waitable):
+    """Wait for every waitable in a collection; yields a list of results."""
+
+    def __init__(self, sim: Simulator, waitables: Iterable[Waitable]) -> None:
+        self._sim = sim
+        self._items = list(waitables)
+
+    def _subscribe(self, sim: Simulator, process: "Process") -> None:
+        results: List[Any] = [None] * len(self._items)
+        remaining = [len(self._items)]
+        failed = [False]
+        if not self._items:
+            process._pending_event = sim.schedule(0.0, process._resume, [])
+            return
+
+        def make_waiter(idx: int, item: Waitable) -> Generator:
+            try:
+                res = yield item
+            except BaseException as exc:
+                # First failure wins: propagate into the waiting process
+                # (like asyncio.gather without return_exceptions).
+                if not failed[0]:
+                    failed[0] = True
+                    process._throw(exc)
+                return
+            if failed[0]:
+                return
+            results[idx] = res
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                process._resume(results)
+
+        for i, item in enumerate(self._items):
+            Process(sim, make_waiter(i, item), name=f"allof-{i}")
+
+
+class AnyOf(Waitable):
+    """Wait for the first waitable to complete; yields ``(index, result)``."""
+
+    def __init__(self, sim: Simulator, waitables: Iterable[Waitable]) -> None:
+        self._sim = sim
+        self._items = list(waitables)
+        if not self._items:
+            raise ValueError("AnyOf requires at least one waitable")
+
+    def _subscribe(self, sim: Simulator, process: "Process") -> None:
+        fired = [False]
+
+        def make_waiter(idx: int, item: Waitable) -> Generator:
+            try:
+                res = yield item
+            except BaseException as exc:
+                # A failure also "wins" the race: first outcome decides.
+                if not fired[0]:
+                    fired[0] = True
+                    process._throw(exc)
+                return
+            if not fired[0]:
+                fired[0] = True
+                process._resume((idx, res))
+
+        for i, item in enumerate(self._items):
+            Process(sim, make_waiter(i, item), name=f"anyof-{i}")
+
+
+class Process(Waitable):
+    """A running generator on the simulator.
+
+    Constructing a Process immediately schedules its first resumption at
+    the current simulated time (priority 0), so creation order is
+    execution order among same-time starts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator,
+        name: str = "process",
+    ) -> None:
+        self._sim = sim
+        self._gen = generator
+        self.name = name
+        self._alive = True
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._done_event = SimEvent(sim)
+        self._pending_event = None
+        sim.schedule(0.0, self._resume, None)
+
+    # -- public API ----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises if it errored or is alive."""
+        if self._alive:
+            raise RuntimeError(f"process {self.name!r} still running")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if not self._alive:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._throw(ProcessKilled(f"process {self.name!r} killed"))
+
+    # -- waitable protocol ----------------------------------------------
+    def _subscribe(self, sim: Simulator, process: "Process") -> None:
+        self._done_event._subscribe(sim, process)
+
+    # -- driver ----------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._pending_event = None
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except ProcessKilled as exc:
+            self._finish(None, exc, killed=True)
+            return
+        except BaseException as exc:  # propagate into done-event waiters
+            self._finish(None, exc)
+            return
+        self._wait_on(target)
+
+    def _throw(self, error: BaseException) -> None:
+        if not self._alive:
+            return
+        self._pending_event = None
+        try:
+            target = self._gen.throw(error)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except ProcessKilled as exc:
+            self._finish(None, exc, killed=True)
+            return
+        except BaseException as exc:
+            self._finish(None, exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Waitable):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; expected a Waitable"
+            )
+        target._subscribe(self._sim, self)
+
+    def _finish(
+        self, result: Any, error: Optional[BaseException], killed: bool = False
+    ) -> None:
+        self._alive = False
+        self._result = result
+        self._error = None if killed else error
+        self._gen.close()
+        if self._error is not None:
+            self._done_event.fail(self._error)
+        else:
+            self._done_event.succeed(result)

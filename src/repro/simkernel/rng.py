@@ -1,0 +1,58 @@
+"""Named reproducible random streams.
+
+Every stochastic element of the simulation (per-hop message latency,
+OS jitter, run-to-run noise, NVML cap failures, workload mixes) pulls
+from its own named substream derived from one root seed. Adding a new
+consumer therefore never perturbs the draws seen by existing consumers,
+which keeps calibrated experiments stable as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of named, independent :class:`numpy.random.Generator` s.
+
+    Streams are derived with ``SeedSequence(root_seed).spawn``-style
+    keying: the stream name is hashed (CRC32, stable across runs and
+    platforms — unlike Python's randomized ``hash``) and combined with
+    the root seed.
+
+    Examples
+    --------
+    >>> streams = RandomStreams(seed=42)
+    >>> a = streams.get("jitter/node0")
+    >>> b = streams.get("jitter/node1")
+    >>> a is streams.get("jitter/node0")
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @staticmethod
+    def _key(name: str) -> int:
+        return zlib.crc32(name.encode("utf-8"))
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            ss = np.random.SeedSequence(entropy=self.seed, spawn_key=(self._key(name),))
+            gen = np.random.default_rng(ss)
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Return a new independent stream factory rooted under ``name``."""
+        return RandomStreams(seed=(self.seed * 0x9E3779B1 + self._key(name)) % (2**63))
+
+    def reset(self) -> None:
+        """Forget all derived streams so the next draws repeat from scratch."""
+        self._streams.clear()

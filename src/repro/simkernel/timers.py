@@ -1,0 +1,82 @@
+"""Fixed-rate periodic callbacks.
+
+Sampling loops (`flux-power-monitor` reads Variorum every 2 s) and
+control loops (FPP adjusts caps every 90 s) are periodic timers. The
+timer re-schedules itself from the *nominal* tick time, so the tick grid
+never drifts even if a callback performs zero-delay scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simkernel.engine import ScheduledEvent, Simulator
+
+
+class PeriodicTimer:
+    """Invoke ``callback(timer)`` every ``period`` simulated seconds.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    period:
+        Tick interval in simulated seconds (> 0).
+    callback:
+        Called with the timer instance on each tick. Raising stops the
+        timer (the exception propagates out of the event loop).
+    start_delay:
+        Offset of the first tick from creation time. Defaults to one
+        full period (i.e. the timer does *not* tick at t=0).
+    jitter_fn:
+        Optional callable returning a per-tick offset in seconds, used
+        to model imperfect OS timers. The nominal grid is unaffected.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[["PeriodicTimer"], Any],
+        start_delay: Optional[float] = None,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self._sim = sim
+        self.period = float(period)
+        self.callback = callback
+        self._jitter_fn = jitter_fn
+        self.ticks = 0
+        self._stopped = False
+        self._next_nominal = sim.now + (
+            self.period if start_delay is None else float(start_delay)
+        )
+        self._pending: Optional[ScheduledEvent] = self._schedule_next(first=True)
+
+    def _schedule_next(self, first: bool = False) -> Optional[ScheduledEvent]:
+        if self._stopped:
+            return None
+        when = self._next_nominal
+        if self._jitter_fn is not None:
+            when = max(self._sim.now, when + float(self._jitter_fn()))
+        return self._sim.schedule_at(max(when, self._sim.now), self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.ticks += 1
+        self._next_nominal += self.period
+        self._pending = self._schedule_next()
+        self.callback(self)
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Cancel the timer; the pending tick (if any) will not fire."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None

@@ -1,0 +1,34 @@
+"""Vendor-neutral power management API (Variorum substitute).
+
+The Flux modules in this reproduction never touch vendor firmware
+directly; they call the same three Variorum entry points the paper's
+implementation uses (Section II-C):
+
+* :func:`get_node_power_json` — vendor-neutral telemetry; returns a
+  JSON-compatible dict whose keys depend on what the platform can
+  measure (IBM: node/socket/memory/per-GPU; AMD: socket + per-OAM
+  only; Intel: socket + memory).
+* :func:`cap_best_effort_node_power_limit` — node-level capping. IBM
+  AC922 supports a direct hardware node cap (OPAL); Intel and AMD do
+  not, so the budget is distributed uniformly across CPU sockets (and
+  the remainder to GPUs when present) on a best-effort basis.
+* :func:`cap_each_gpu_power_limit` — uniform per-GPU capping (NVML on
+  NVIDIA platforms, ROCm-SMI on AMD — which the Tioga early-access
+  system refuses for users).
+"""
+
+from repro.variorum.api import (
+    VariorumError,
+    cap_best_effort_node_power_limit,
+    cap_each_gpu_power_limit,
+    get_node_power_json,
+    sample_bytes_estimate,
+)
+
+__all__ = [
+    "VariorumError",
+    "get_node_power_json",
+    "cap_best_effort_node_power_limit",
+    "cap_each_gpu_power_limit",
+    "sample_bytes_estimate",
+]

@@ -1,0 +1,42 @@
+"""Per-vendor Variorum backends.
+
+Each backend implements the three-call API for one CPU vendor's
+platforms, reproducing that vendor's telemetry domains and capping
+quirks. Dispatch is by ``NodeSpec.vendor``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.variorum.backends.base import Backend
+from repro.variorum.backends.ibm import IBMBackend
+from repro.variorum.backends.amd import AMDBackend
+from repro.variorum.backends.intel import IntelBackend
+from repro.variorum.backends.arm import ARMBackend
+
+_BACKENDS: Dict[str, Backend] = {
+    "ibm": IBMBackend(),
+    "amd": AMDBackend(),
+    "intel": IntelBackend(),
+    "arm": ARMBackend(),
+}
+
+
+def get_backend(vendor: str) -> Backend:
+    """Look up the backend for a vendor string."""
+    try:
+        return _BACKENDS[vendor]
+    except KeyError:
+        raise ValueError(
+            f"no Variorum backend for vendor {vendor!r}; "
+            f"supported: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def register_backend(vendor: str, backend: Backend) -> None:
+    """Install a custom backend (extensibility hook, used in tests)."""
+    _BACKENDS[vendor] = backend
+
+
+__all__ = ["Backend", "get_backend", "register_backend"]

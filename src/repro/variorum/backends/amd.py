@@ -1,0 +1,74 @@
+"""AMD backend: E-SMI/HSMP CPU telemetry + ROCm OAM telemetry/capping.
+
+Matches the Tioga description in Section II-A: power is measurable at
+the CPU and OAM level only (an OAM reading covers two GCDs); memory and
+uncore are not reported; capping exists in hardware but is disabled for
+users on the early-access system, so cap calls raise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.domains import DomainKind
+from repro.hardware.node import Node
+from repro.variorum.backends.base import Backend
+
+
+class AMDBackend(Backend):
+    vendor = "amd"
+
+    _KEY_STEMS = {
+        DomainKind.CPU: "power_cpu_watts_socket",
+        DomainKind.OAM: "power_gpu_watts_oam",
+    }
+
+    def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
+        reading = node.sensors.read(timestamp)
+        sample = self.base_sample(node, reading)
+        self.add_domain_readings(sample, node, reading, self._KEY_STEMS)
+        sample["gcds_per_oam"] = node.spec.gpus_per_telemetry_domain
+        return sample
+
+    def cap_best_effort_node_power_limit(
+        self, node: Node, watts: float
+    ) -> Dict[str, object]:
+        from repro.variorum.api import VariorumError
+
+        # No hardware node dial on AMD: distribute uniformly across
+        # sockets, remainder across OAMs — if the driver lets us.
+        if node.esmi is None:
+            raise VariorumError(f"{node.hostname}: no E-SMI driver")
+        cpus = node.by_kind(DomainKind.CPU)
+        oams = node.by_kind(DomainKind.OAM)
+        cpu_share = min(watts / max(len(cpus), 1), cpus[0].spec.max_cap_w or watts)
+        per_oam = (watts - cpu_share * len(cpus)) / max(len(oams), 1)
+        try:
+            for i in range(len(cpus)):
+                node.esmi.set_socket_power_cap(i, cpu_share)
+            for i in range(len(oams)):
+                node.esmi.set_oam_power_cap(i, per_oam)
+        except Exception as exc:
+            raise VariorumError(str(exc)) from exc
+        return {
+            "method": "esmi_split",
+            "socket_cap_watts": cpu_share,
+            "oam_cap_watts": per_oam,
+            "best_effort": True,
+        }
+
+    def cap_each_gpu_power_limit(self, node: Node, watts: float) -> List[float]:
+        from repro.variorum.api import VariorumError
+
+        if node.esmi is None:
+            raise VariorumError(f"{node.hostname}: no ROCm-SMI path")
+        oams = node.by_kind(DomainKind.OAM)
+        caps: List[float] = []
+        try:
+            # A per-GPU (GCD) cap translates to 2x at the OAM dial.
+            per_oam = watts * node.spec.gpus_per_telemetry_domain
+            for i in range(len(oams)):
+                caps.append(node.esmi.set_oam_power_cap(i, per_oam))
+        except Exception as exc:
+            raise VariorumError(str(exc)) from exc
+        return caps

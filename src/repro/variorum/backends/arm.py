@@ -1,0 +1,42 @@
+"""ARM backend: telemetry only.
+
+Variorum supports ARM platforms for telemetry; power capping dials are
+not generally exposed, so cap calls raise. Included for API-coverage
+parity with the paper's claim of Intel/AMD/IBM/ARM/NVIDIA support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.domains import DomainKind
+from repro.hardware.node import Node
+from repro.variorum.backends.base import Backend
+
+
+class ARMBackend(Backend):
+    vendor = "arm"
+
+    _KEY_STEMS = {
+        DomainKind.CPU: "power_cpu_watts_socket",
+        DomainKind.MEMORY: "power_mem_watts_socket",
+        DomainKind.GPU: "power_gpu_watts_gpu",
+    }
+
+    def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
+        reading = node.sensors.read(timestamp)
+        sample = self.base_sample(node, reading)
+        self.add_domain_readings(sample, node, reading, self._KEY_STEMS)
+        return sample
+
+    def cap_best_effort_node_power_limit(
+        self, node: Node, watts: float
+    ) -> Dict[str, object]:
+        from repro.variorum.api import VariorumError
+
+        raise VariorumError("power capping not supported on this ARM platform")
+
+    def cap_each_gpu_power_limit(self, node: Node, watts: float) -> List[float]:
+        from repro.variorum.api import VariorumError
+
+        raise VariorumError("GPU power capping not supported on this ARM platform")

@@ -1,0 +1,62 @@
+"""Backend interface and shared telemetry helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.domains import DomainKind
+from repro.hardware.node import Node
+from repro.hardware.sensors import SensorReading
+
+
+class Backend:
+    """One vendor's implementation of the three Variorum calls."""
+
+    vendor: str = "base"
+
+    def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def cap_best_effort_node_power_limit(
+        self, node: Node, watts: float
+    ) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def cap_each_gpu_power_limit(self, node: Node, watts: float) -> List[float]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def base_sample(node: Node, reading: SensorReading) -> Dict[str, object]:
+        """Common header fields for a telemetry sample."""
+        return {
+            "hostname": node.hostname,
+            "timestamp": round(reading.timestamp, 6),
+            "power_node_watts": round(reading.node_w, 3),
+            "power_node_is_estimate": not reading.node_measured,
+        }
+
+    @staticmethod
+    def add_domain_readings(
+        sample: Dict[str, object],
+        node: Node,
+        reading: SensorReading,
+        kinds: Dict[DomainKind, str],
+    ) -> None:
+        """Append per-domain keys like ``power_cpu_watts_socket_0``.
+
+        ``kinds`` maps a domain kind to the key stem Variorum uses for
+        it (e.g. ``DomainKind.CPU -> "power_cpu_watts_socket"``).
+        Indexing is per-kind in node domain order.
+        """
+        counters: Dict[DomainKind, int] = {}
+        for dom in node.domains.values():
+            spec = dom.spec
+            if not spec.measurable or spec.kind not in kinds:
+                continue
+            idx = counters.get(spec.kind, 0)
+            counters[spec.kind] = idx + 1
+            key = f"{kinds[spec.kind]}_{idx}"
+            sample[key] = round(reading.domains_w.get(spec.name, dom.actual_w), 3)

@@ -1,0 +1,60 @@
+"""IBM backend: OCC telemetry + OPAL node capping + NVML GPU capping."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.domains import DomainKind
+from repro.hardware.node import Node
+from repro.variorum.backends.base import Backend
+
+
+class IBMBackend(Backend):
+    """AC922 (Power9 + V100) platforms — the Lassen path."""
+
+    vendor = "ibm"
+
+    _KEY_STEMS = {
+        DomainKind.CPU: "power_cpu_watts_socket",
+        DomainKind.MEMORY: "power_mem_watts_socket",
+        DomainKind.GPU: "power_gpu_watts_gpu",
+    }
+
+    def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
+        reading = node.sensors.read(timestamp)
+        sample = self.base_sample(node, reading)
+        self.add_domain_readings(sample, node, reading, self._KEY_STEMS)
+        # Per-socket GPU aggregates, as real Variorum reports on IBM
+        # (two GPUs hang off each Power9 socket).
+        gpus = [
+            reading.domains_w[d.spec.name]
+            for d in node.by_kind(DomainKind.GPU)
+            if d.spec.name in reading.domains_w
+        ]
+        half = (len(gpus) + 1) // 2
+        sample["power_gpu_watts_socket_0"] = round(sum(gpus[:half]), 3)
+        sample["power_gpu_watts_socket_1"] = round(sum(gpus[half:]), 3)
+        return sample
+
+    def cap_best_effort_node_power_limit(
+        self, node: Node, watts: float
+    ) -> Dict[str, object]:
+        if node.opal is None:
+            raise RuntimeError(f"{node.hostname}: IBM node without OPAL firmware")
+        derived = node.opal.set_node_power_cap(watts)
+        return {
+            "method": "opal_node_cap",
+            "node_cap_watts": watts,
+            "derived_gpu_cap_watts": derived,
+            "best_effort": watts < node.opal.hard_min_w,
+        }
+
+    def cap_each_gpu_power_limit(self, node: Node, watts: float) -> List[float]:
+        from repro.variorum.api import VariorumError
+
+        if node.nvml is None or node.nvml.gpu_count() == 0:
+            raise VariorumError(f"{node.hostname}: no NVML-cappable GPUs")
+        try:
+            return node.nvml.set_all(watts)
+        except Exception as exc:
+            raise VariorumError(str(exc)) from exc

@@ -1,0 +1,80 @@
+"""Intel backend: RAPL socket telemetry/capping, best-effort node caps."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.domains import DomainKind
+from repro.hardware.node import Node
+from repro.variorum.backends.base import Backend
+
+
+class IntelBackend(Backend):
+    vendor = "intel"
+
+    _KEY_STEMS = {
+        DomainKind.CPU: "power_cpu_watts_socket",
+        DomainKind.MEMORY: "power_mem_watts_socket",
+        DomainKind.GPU: "power_gpu_watts_gpu",
+    }
+
+    def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
+        reading = node.sensors.read(timestamp)
+        sample = self.base_sample(node, reading)
+        self.add_domain_readings(sample, node, reading, self._KEY_STEMS)
+        return sample
+
+    def cap_best_effort_node_power_limit(
+        self, node: Node, watts: float
+    ) -> Dict[str, object]:
+        from repro.variorum.api import VariorumError
+
+        if node.rapl is None:
+            raise VariorumError(f"{node.hostname}: no RAPL driver")
+        cpus = node.by_kind(DomainKind.CPU)
+        gpus = node.by_kind(DomainKind.GPU)
+        others = sum(
+            d.spec.idle_w
+            for d in node.domains.values()
+            if d.spec.kind in (DomainKind.MEMORY, DomainKind.UNCORE)
+        )
+        budget = max(watts - others, 0.0)
+        # Uniform split across sockets (Variorum's documented behaviour),
+        # with GPUs sharing whatever their max caps allow of the rest.
+        if gpus:
+            gpu_budget = budget / 2.0
+            cpu_budget = budget - gpu_budget
+        else:
+            gpu_budget = 0.0
+            cpu_budget = budget
+        per_socket = cpu_budget / max(len(cpus), 1)
+        spec = cpus[0].spec
+        lo = spec.min_cap_w or 0.0
+        hi = spec.max_cap_w or spec.max_w
+        per_socket = min(max(per_socket, lo), hi)
+        for i in range(len(cpus)):
+            node.rapl.set_socket_power_cap(i, per_socket)
+        result: Dict[str, object] = {
+            "method": "rapl_uniform_split",
+            "socket_cap_watts": per_socket,
+            "best_effort": True,
+        }
+        if gpus and node.nvml is not None:
+            per_gpu = gpu_budget / len(gpus)
+            gspec = gpus[0].spec
+            per_gpu = min(
+                max(per_gpu, gspec.min_cap_w or 0.0), gspec.max_cap_w or gspec.max_w
+            )
+            node.nvml.set_all(per_gpu)
+            result["gpu_cap_watts"] = per_gpu
+        return result
+
+    def cap_each_gpu_power_limit(self, node: Node, watts: float) -> List[float]:
+        from repro.variorum.api import VariorumError
+
+        if node.nvml is None or node.nvml.gpu_count() == 0:
+            raise VariorumError(f"{node.hostname}: no cappable GPUs")
+        try:
+            return node.nvml.set_all(watts)
+        except Exception as exc:
+            raise VariorumError(str(exc)) from exc

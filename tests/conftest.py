@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flux.instance import FluxInstance
+from repro.simkernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def lassen4() -> FluxInstance:
+    """A small 4-node Lassen instance (no monitor/manager loaded)."""
+    return FluxInstance(platform="lassen", n_nodes=4, seed=123)
+
+
+@pytest.fixture
+def tioga2() -> FluxInstance:
+    return FluxInstance(platform="tioga", n_nodes=2, seed=123)
+
+
+def drain(sim: Simulator, until: float = None) -> float:
+    """Run a simulator to completion (or a horizon)."""
+    return sim.run(until=until)

@@ -1,0 +1,67 @@
+"""Unit tests for ASCII timeline rendering."""
+
+import pytest
+
+from repro.analysis.plotting import GLYPHS, ascii_timeline, sparkline
+
+
+def make_series(n=50, lo=400.0, hi=1000.0):
+    return [(float(t), lo + (hi - lo) * (t % 10) / 10.0) for t in range(n)]
+
+
+def test_single_series_renders():
+    out = ascii_timeline({"node": make_series()})
+    lines = out.splitlines()
+    assert lines[0] == "#=node"
+    assert any("#" in line for line in lines[1:])
+    assert "W" in lines[1]
+
+
+def test_dimensions_respected():
+    out = ascii_timeline({"a": make_series()}, width=40, height=8)
+    body = [l for l in out.splitlines() if "|" in l]
+    assert len(body) == 8
+    assert all(len(l.split("|", 1)[1]) <= 40 for l in body)
+
+
+def test_multiple_series_use_distinct_glyphs():
+    out = ascii_timeline({"a": make_series(), "b": make_series(lo=100, hi=200)})
+    assert f"{GLYPHS[0]}=a" in out
+    assert f"{GLYPHS[1]}=b" in out
+    assert GLYPHS[1] in out.split("\n", 1)[1]
+
+
+def test_t_range_clips_points():
+    series = make_series(100)
+    out = ascii_timeline({"a": series}, t_range=(0.0, 10.0), width=30)
+    assert "t=0s" in out and "t=10s" in out
+
+
+def test_constant_series_does_not_divide_by_zero():
+    out = ascii_timeline({"flat": [(0.0, 5.0), (1.0, 5.0)]})
+    assert "#" in out
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        ascii_timeline({})
+    with pytest.raises(ValueError):
+        ascii_timeline({"a": []})
+
+
+def test_axis_labels_show_y_extremes():
+    out = ascii_timeline({"a": [(0.0, 100.0), (1.0, 900.0)]})
+    assert "900" in out and "100" in out
+
+
+def test_sparkline_resamples_to_width():
+    s = sparkline(list(range(1000)), width=40)
+    assert len(s) == 40
+    # Monotone data gives nondecreasing block heights.
+    assert s[0] <= s[-1]
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    flat = sparkline([5.0, 5.0, 5.0])
+    assert len(set(flat)) == 1

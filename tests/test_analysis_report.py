@@ -1,0 +1,83 @@
+"""Unit tests for campaign reports."""
+
+import pytest
+
+from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.analysis.report import summarise_campaign
+
+
+@pytest.fixture
+def finished_cluster():
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=6,
+        manager_config=ManagerConfig(
+            global_cap_w=4800.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+    )
+    cluster.submit(Jobspec(app="laghos", nnodes=2, params={"work_scale": 4}))
+    cluster.submit(Jobspec(app="quicksilver", nnodes=2, params={"work_scale": 8}))
+    cluster.run_until_complete(timeout_s=500_000)
+    cluster.run_for(1.0)
+    return cluster
+
+
+def test_summary_counts_jobs(finished_cluster):
+    s = summarise_campaign(finished_cluster)
+    assert s.n_jobs == 2
+    assert s.n_completed == 2
+    assert s.n_cancelled == 0
+    assert len(s.job_rows) == 2
+
+
+def test_summary_energy_consistent_with_metrics(finished_cluster):
+    s = summarise_campaign(finished_cluster)
+    expected = sum(
+        m.avg_node_energy_kj * m.nnodes
+        for m in finished_cluster.all_metrics().values()
+    )
+    assert s.total_energy_kj == pytest.approx(expected)
+
+
+def test_summary_utilisation_bounded(finished_cluster):
+    s = summarise_campaign(finished_cluster)
+    assert 0.0 < s.utilisation <= 1.0
+    assert s.node_hours > 0
+
+
+def test_summary_policy_metadata(finished_cluster):
+    s = summarise_campaign(finished_cluster)
+    assert s.policy == "proportional"
+    assert s.global_cap_w == 4800.0
+    assert s.share_changes >= 1
+    assert s.peak_cluster_kw is not None
+
+
+def test_render_contains_key_lines(finished_cluster):
+    text = summarise_campaign(finished_cluster).render()
+    assert "campaign report" in text
+    assert "lassen x 4 nodes" in text
+    assert "laghos" in text and "quicksilver" in text
+    assert "power policy:    proportional" in text
+
+
+def test_summary_with_cancelled_job():
+    cluster = PowerManagedCluster(platform="lassen", n_nodes=2, seed=6, trace=False)
+    a = cluster.submit(Jobspec(app="laghos", nnodes=2))
+    b = cluster.submit(Jobspec(app="laghos", nnodes=2))
+    cluster.instance.jobmanager.cancel(b.jobid)
+    cluster.run_until_complete()
+    s = summarise_campaign(cluster)
+    assert s.n_cancelled == 1
+    assert s.n_completed == 1
+
+
+def test_summary_without_manager_or_trace():
+    cluster = PowerManagedCluster(platform="lassen", n_nodes=1, seed=6, trace=False)
+    cluster.submit(Jobspec(app="laghos", nnodes=1))
+    cluster.run_until_complete()
+    s = summarise_campaign(cluster)
+    assert s.policy is None
+    assert s.peak_cluster_kw is None
+    assert "power policy" not in s.render()

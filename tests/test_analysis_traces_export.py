@@ -1,0 +1,53 @@
+"""Unit tests for trace CSV export."""
+
+import pytest
+
+from repro.analysis.traces import ClusterPowerTrace
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec
+
+
+@pytest.fixture
+def traced():
+    inst = FluxInstance(platform="lassen", n_nodes=2, seed=22)
+    trace = ClusterPowerTrace(inst, interval_s=2.0)
+    inst.submit(Jobspec(app="laghos", nnodes=2))
+    inst.run_until_complete()
+    trace.stop()
+    return inst, trace
+
+
+def test_csv_header_and_columns(traced):
+    _, trace = traced
+    lines = trace.to_csv().strip().splitlines()
+    assert lines[0] == "timestamp,lassen000,lassen001,cluster_w"
+    for line in lines[1:]:
+        assert len(line.split(",")) == 4
+
+
+def test_csv_cluster_column_is_row_sum(traced):
+    _, trace = traced
+    for line in trace.to_csv().strip().splitlines()[1:]:
+        _, a, b, total = (float(x) for x in line.split(","))
+        assert total == pytest.approx(a + b, abs=0.01)
+
+
+def test_csv_rows_match_samples(traced):
+    _, trace = traced
+    lines = trace.to_csv().strip().splitlines()
+    assert len(lines) - 1 == len(trace.times)
+
+
+def test_write_csv_roundtrip(traced, tmp_path):
+    _, trace = traced
+    path = tmp_path / "trace.csv"
+    trace.write_csv(str(path))
+    assert path.read_text() == trace.to_csv()
+
+
+def test_csv_captures_load_transition(traced):
+    _, trace = traced
+    lines = trace.to_csv().strip().splitlines()[1:]
+    totals = [float(l.split(",")[-1]) for l in lines]
+    assert totals[0] == pytest.approx(800.0)  # idle at t=0
+    assert max(totals) > 900.0  # laghos load visible

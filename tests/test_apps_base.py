@@ -1,0 +1,183 @@
+"""Unit + property tests for application profiles and the perf response."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.base import AppProfile, PhaseProfile, PlatformDemand
+from repro.apps.registry import get_profile
+
+
+def minimal_profile(**overrides):
+    kwargs = dict(
+        name="toy",
+        scaling="weak",
+        launcher="mpi",
+        base_runtime_s=100.0,
+        ref_nodes=1,
+        gpu_frac=0.5,
+        cpu_frac=0.3,
+        beta_gpu=0.8,
+        gamma_gpu=1.6,
+        demand={
+            "lassen": PlatformDemand(cpu_dyn_w=50.0, mem_dyn_w=20.0, gpu_dyn_w=100.0)
+        },
+    )
+    kwargs.update(overrides)
+    return AppProfile(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def test_invalid_scaling_rejected():
+    with pytest.raises(ValueError):
+        minimal_profile(scaling="diagonal")
+
+
+def test_fractions_must_sum_to_at_most_one():
+    with pytest.raises(ValueError):
+        minimal_profile(gpu_frac=0.8, cpu_frac=0.5)
+
+
+def test_profile_needs_demand():
+    with pytest.raises(ValueError):
+        minimal_profile(demand={})
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        PhaseProfile(period_s=-1.0)
+    with pytest.raises(ValueError):
+        PhaseProfile(duty=0.0)
+    with pytest.raises(ValueError):
+        PhaseProfile(gpu_depth=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Phases
+# ---------------------------------------------------------------------------
+
+def test_flat_phase_factor_always_one():
+    ph = PhaseProfile()
+    assert ph.flat
+    assert ph.demand_factor(123.4) == (1.0, 1.0)
+    assert ph.mean_factor() == (1.0, 1.0)
+
+
+def test_phase_high_low_by_progress_position():
+    ph = PhaseProfile(period_s=10.0, duty=0.6, gpu_depth=0.5, cpu_depth=0.2)
+    assert ph.demand_factor(1.0) == (1.0, 1.0)  # in the first 60%
+    assert ph.demand_factor(7.0) == (0.5, 0.8)  # in the low tail
+    assert ph.demand_factor(11.0) == (1.0, 1.0)  # wrapped around
+
+
+def test_phase_mean_factor_weighted_by_duty():
+    ph = PhaseProfile(period_s=10.0, duty=0.6, gpu_depth=0.5, cpu_depth=0.0)
+    g, c = ph.mean_factor()
+    assert g == pytest.approx(0.6 + 0.4 * 0.5)
+    assert c == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Scaling laws
+# ---------------------------------------------------------------------------
+
+def test_weak_scaling_runtime_constant():
+    p = minimal_profile(scaling="weak")
+    assert p.runtime_s("lassen", 1) == p.runtime_s("lassen", 32)
+
+
+def test_strong_scaling_runtime_shrinks_with_nodes():
+    p = minimal_profile(scaling="strong", ref_nodes=4, strong_runtime_exp=0.75)
+    assert p.runtime_s("lassen", 8) < p.runtime_s("lassen", 4)
+    # Imperfect speedup: 2x nodes gives < 2x speedup.
+    speedup = p.runtime_s("lassen", 4) / p.runtime_s("lassen", 8)
+    assert 1.0 < speedup < 2.0
+
+
+def test_strong_scaling_power_shrinks_with_nodes():
+    p = minimal_profile(scaling="strong", ref_nodes=1, strong_power_exp=0.25)
+    assert p.power_scale(32) < p.power_scale(2) < p.power_scale(1) == 1.0
+
+
+def test_weak_scaling_power_constant():
+    p = minimal_profile(scaling="weak")
+    assert p.power_scale(32) == 1.0
+
+
+def test_work_scale_multiplies_runtime():
+    p = minimal_profile()
+    assert p.runtime_s("lassen", 1, work_scale=3.0) == pytest.approx(300.0)
+
+
+def test_missing_platform_demand_raises():
+    p = minimal_profile()
+    with pytest.raises(KeyError):
+        p.platform_demand("tioga")
+
+
+# ---------------------------------------------------------------------------
+# Performance response
+# ---------------------------------------------------------------------------
+
+def test_response_is_one_at_full_power():
+    assert AppProfile.component_response(1.0, 0.8, 1.6) == 1.0
+
+
+def test_response_floor_prevents_zero():
+    assert AppProfile.component_response(0.0, 1.0, 1.0) >= 0.02
+
+
+def test_unthrottled_progress_rate_is_one():
+    p = minimal_profile()
+    assert p.progress_rate(1.0, 1.0) == pytest.approx(1.0)
+
+
+def test_gpu_throttle_slows_progress():
+    p = minimal_profile()
+    assert p.progress_rate(0.5, 1.0) < 1.0
+
+
+def test_insensitive_fraction_limits_slowdown():
+    """Even a starved GPU cannot slow the app below its Amdahl bound."""
+    p = minimal_profile(gpu_frac=0.5, cpu_frac=0.0)
+    worst = p.progress_rate(0.0, 1.0)
+    assert worst > 0.0
+    # other fraction (0.5) still runs at full speed:
+    assert worst >= 1.0 / (0.5 / 0.02 + 0.5)
+
+
+@given(x=st.floats(0.0, 1.0), beta=st.floats(0.0, 1.0), gamma=st.floats(1.0, 3.0))
+def test_response_bounded_and_monotone_nearby(x, beta, gamma):
+    g = AppProfile.component_response(x, beta, gamma)
+    assert 0.02 <= g <= 1.0
+    g_up = AppProfile.component_response(min(1.0, x + 0.05), beta, gamma)
+    assert g_up >= g - 1e-9  # nondecreasing in granted power
+
+
+@given(
+    gpu=st.floats(0.0, 1.0),
+    cpu=st.floats(0.0, 1.0),
+)
+def test_progress_rate_bounded(gpu, cpu):
+    p = minimal_profile()
+    r = p.progress_rate(gpu, cpu)
+    assert 0.0 < r <= 1.0 + 1e-9
+
+
+@given(gpu=st.floats(0.0, 0.99))
+def test_more_gpu_power_never_hurts(gpu):
+    p = minimal_profile()
+    assert p.progress_rate(gpu + 0.01, 1.0) >= p.progress_rate(gpu, 1.0) - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Registry profiles: mean power prediction consistency
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["lammps", "gemm", "quicksilver", "laghos", "nqueens"])
+def test_mean_node_demand_at_least_idle(name):
+    p = get_profile(name)
+    mean = p.mean_node_demand_w("lassen", 4, node_idle_w=400.0, n_sockets=2, n_gpus=4)
+    assert mean >= 400.0

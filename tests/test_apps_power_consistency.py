@@ -1,0 +1,68 @@
+"""Cross-checks: analytic power predictions versus simulated runs.
+
+``AppProfile.mean_node_demand_w`` predicts the unconstrained average
+node power analytically (idle + phase-weighted dynamic demand). These
+tests run each application for real and require the simulation to agree
+— guarding against drift between the demand model and the executor.
+"""
+
+import pytest
+
+from repro.apps.registry import get_profile
+from repro.apps.run import AppRun
+from repro.flux.jobspec import JobRecord, Jobspec
+from repro.hardware.platforms.lassen import make_lassen_node
+from repro.hardware.platforms.tioga import make_tioga_node
+from repro.simkernel import Simulator
+
+APPS = ["lammps", "gemm", "quicksilver", "laghos", "nqueens", "kripke", "sw4lite"]
+
+
+def simulate_avg_power(app: str, platform: str, n_nodes: int = 2, work_scale=10.0):
+    """Average node power over a long (many-period) unconstrained run."""
+    maker = make_lassen_node if platform == "lassen" else make_tioga_node
+    sim = Simulator()
+    nodes = [maker(f"n{i}") for i in range(n_nodes)]
+    record = JobRecord(jobid=1, spec=Jobspec(app=app, nnodes=n_nodes))
+    run = AppRun(
+        sim, record, nodes, get_profile(app), work_scale=work_scale
+    )
+    sim.run(until=500_000.0)
+    assert run.finished
+    return run.avg_node_power_w
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_lassen_simulation_matches_analytic_mean(app):
+    profile = get_profile(app)
+    predicted = profile.mean_node_demand_w(
+        "lassen", 2, node_idle_w=400.0, n_sockets=2, n_gpus=4
+    )
+    measured = simulate_avg_power(app, "lassen")
+    # Phases quantised by the 1 s step introduce a little smear.
+    assert measured == pytest.approx(predicted, rel=0.06)
+
+
+@pytest.mark.parametrize("app", ["lammps", "laghos", "kripke"])
+def test_tioga_simulation_matches_analytic_mean(app):
+    profile = get_profile(app)
+    # Tioga's analytic prediction: full node (incl. unmeasured domains).
+    predicted = profile.mean_node_demand_w(
+        "tioga", 2, node_idle_w=505.0, n_sockets=1, n_gpus=8
+    )
+    measured = simulate_avg_power(app, "tioga")
+    assert measured == pytest.approx(predicted, rel=0.08)
+
+
+def test_energy_scales_linearly_with_work():
+    e1 = None
+    sim_avgs = []
+    for scale in (1.0, 2.0):
+        maker = make_lassen_node
+        sim = Simulator()
+        nodes = [maker("n0")]
+        record = JobRecord(jobid=1, spec=Jobspec(app="gemm", nnodes=1))
+        run = AppRun(sim, record, nodes, get_profile("gemm"), work_scale=scale)
+        sim.run(until=100_000.0)
+        sim_avgs.append(run.avg_node_energy_j)
+    assert sim_avgs[1] == pytest.approx(2.0 * sim_avgs[0], rel=0.02)

@@ -1,0 +1,145 @@
+"""Calibration tests: the five profiles against the paper's numbers."""
+
+import pytest
+
+from repro.apps.registry import get_profile, list_apps, register_profile
+from repro.apps.base import AppProfile, PlatformDemand
+
+
+PAPER_APPS = ["gemm", "laghos", "lammps", "nqueens", "quicksilver"]
+
+
+def test_registry_lists_all_five_apps():
+    assert set(PAPER_APPS) <= set(list_apps())
+
+
+def test_registry_unknown_app():
+    with pytest.raises(KeyError):
+        get_profile("hpl")
+
+
+def test_registry_caches_profiles():
+    assert get_profile("gemm") is get_profile("gemm")
+
+
+def test_register_custom_profile():
+    def factory():
+        return AppProfile(
+            name="custom",
+            scaling="weak",
+            launcher="mpi",
+            base_runtime_s=10.0,
+            ref_nodes=1,
+            gpu_frac=0.5,
+            cpu_frac=0.3,
+            beta_gpu=0.8,
+            gamma_gpu=1.5,
+            demand={"lassen": PlatformDemand(10.0, 5.0, 20.0)},
+        )
+
+    register_profile("custom", factory)
+    assert get_profile("custom").name == "custom"
+
+
+# ---------------------------------------------------------------------------
+# Table II runtime calibration (unconstrained, no jitter)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "app,platform,nodes,expected",
+    [
+        ("lammps", "lassen", 4, 77.17),
+        ("lammps", "lassen", 8, 46.33),
+        ("lammps", "tioga", 4, 51.00),
+        ("laghos", "lassen", 4, 12.55),
+        ("laghos", "tioga", 4, 26.71),
+        ("quicksilver", "tioga", 4, 102.03),
+    ],
+)
+def test_runtime_calibration(app, platform, nodes, expected):
+    p = get_profile(app)
+    assert p.runtime_s(platform, nodes) == pytest.approx(expected, rel=0.05)
+
+
+def test_quicksilver_tioga_anomaly_factor():
+    """The HIP variant is ~8x slower (Section IV-A)."""
+    p = get_profile("quicksilver")
+    ratio = p.runtime_s("tioga", 4) / p.runtime_s("lassen", 4)
+    assert 7.0 < ratio < 9.0
+
+
+# ---------------------------------------------------------------------------
+# Table II / Fig 2 power calibration
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "app,nodes,expected",
+    [
+        ("lammps", 4, 1283.74),
+        ("lammps", 8, 1155.08),
+        ("laghos", 4, 472.91),
+        ("quicksilver", 4, 546.99),
+    ],
+)
+def test_lassen_mean_power_calibration(app, nodes, expected):
+    p = get_profile(app)
+    mean = p.mean_node_demand_w("lassen", nodes, node_idle_w=400.0, n_sockets=2, n_gpus=4)
+    assert mean == pytest.approx(expected, rel=0.12)
+
+
+def test_lammps_power_declines_with_strong_scaling():
+    p = get_profile("lammps")
+    p1 = p.mean_node_demand_w("lassen", 1, 400.0, 2, 4)
+    p32 = p.mean_node_demand_w("lassen", 32, 400.0, 2, 4)
+    assert p32 < p1
+
+
+def test_weak_apps_power_flat_with_scale():
+    for app in ("laghos", "quicksilver", "gemm"):
+        p = get_profile(app)
+        assert p.mean_node_demand_w("lassen", 1, 400.0, 2, 4) == pytest.approx(
+            p.mean_node_demand_w("lassen", 32, 400.0, 2, 4)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Qualitative shapes from Section II-D / Fig 1
+# ---------------------------------------------------------------------------
+
+def test_quicksilver_is_the_periodic_app():
+    assert get_profile("quicksilver").phases.period_s > 0
+    assert get_profile("quicksilver").phases.gpu_depth > 0.9  # deep swings
+
+
+def test_lammps_and_nqueens_are_flat():
+    assert get_profile("lammps").phases.flat
+    assert get_profile("nqueens").phases.flat
+
+
+def test_laghos_phases_are_minor():
+    ph = get_profile("laghos").phases
+    assert 0 < ph.gpu_depth <= 0.4
+
+
+def test_nqueens_is_cpu_only_non_mpi():
+    p = get_profile("nqueens")
+    assert p.launcher == "non-mpi"
+    assert p.gpu_frac == 0.0
+    assert p.demand["lassen"].gpu_dyn_w == 0.0
+
+
+def test_gemm_is_gpu_bound():
+    p = get_profile("gemm")
+    assert p.gpu_frac >= 0.9
+
+
+def test_all_profiles_have_all_three_platforms():
+    for app in PAPER_APPS:
+        p = get_profile(app)
+        for platform in ("lassen", "tioga", "generic"):
+            assert p.platform_demand(platform) is not None
+
+
+def test_inputs_documented():
+    for app in PAPER_APPS:
+        assert get_profile(app).inputs

@@ -1,0 +1,58 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_apps_command_lists_profiles(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for app in ("lammps", "gemm", "quicksilver", "laghos", "nqueens"):
+        assert app in out
+
+
+def test_telemetry_command_prints_csv(capsys):
+    rc = main(
+        ["telemetry", "--app", "laghos", "--nodes", "1", "--cluster-nodes", "1",
+         "--work-scale", "1.0"]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("jobid,hostname,timestamp")
+    assert "complete" in captured.out
+    assert "# job 1:" in captured.err
+
+
+def test_telemetry_command_writes_file(tmp_path, capsys):
+    out_file = tmp_path / "power.csv"
+    rc = main(
+        ["telemetry", "--app", "laghos", "--nodes", "1", "--cluster-nodes", "1",
+         "--work-scale", "1.0", "-o", str(out_file)]
+    )
+    assert rc == 0
+    assert out_file.read_text().startswith("jobid,hostname")
+
+
+def test_telemetry_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["telemetry", "--app", "hpl"])
+
+
+def test_static_caps_command(capsys):
+    assert main(["static-caps", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "3050" in out and "1200" in out
+    assert "100" in out  # the conservative derived GPU cap
+
+
+def test_queue_command(capsys):
+    assert main(["queue", "--seed", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "proportional" in out and "fpp" in out
+    assert "makespans equal" in out

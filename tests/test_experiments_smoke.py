@@ -1,0 +1,115 @@
+"""Smoke tests for the experiment drivers (reduced scopes, fast)."""
+
+import pytest
+
+from repro.experiments import calibration as cal
+from repro.experiments.fig1_timeline import run_fig1
+from repro.experiments.fig2_scaling import run_fig2
+from repro.experiments.fig3_overhead import run_fig3
+from repro.experiments.fig4_variability import run_fig4
+from repro.experiments.section5_failures import run_failure_injection
+from repro.experiments.converged_queue import run_converged_once
+from repro.experiments.table3_static import run_static_cap
+from repro.experiments.table4_policies import SCENARIOS, run_policy_scenario
+
+
+def test_fig1_driver_shapes():
+    res = run_fig1("laghos", work_scale=10)
+    assert set(res.series) == {"node", "cpu", "gpu"}
+    ts = [t for t, _ in res.series["node"]]
+    assert ts == sorted(ts)
+
+
+def test_fig2_reduced_sweep():
+    res = run_fig2(platforms=("lassen",), apps=("laghos",))
+    assert len(res.cells) == 6  # six node counts
+    assert all(c.platform == "lassen" for c in res.cells)
+    with pytest.raises(KeyError):
+        res.cell("laghos", "tioga", 4)
+
+
+def test_fig3_reduced_matrix():
+    res = run_fig3(
+        platforms=("tioga",),
+        apps=("lammps",),
+        node_counts={"tioga": (1, 2)},
+        seed=9,
+    )
+    assert len(res.cells) == 2
+    # Tioga's tiny overhead: measured within noise of ~0.
+    for cell in res.cells.values():
+        assert abs(cell.overhead_pct) < 2.0
+
+
+def test_fig4_reuses_fig3_data():
+    f3 = run_fig3(
+        platforms=("tioga",), apps=("lammps",), node_counts={"tioga": (1,)}, seed=9
+    )
+    f4 = run_fig4(f3)
+    assert set(f4.cells) == set(f3.cells)
+
+
+def test_scenarios_cover_paper_rows():
+    assert set(SCENARIOS) == set(cal.TABLE4)
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        run_policy_scenario("greedy")
+
+
+def test_static_cap_driver_single_row():
+    row = run_static_cap(1200.0, seed=2)
+    assert row.derived_gpu_cap_w == pytest.approx(100.0, abs=1.0)
+    assert row.max_cluster_kw < 6.5
+
+
+def test_failure_injection_zero_rate_clean():
+    res = run_failure_injection(0.0, seed=2)
+    assert res.nvml_failures == 0
+    assert res.violation_fraction < 0.02
+
+
+def test_converged_queue_small():
+    run = run_converged_once("proportional", seed=3, n_jobs=10)
+    assert run.n_jobs == 10
+    assert run.makespan_s > 0
+    assert run.avg_wait_s >= 0
+
+
+def test_scalability_single_point():
+    from repro.experiments.scalability import measure_scale_point
+
+    cell = measure_scale_point(16, "fanout", window_s=20.0)
+    assert cell.samples_returned == 16 * 11  # t=0..20 at 2 s
+    assert cell.query_latency_s > 0
+    assert cell.payload_mb > 0
+
+
+def test_scalability_tree_matches_fanout_sample_counts():
+    from repro.experiments.scalability import measure_scale_point
+
+    a = measure_scale_point(16, "fanout", window_s=20.0)
+    b = measure_scale_point(16, "tree", window_s=20.0)
+    assert a.samples_returned == b.samples_returned
+    assert b.root_messages < a.root_messages
+
+
+def test_budget_point_unconstrained():
+    from repro.experiments.budget_sweep import run_budget_point
+
+    p = run_budget_point(None, seed=2)
+    assert p.budget_w is None
+    assert p.gemm_runtime_s == pytest.approx(548.0, rel=0.03)
+
+
+def test_workflow_campaign_stage_ordering():
+    from repro.experiments.workflow_campaign import run_workflow_once
+
+    run = run_workflow_once("proportional", seed=12)
+    assert (
+        run.stage_starts["preprocess"]
+        < run.stage_starts["fanout"]
+        < run.stage_starts["reduce"]
+    )
+    assert run.total_energy_kj > 0

@@ -1,0 +1,33 @@
+"""Unit tests for the validation driver."""
+
+import pytest
+
+from repro.experiments.validate import Check, ValidationReport, run_validation
+
+
+def test_report_accumulates_and_renders():
+    r = ValidationReport()
+    r.add("a", True, "fine")
+    r.add("b", False, "broken")
+    assert not r.all_passed
+    text = r.render()
+    assert "[PASS] a: fine" in text
+    assert "[FAIL] b: broken" in text
+    assert "1/2 checks passed" in text
+
+
+def test_empty_report_passes():
+    assert ValidationReport().all_passed
+
+
+def test_check_row_format():
+    assert Check("x", True, "d").row() == "[PASS] x: d"
+    assert Check("x", False, "d").row() == "[FAIL] x: d"
+
+
+@pytest.mark.slow
+def test_full_validation_passes():
+    """The capstone: every headline claim holds on the default seeds."""
+    report = run_validation(seed=1, queue_seed=10)
+    assert report.all_passed, "\n" + report.render()
+    assert len(report.checks) == 11

@@ -1,0 +1,176 @@
+"""Unit tests for the payload-size / bandwidth transport model."""
+
+import pytest
+
+from repro.flux.broker import Broker
+from repro.flux.message import Message, MessageType, estimate_payload_bytes
+from repro.flux.overlay import TBON
+from repro.simkernel import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Payload size estimation
+# ---------------------------------------------------------------------------
+
+def test_scalar_sizes():
+    assert estimate_payload_bytes(None) == 4
+    assert estimate_payload_bytes(True) == 4
+    assert estimate_payload_bytes(3) == 8
+    assert estimate_payload_bytes(3.14) == 8
+    assert estimate_payload_bytes("abcd") == 6
+
+
+def test_container_sizes_accumulate():
+    small = estimate_payload_bytes({"a": 1})
+    bigger = estimate_payload_bytes({"a": 1, "b": [1, 2, 3]})
+    assert bigger > small
+
+
+def test_estimate_tracks_real_json_order_of_magnitude():
+    import json
+
+    payload = {
+        "samples": [
+            {"timestamp": float(i), "power_node_watts": 1234.567}
+            for i in range(100)
+        ]
+    }
+    est = estimate_payload_bytes(payload)
+    real = len(json.dumps(payload).encode())
+    assert 0.3 * real <= est <= 3.0 * real
+
+
+def test_message_size_includes_header():
+    msg = Message(msg_type=MessageType.REQUEST, topic="x", payload={})
+    assert msg.size_bytes() >= 64
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth-aware delays
+# ---------------------------------------------------------------------------
+
+def test_path_delay_grows_with_payload():
+    t = TBON(size=8, hop_latency_s=1e-4)
+    small = t.path_delay(7, 0, size_bytes=100)
+    large = t.path_delay(7, 0, size_bytes=10_000_000)
+    assert large > small
+    # 10 MB over 12.5 GB/s = 6.4 ms per hop, 3 hops for rank 7.
+    assert large == pytest.approx(3 * (1e-4 + 6.4e-3), rel=0.01)
+
+
+def test_zero_size_matches_control_latency():
+    t = TBON(size=8, hop_latency_s=1e-4)
+    assert t.path_delay(7, 0) == t.path_delay(7, 0, size_bytes=0)
+
+
+def test_custom_bandwidth():
+    slow = TBON(size=2, hop_latency_s=0.0, bandwidth_bps=8e6)  # 1 MB/s
+    assert slow.path_delay(1, 0, size_bytes=1_000_000) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Receiver ingest queueing
+# ---------------------------------------------------------------------------
+
+def test_concurrent_large_responses_serialise_at_receiver():
+    """N senders of big payloads: the last arrival queues behind N-1."""
+    sim = Simulator()
+    overlay = TBON(size=9, fanout=8, hop_latency_s=1e-5)
+    registry = {}
+    brokers = [Broker(sim, r, overlay, registry=registry) for r in range(9)]
+    arrivals = []
+    big = {"data": "z" * 1_000_000}  # ~1 MB -> 0.64 ms ingest each
+
+    def handler(b, m):
+        b.respond(m, big)
+
+    done = []
+    for r in range(1, 9):
+        brokers[r].register_service("big", handler)
+    futs = [brokers[0].rpc(r, "big", {}) for r in range(1, 9)]
+
+    sim.run()
+    # All resolved; total time >= 8 ingest slots at the root.
+    assert all(f.triggered for f in futs)
+    assert sim.now >= 8 * (1_000_000 * 8.0 / overlay.bandwidth_bps)
+
+
+def test_small_control_messages_barely_queue():
+    sim = Simulator()
+    overlay = TBON(size=9, fanout=8, hop_latency_s=1e-5)
+    registry = {}
+    brokers = [Broker(sim, r, overlay, registry=registry) for r in range(9)]
+    for r in range(1, 9):
+        brokers[r].register_service("ping", lambda b, m: b.respond(m, {}))
+    futs = [brokers[0].rpc(r, "ping", {}) for r in range(1, 9)]
+    sim.run()
+    assert all(f.triggered for f in futs)
+    assert sim.now < 1e-3  # microsecond-scale control traffic
+
+
+# ---------------------------------------------------------------------------
+# Downsampled telemetry queries
+# ---------------------------------------------------------------------------
+
+def test_query_downsampling(lassen4):
+    from repro.monitor.module import attach_monitor
+
+    attach_monitor(lassen4)
+    lassen4.run_for(100.0)
+    fut = lassen4.brokers[0].rpc(
+        1,
+        "power-monitor.query",
+        {"t_start": 0.0, "t_end": 100.0, "max_samples": 10},
+    )
+    lassen4.run_for(1.0)
+    payload = fut.value
+    assert payload["downsampled"] is True
+    assert len(payload["samples"]) <= 10
+    ts = [s["timestamp"] for s in payload["samples"]]
+    assert ts == sorted(ts)
+
+
+def test_query_without_limit_not_downsampled(lassen4):
+    from repro.monitor.module import attach_monitor
+
+    attach_monitor(lassen4)
+    lassen4.run_for(20.0)
+    fut = lassen4.brokers[0].rpc(
+        1, "power-monitor.query", {"t_start": 0.0, "t_end": 20.0}
+    )
+    lassen4.run_for(1.0)
+    assert fut.value["downsampled"] is False
+    assert len(fut.value["samples"]) == 11
+
+
+def test_query_invalid_max_samples_rejected(lassen4):
+    from repro.flux.message import FluxRPCError
+    from repro.monitor.module import attach_monitor
+
+    attach_monitor(lassen4)
+    fut = lassen4.brokers[0].rpc(
+        1,
+        "power-monitor.query",
+        {"t_start": 0.0, "t_end": 5.0, "max_samples": 0},
+    )
+    lassen4.run_for(1.0)
+    with pytest.raises(FluxRPCError):
+        _ = fut.value
+
+
+def test_get_job_power_forwards_max_samples(lassen4):
+    from repro.flux.jobspec import Jobspec
+    from repro.monitor.module import attach_monitor
+    from repro.monitor.root_agent import GET_JOB_POWER_TOPIC
+
+    attach_monitor(lassen4)
+    lassen4.submit(Jobspec(app="laghos", nnodes=2, params={"work_scale": 8}))
+    lassen4.run_until_complete()
+    fut = lassen4.brokers[0].rpc(
+        0,
+        GET_JOB_POWER_TOPIC,
+        {"ranks": [0, 1], "t_start": 0.0, "t_end": 100.0, "max_samples": 5},
+    )
+    lassen4.run_for(1.0)
+    for node in fut.value["nodes"]:
+        assert len(node["samples"]) <= 5

@@ -1,0 +1,177 @@
+"""Unit tests for brokers: RPC, services, events."""
+
+import pytest
+
+from repro.flux.broker import Broker
+from repro.flux.message import FluxRPCError, Message, MessageType
+from repro.flux.overlay import TBON
+from repro.simkernel import Process, Simulator
+
+
+def make_brokers(n=4, fanout=2):
+    sim = Simulator()
+    overlay = TBON(size=n, fanout=fanout)
+    registry = {}
+    brokers = [Broker(sim, r, overlay, registry=registry) for r in range(n)]
+    return sim, brokers
+
+
+def test_rpc_roundtrip_with_payload():
+    sim, brokers = make_brokers()
+
+    def handler(broker, msg):
+        broker.respond(msg, {"doubled": msg.payload["x"] * 2})
+
+    brokers[3].register_service("test.double", handler)
+    fut = brokers[1].rpc(3, "test.double", {"x": 21})
+    sim.run()
+    assert fut.triggered
+    assert fut.value == {"doubled": 42}
+
+
+def test_rpc_takes_simulated_time_over_the_tree():
+    sim, brokers = make_brokers(n=8)
+    times = []
+
+    def handler(broker, msg):
+        broker.respond(msg, {})
+
+    brokers[7].register_service("t", handler)
+
+    def waiter():
+        yield brokers[0].rpc(7, "t")
+        times.append(sim.now)
+
+    Process(sim, waiter())
+    sim.run()
+    assert times and times[0] > 0.0  # hop latency accumulated
+
+
+def test_rpc_to_self_works():
+    sim, brokers = make_brokers()
+    brokers[0].register_service("local", lambda b, m: b.respond(m, {"ok": True}))
+    fut = brokers[0].rpc(0, "local")
+    sim.run()
+    assert fut.value == {"ok": True}
+
+
+def test_rpc_error_response_raises_flux_error():
+    sim, brokers = make_brokers()
+    brokers[2].register_service(
+        "fail", lambda b, m: b.respond(m, errnum=1, errmsg="nope")
+    )
+    fut = brokers[0].rpc(2, "fail")
+    sim.run()
+    with pytest.raises(FluxRPCError) as exc:
+        _ = fut.value
+    assert exc.value.errnum == 1
+    assert "nope" in str(exc.value)
+
+
+def test_rpc_to_missing_service_returns_errnum_38():
+    sim, brokers = make_brokers()
+    fut = brokers[0].rpc(1, "no.such.service")
+    sim.run()
+    with pytest.raises(FluxRPCError) as exc:
+        _ = fut.value
+    assert exc.value.errnum == 38
+
+
+def test_duplicate_service_registration_rejected():
+    _, brokers = make_brokers()
+    brokers[0].register_service("svc", lambda b, m: None)
+    with pytest.raises(ValueError):
+        brokers[0].register_service("svc", lambda b, m: None)
+
+
+def test_concurrent_rpcs_matched_by_matchtag():
+    sim, brokers = make_brokers()
+
+    def handler(broker, msg):
+        broker.respond(msg, {"echo": msg.payload["v"]})
+
+    brokers[1].register_service("echo", handler)
+    futs = [brokers[0].rpc(1, "echo", {"v": i}) for i in range(10)]
+    sim.run()
+    assert [f.value["echo"] for f in futs] == list(range(10))
+
+
+def test_event_broadcast_reaches_all_subscribers():
+    sim, brokers = make_brokers(n=8)
+    got = {r: [] for r in range(8)}
+    for r, b in enumerate(brokers):
+        b.subscribe("job-state.", lambda msg, r=r: got[r].append(msg.topic))
+    brokers[5].publish("job-state.running", {"jobid": 1})
+    sim.run()
+    assert all(g == ["job-state.running"] for g in got.values())
+
+
+def test_event_prefix_matching():
+    sim, brokers = make_brokers()
+    got = []
+    brokers[1].subscribe("alpha.", lambda m: got.append(m.topic))
+    brokers[0].publish("alpha.one")
+    brokers[0].publish("beta.two")
+    sim.run()
+    assert got == ["alpha.one"]
+
+
+def test_events_sequenced_in_publish_order_from_same_rank():
+    sim, brokers = make_brokers(n=4)
+    got = []
+    brokers[3].subscribe("e.", lambda m: got.append((m.topic, m.seq)))
+    for i in range(5):
+        brokers[2].publish(f"e.{i}")
+    sim.run()
+    assert [t for t, _ in got] == [f"e.{i}" for i in range(5)]
+    seqs = [s for _, s in got]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 5
+
+
+def test_unsubscribe_stops_delivery():
+    sim, brokers = make_brokers()
+    got = []
+    cb = lambda m: got.append(m.topic)  # noqa: E731
+    brokers[1].subscribe("x.", cb)
+    brokers[0].publish("x.1")
+    sim.run()
+    brokers[1].unsubscribe("x.", cb)
+    brokers[0].publish("x.2")
+    sim.run()
+    assert got == ["x.1"]
+
+
+def test_message_response_construction():
+    req = Message(
+        msg_type=MessageType.REQUEST,
+        topic="a.b",
+        payload={"k": 1},
+        src_rank=2,
+        dst_rank=5,
+        matchtag=99,
+    )
+    resp = req.make_response({"r": 2}, errnum=0)
+    assert resp.msg_type is MessageType.RESPONSE
+    assert resp.dst_rank == 2 and resp.src_rank == 5
+    assert resp.matchtag == 99
+
+
+def test_response_to_non_request_rejected():
+    ev = Message(msg_type=MessageType.EVENT, topic="x")
+    with pytest.raises(ValueError):
+        ev.make_response()
+
+
+def test_matchtags_unique():
+    tags = {Message.new_matchtag() for _ in range(1000)}
+    assert len(tags) == 1000
+
+
+def test_message_counters():
+    sim, brokers = make_brokers()
+    brokers[1].register_service("svc", lambda b, m: b.respond(m, {}))
+    brokers[0].rpc(1, "svc")
+    sim.run()
+    assert brokers[0].messages_sent >= 1
+    assert brokers[1].messages_delivered >= 1

@@ -1,0 +1,88 @@
+"""Unit tests for job failure handling (fault injection)."""
+
+import pytest
+
+from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import JobState
+
+
+@pytest.fixture
+def inst():
+    return FluxInstance(platform="lassen", n_nodes=4, seed=24)
+
+
+def test_fail_at_marks_job_failed(inst):
+    rec = inst.submit(
+        Jobspec(app="laghos", nnodes=2, params={"fail_at_s": 5.0})
+    )
+    inst.run_until_complete()
+    assert rec.state is JobState.FAILED
+    assert rec.t_end < 12.0  # crashed well before the 12.55 s runtime
+    assert inst.app_runs[rec.jobid].failed
+    assert not inst.app_runs[rec.jobid].finished
+
+
+def test_failed_job_releases_nodes(inst):
+    inst.submit(Jobspec(app="laghos", nnodes=4, params={"fail_at_s": 3.0}))
+    b = inst.submit(Jobspec(app="laghos", nnodes=4))
+    inst.run_until_complete()
+    assert b.state is JobState.COMPLETED
+
+
+def test_failure_publishes_event(inst):
+    topics = []
+    inst.brokers[1].subscribe("job-state.", lambda m: topics.append(m.topic))
+    inst.submit(Jobspec(app="laghos", nnodes=1, params={"fail_at_s": 2.0}))
+    inst.run_until_complete()
+    inst.run_for(1.0)
+    assert "job-state.failed" in topics
+    assert "job-state.completed" not in topics
+
+
+def test_failed_dependency_cancels_dependents(inst):
+    a = inst.submit(Jobspec(app="laghos", nnodes=2, params={"fail_at_s": 4.0}))
+    b = inst.submit(Jobspec(app="laghos", nnodes=2), depends_on=[a.jobid])
+    inst.run_until_complete()
+    assert a.state is JobState.FAILED
+    assert b.state is JobState.CANCELLED
+
+
+def test_failure_clears_demand(inst):
+    rec = inst.submit(Jobspec(app="gemm", nnodes=2, params={"fail_at_s": 10.0}))
+    inst.run_until_complete()
+    for r in rec.ranks:
+        node = inst.nodes[r]
+        assert node.total_power_w() == pytest.approx(node.idle_power_w())
+
+
+def test_failure_releases_power_share():
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=24,
+        trace=False,
+        manager_config=ManagerConfig(
+            global_cap_w=4800.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+    )
+    doomed = cluster.submit(
+        Jobspec(app="gemm", nnodes=2, params={"work_scale": 1.0, "fail_at_s": 20.0})
+    )
+    survivor = cluster.submit(
+        Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.5})
+    )
+    cluster.run_until_complete(timeout_s=1_000_000)
+    assert doomed.state is JobState.FAILED
+    # After the crash, the survivor's share rose to 4800/2 = 2400.
+    shares = [s for (_, _, s) in cluster.manager.share_log if s is not None]
+    assert any(abs(s - 2400.0) < 1 for s in shares)
+
+
+def test_failed_energy_accounting_still_valid(inst):
+    rec = inst.submit(Jobspec(app="gemm", nnodes=1, params={"fail_at_s": 30.0}))
+    inst.run_until_complete()
+    run = inst.app_runs[rec.jobid]
+    # Energy was consumed up to the crash point.
+    assert run.avg_node_energy_j > 0
+    assert run.t_end is not None

@@ -1,0 +1,144 @@
+"""Unit tests for jobspecs and the job manager lifecycle."""
+
+import pytest
+
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec, JobState
+
+
+# ---------------------------------------------------------------------------
+# Jobspec validation
+# ---------------------------------------------------------------------------
+
+def test_jobspec_requires_positive_nodes():
+    with pytest.raises(ValueError):
+        Jobspec(app="gemm", nnodes=0)
+
+
+def test_jobspec_launcher_validated():
+    with pytest.raises(ValueError):
+        Jobspec(app="gemm", nnodes=1, launcher="slurm")
+
+
+def test_jobspec_label():
+    assert Jobspec(app="gemm", nnodes=2).label == "gemm-2n"
+    assert Jobspec(app="gemm", nnodes=2, name="mine").label == "mine"
+
+
+def test_jobstate_active_classification():
+    assert JobState.RUNNING.active
+    assert JobState.SUBMITTED.active
+    assert not JobState.COMPLETED.active
+    assert not JobState.CANCELLED.active
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle on a real instance
+# ---------------------------------------------------------------------------
+
+def test_job_runs_to_completion(lassen4):
+    rec = lassen4.submit(Jobspec(app="laghos", nnodes=2))
+    lassen4.run_until_complete()
+    assert rec.state is JobState.COMPLETED
+    assert rec.t_start == 0.0
+    assert rec.t_end == pytest.approx(12.55, abs=1.5)
+    assert rec.ranks == [0, 1]
+
+
+def test_fcfs_queues_when_full(lassen4):
+    a = lassen4.submit(Jobspec(app="laghos", nnodes=3))
+    b = lassen4.submit(Jobspec(app="laghos", nnodes=3))
+    lassen4.run_until_complete()
+    assert b.t_start >= a.t_end  # b waited for a's nodes
+
+
+def test_parallel_jobs_share_cluster(lassen4):
+    a = lassen4.submit(Jobspec(app="laghos", nnodes=2))
+    b = lassen4.submit(Jobspec(app="laghos", nnodes=2))
+    lassen4.run_until_complete()
+    assert a.t_start == b.t_start == 0.0
+    assert set(a.ranks).isdisjoint(b.ranks)
+
+
+def test_job_too_large_rejected(lassen4):
+    with pytest.raises(ValueError):
+        lassen4.submit(Jobspec(app="laghos", nnodes=99))
+
+
+def test_unknown_app_fails_at_execution(lassen4):
+    with pytest.raises(KeyError):
+        lassen4.submit(Jobspec(app="doom", nnodes=1))
+        lassen4.run_until_complete()
+
+
+def test_cancel_queued_job(lassen4):
+    a = lassen4.submit(Jobspec(app="gemm", nnodes=4))
+    b = lassen4.submit(Jobspec(app="laghos", nnodes=4))
+    lassen4.jobmanager.cancel(b.jobid)
+    lassen4.run_until_complete()
+    assert b.state is JobState.CANCELLED
+    assert a.state is JobState.COMPLETED
+
+
+def test_cancel_running_job_rejected(lassen4):
+    a = lassen4.submit(Jobspec(app="gemm", nnodes=1))
+    lassen4.run_for(5.0)
+    with pytest.raises(RuntimeError):
+        lassen4.jobmanager.cancel(a.jobid)
+    lassen4.run_until_complete()
+
+
+def test_job_state_events_published(lassen4):
+    topics = []
+    lassen4.brokers[2].subscribe("job-state.", lambda m: topics.append(m.topic))
+    lassen4.submit(Jobspec(app="laghos", nnodes=1))
+    lassen4.run_until_complete()
+    lassen4.run_for(1.0)  # let trailing events broadcast
+    assert "job-state.submitted" in topics
+    assert "job-state.scheduled" in topics
+    assert "job-state.running" in topics
+    assert "job-state.completed" in topics
+
+
+def test_kvs_record_updated(lassen4):
+    rec = lassen4.submit(Jobspec(app="laghos", nnodes=2))
+    lassen4.run_until_complete()
+    kvs_rec = lassen4.kvs.get(f"jobs.{rec.jobid}")
+    assert kvs_rec["state"] == "completed"
+    assert kvs_rec["ranks"] == rec.ranks
+    assert kvs_rec["t_end"] is not None
+
+
+def test_makespan(lassen4):
+    lassen4.submit(Jobspec(app="laghos", nnodes=4))
+    lassen4.submit(Jobspec(app="laghos", nnodes=4))
+    lassen4.run_until_complete()
+    assert lassen4.jobmanager.makespan_s() == pytest.approx(2 * 12.55, abs=2.0)
+
+
+def test_submit_rpc_service(lassen4):
+    fut = lassen4.brokers[3].rpc(
+        0, "job-manager.submit", {"app": "laghos", "nnodes": 1}
+    )
+    lassen4.run_for(0.1)
+    jobid = fut.value["jobid"]
+    lassen4.run_until_complete()
+    assert lassen4.jobmanager.jobs[jobid].state is JobState.COMPLETED
+
+
+def test_list_rpc_service(lassen4):
+    lassen4.submit(Jobspec(app="laghos", nnodes=1))
+    lassen4.run_until_complete()
+    fut = lassen4.brokers[1].rpc(0, "job-manager.list", {})
+    lassen4.run_for(0.1)
+    jobs = fut.value["jobs"]
+    assert len(jobs) == 1 and jobs[0]["app"] == "laghos"
+
+
+def test_runtime_property():
+    rec_spec = Jobspec(app="laghos", nnodes=1)
+    inst = FluxInstance(platform="lassen", n_nodes=1, seed=0)
+    rec = inst.submit(rec_spec)
+    assert rec.runtime_s is None
+    inst.run_until_complete()
+    assert rec.runtime_s == pytest.approx(rec.t_end - rec.t_start)

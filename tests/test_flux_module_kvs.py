@@ -1,0 +1,126 @@
+"""Unit tests for broker modules and the KVS."""
+
+import pytest
+
+from repro.flux.broker import Broker
+from repro.flux.kvs import KVSModule
+from repro.flux.message import FluxRPCError
+from repro.flux.module import Module
+from repro.flux.overlay import TBON
+from repro.simkernel import Simulator
+
+
+def make_broker_pair():
+    sim = Simulator()
+    overlay = TBON(size=2)
+    registry = {}
+    b0 = Broker(sim, 0, overlay, registry=registry)
+    b1 = Broker(sim, 1, overlay, registry=registry)
+    return sim, b0, b1
+
+
+class PingModule(Module):
+    name = "ping"
+
+    def __init__(self, broker):
+        super().__init__(broker)
+        self.tick_count = 0
+
+    def on_load(self):
+        self.register_service("ping.echo", lambda b, m: b.respond(m, m.payload))
+        self.add_timer(1.0, self._tick)
+
+    def _tick(self, timer):
+        self.tick_count += 1
+
+
+def test_module_load_registers_services():
+    sim, b0, b1 = make_broker_pair()
+    b1.load_module(PingModule(b1))
+    fut = b0.rpc(1, "ping.echo", {"v": 5})
+    sim.run(until=1.0)
+    assert fut.value == {"v": 5}
+
+
+def test_module_timers_run_until_unload():
+    sim, b0, b1 = make_broker_pair()
+    mod = PingModule(b1)
+    b1.load_module(mod)
+    sim.run(until=5.0)
+    assert mod.tick_count == 5
+    b1.unload_module("ping")
+    sim.run(until=10.0)
+    assert mod.tick_count == 5  # timer stopped
+
+
+def test_unload_removes_services():
+    sim, b0, b1 = make_broker_pair()
+    b1.load_module(PingModule(b1))
+    b1.unload_module("ping")
+    fut = b0.rpc(1, "ping.echo", {})
+    sim.run(until=1.0)
+    with pytest.raises(FluxRPCError):
+        _ = fut.value
+
+
+def test_double_load_rejected():
+    _, _, b1 = make_broker_pair()
+    b1.load_module(PingModule(b1))
+    with pytest.raises(ValueError):
+        b1.load_module(PingModule(b1))
+
+
+def test_unload_unknown_module_rejected():
+    _, _, b1 = make_broker_pair()
+    with pytest.raises(KeyError):
+        b1.unload_module("ghost")
+
+
+# ---------------------------------------------------------------------------
+# KVS
+# ---------------------------------------------------------------------------
+
+def test_kvs_local_put_get():
+    sim, b0, _ = make_broker_pair()
+    kvs = KVSModule(b0)
+    b0.load_module(kvs)
+    kvs.put("jobs.1", {"state": "running"})
+    assert kvs.get("jobs.1") == {"state": "running"}
+    assert kvs.get("missing", default="d") == "d"
+    assert kvs.keys() == ["jobs.1"]
+
+
+def test_kvs_rpc_put_then_get():
+    sim, b0, b1 = make_broker_pair()
+    b0.load_module(KVSModule(b0))
+    put = b1.rpc(0, "kvs.put", {"key": "a", "value": 42})
+    sim.run(until=1.0)
+    assert put.value == {"key": "a"}
+    get = b1.rpc(0, "kvs.get", {"key": "a"})
+    sim.run(until=2.0)
+    assert get.value == {"key": "a", "value": 42}
+
+
+def test_kvs_get_missing_key_errors():
+    sim, b0, b1 = make_broker_pair()
+    b0.load_module(KVSModule(b0))
+    fut = b1.rpc(0, "kvs.get", {"key": "nope"})
+    sim.run(until=1.0)
+    with pytest.raises(FluxRPCError) as exc:
+        _ = fut.value
+    assert exc.value.errnum == 2
+
+
+def test_kvs_put_without_key_errors():
+    sim, b0, b1 = make_broker_pair()
+    b0.load_module(KVSModule(b0))
+    fut = b1.rpc(0, "kvs.put", {"value": 1})
+    sim.run(until=1.0)
+    with pytest.raises(FluxRPCError):
+        _ = fut.value
+
+
+def test_kvs_must_run_on_rank0():
+    _, _, b1 = make_broker_pair()
+    with pytest.raises(ValueError):
+        KVSModule(b1)

@@ -1,0 +1,112 @@
+"""Unit tests for nested (user-level) Flux instances."""
+
+import pytest
+
+from repro.flux import FluxInstance, Jobspec, JobState, spawn_user_instance
+from repro.manager import ManagerConfig, attach_manager
+from repro.monitor import attach_monitor
+
+
+@pytest.fixture
+def system():
+    return FluxInstance(platform="lassen", n_nodes=8, seed=3)
+
+
+def test_allocation_granted_and_nodes_mapped(system):
+    ui = spawn_user_instance(system, nnodes=4, user="alice")
+    assert ui.n_nodes == 4
+    assert ui.allocation.state is JobState.RUNNING
+    assert [n.hostname for n in ui.nodes] == [
+        system.nodes[r].hostname for r in ui.allocation.ranks
+    ]
+    assert ui.sim is system.sim  # shared simulated time
+
+
+def test_inner_jobs_run_on_allocated_nodes_only(system):
+    ui = spawn_user_instance(system, nnodes=4)
+    rec = ui.submit(Jobspec(app="laghos", nnodes=2))
+    ui.run_until_complete(timeout_s=100000)
+    inner_hosts = {ui.nodes[r].hostname for r in rec.ranks}
+    alloc_hosts = {system.nodes[r].hostname for r in ui.allocation.ranks}
+    assert inner_hosts <= alloc_hosts
+
+
+def test_close_releases_parent_allocation(system):
+    ui = spawn_user_instance(system, nnodes=4)
+    rec = ui.submit(Jobspec(app="laghos", nnodes=4))
+    ui.run_until_complete(timeout_s=100000)
+    assert system.scheduler.free_count == 4
+    ui.close()
+    system.run_for(0.1)
+    assert ui.allocation.state is JobState.COMPLETED
+    assert system.scheduler.free_count == 8
+
+
+def test_close_refused_with_active_inner_jobs(system):
+    ui = spawn_user_instance(system, nnodes=2)
+    ui.submit(Jobspec(app="gemm", nnodes=2))
+    system.sim.run(until=system.sim.now + 5.0)
+    with pytest.raises(RuntimeError):
+        ui.close()
+    ui.run_until_complete(timeout_s=100000)
+    ui.close()
+
+
+def test_close_is_idempotent(system):
+    ui = spawn_user_instance(system, nnodes=2)
+    ui.close()
+    ui.close()
+
+
+def test_submit_after_close_rejected(system):
+    ui = spawn_user_instance(system, nnodes=2)
+    ui.close()
+    with pytest.raises(RuntimeError):
+        ui.submit(Jobspec(app="laghos", nnodes=1))
+
+
+def test_user_instance_can_load_own_power_modules(system):
+    """The paper's user-level customisation: per-instance policies."""
+    ui = spawn_user_instance(system, nnodes=4, user="bob")
+    mon = attach_monitor(ui)
+    mgr = attach_manager(
+        ui, ManagerConfig(global_cap_w=4000.0, policy="proportional")
+    )
+    rec = ui.submit(Jobspec(app="gemm", nnodes=4, params={"work_scale": 0.3}))
+    ui.run_until_complete(timeout_s=100000)
+    ui.run_for(4.0)
+    # Shares were computed within the user instance's own budget.
+    assert any(abs(s - 1000.0) < 1 for (_, _, s) in mgr.share_log if s)
+    data = mon.client.fetch(rec.jobid)
+    assert data.complete
+
+
+def test_two_user_instances_coexist(system):
+    a = spawn_user_instance(system, nnodes=4, user="alice", seed=1)
+    b = spawn_user_instance(system, nnodes=4, user="bob", seed=2)
+    ra = a.submit(Jobspec(app="laghos", nnodes=4))
+    rb = b.submit(Jobspec(app="quicksilver", nnodes=4))
+    a.run_until_complete(timeout_s=100000)
+    b.run_until_complete(timeout_s=100000)
+    hosts_a = {a.nodes[r].hostname for r in ra.ranks}
+    hosts_b = {b.nodes[r].hostname for r in rb.ranks}
+    assert hosts_a.isdisjoint(hosts_b)
+
+
+def test_allocation_times_out_when_cluster_full(system):
+    system.submit(Jobspec(app="gemm", nnodes=8, params={"work_scale": 10}))
+    with pytest.raises(TimeoutError):
+        spawn_user_instance(system, nnodes=4, timeout_s=10.0)
+
+
+def test_nested_pseudo_job_visible_in_system_kvs(system):
+    ui = spawn_user_instance(system, nnodes=2)
+    rec = system.kvs.get(f"jobs.{ui.allocation.jobid}")
+    assert rec["app"] == "flux-instance"
+    assert rec["state"] == "running"
+    ui.close()
+
+
+def test_finish_nested_unknown_job_raises(system):
+    with pytest.raises(KeyError):
+        system.finish_nested(99)

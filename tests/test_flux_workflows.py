@@ -1,0 +1,100 @@
+"""Unit tests for job dependencies (workflow DAGs)."""
+
+import pytest
+
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec, JobState
+
+
+@pytest.fixture
+def inst():
+    return FluxInstance(platform="lassen", n_nodes=4, seed=8)
+
+
+def test_dependent_waits_for_dependency(inst):
+    a = inst.submit(Jobspec(app="laghos", nnodes=2))
+    b = inst.submit(Jobspec(app="laghos", nnodes=2), depends_on=[a.jobid])
+    inst.run_until_complete()
+    assert b.t_start >= a.t_end
+
+
+def test_dependent_does_not_consume_nodes_while_waiting(inst):
+    a = inst.submit(Jobspec(app="laghos", nnodes=2))
+    inst.submit(Jobspec(app="laghos", nnodes=4), depends_on=[a.jobid])
+    # While a runs, 2 nodes stay free even though b (4 nodes) is queued.
+    inst.run_for(5.0)
+    assert inst.scheduler.free_count == 2
+    inst.run_until_complete()
+
+
+def test_diamond_dag(inst):
+    a = inst.submit(Jobspec(app="laghos", nnodes=1))
+    b = inst.submit(Jobspec(app="laghos", nnodes=1), depends_on=[a.jobid])
+    c = inst.submit(Jobspec(app="laghos", nnodes=1), depends_on=[a.jobid])
+    d = inst.submit(Jobspec(app="laghos", nnodes=2), depends_on=[b.jobid, c.jobid])
+    inst.run_until_complete()
+    assert b.t_start >= a.t_end and c.t_start >= a.t_end
+    assert d.t_start >= max(b.t_end, c.t_end)
+    # b and c were independent: they ran concurrently.
+    assert b.t_start == pytest.approx(c.t_start, abs=0.1)
+
+
+def test_waiting_job_does_not_block_independents(inst):
+    a = inst.submit(Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.2}))
+    b = inst.submit(Jobspec(app="laghos", nnodes=2), depends_on=[a.jobid])
+    c = inst.submit(Jobspec(app="laghos", nnodes=2))  # independent
+    inst.run_until_complete()
+    # c started immediately despite b sitting ahead of it in the queue.
+    assert c.t_start == 0.0
+    assert b.t_start >= a.t_end
+
+
+def test_unknown_dependency_rejected(inst):
+    with pytest.raises(ValueError):
+        inst.submit(Jobspec(app="laghos", nnodes=1), depends_on=[99])
+
+
+def test_cancelled_dependency_cancels_dependents(inst):
+    blocker = inst.submit(Jobspec(app="gemm", nnodes=4, params={"work_scale": 0.2}))
+    a = inst.submit(Jobspec(app="laghos", nnodes=2))
+    b = inst.submit(Jobspec(app="laghos", nnodes=2), depends_on=[a.jobid])
+    c = inst.submit(Jobspec(app="laghos", nnodes=2), depends_on=[b.jobid])
+    inst.jobmanager.cancel(a.jobid)
+    inst.run_until_complete()
+    assert blocker.state is JobState.COMPLETED
+    assert b.state is JobState.CANCELLED
+    assert c.state is JobState.CANCELLED
+
+
+def test_dependency_via_rpc(inst):
+    a = inst.submit(Jobspec(app="laghos", nnodes=1))
+    fut = inst.brokers[1].rpc(
+        0,
+        "job-manager.submit",
+        {"app": "laghos", "nnodes": 1, "depends_on": [a.jobid]},
+    )
+    inst.run_for(0.1)
+    jobid = fut.value["jobid"]
+    inst.run_until_complete()
+    assert inst.jobmanager.jobs[jobid].t_start >= a.t_end
+
+
+def test_rpc_submit_bad_dependency_errors(inst):
+    from repro.flux.message import FluxRPCError
+
+    fut = inst.brokers[1].rpc(
+        0, "job-manager.submit", {"app": "laghos", "nnodes": 1, "depends_on": [42]}
+    )
+    inst.run_for(0.1)
+    with pytest.raises(FluxRPCError):
+        _ = fut.value
+
+
+def test_workflow_chain_makespan(inst):
+    """A 3-stage chain's makespan is the sum of stage runtimes."""
+    prev = None
+    for _ in range(3):
+        deps = [prev.jobid] if prev else None
+        prev = inst.submit(Jobspec(app="laghos", nnodes=2), depends_on=deps)
+    inst.run_until_complete()
+    assert inst.jobmanager.makespan_s() == pytest.approx(3 * 12.55, abs=3.0)

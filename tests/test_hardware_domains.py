@@ -1,0 +1,191 @@
+"""Unit + property tests for power domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.domains import DomainKind, DomainSpec, PowerDomain
+
+
+def gpu_spec(**overrides):
+    kwargs = dict(
+        name="gpu0",
+        kind=DomainKind.GPU,
+        idle_w=50.0,
+        max_w=300.0,
+        cappable=True,
+        min_cap_w=100.0,
+        max_cap_w=300.0,
+    )
+    kwargs.update(overrides)
+    return DomainSpec(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+def test_spec_rejects_negative_idle():
+    with pytest.raises(ValueError):
+        gpu_spec(idle_w=-1.0)
+
+
+def test_spec_rejects_max_below_idle():
+    with pytest.raises(ValueError):
+        gpu_spec(idle_w=100.0, max_w=50.0)
+
+
+def test_cappable_spec_requires_cap_range():
+    with pytest.raises(ValueError):
+        gpu_spec(min_cap_w=None, max_cap_w=None)
+
+
+def test_invalid_cap_range_rejected():
+    with pytest.raises(ValueError):
+        gpu_spec(min_cap_w=300.0, max_cap_w=100.0)
+
+
+# ---------------------------------------------------------------------------
+# Demand
+# ---------------------------------------------------------------------------
+
+def test_demand_defaults_to_idle():
+    dom = PowerDomain(gpu_spec())
+    assert dom.demand_w == 50.0
+    assert dom.actual_w == 50.0
+
+
+def test_demand_clamped_to_max():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(500.0)
+    assert dom.demand_w == 300.0
+
+
+def test_demand_clamped_to_idle_floor():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(10.0)
+    assert dom.demand_w == 50.0
+
+
+def test_clear_demand_restores_idle():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(200.0)
+    dom.clear_demand()
+    assert dom.demand_w == 50.0
+
+
+# ---------------------------------------------------------------------------
+# Capping
+# ---------------------------------------------------------------------------
+
+def test_uncapped_actual_equals_demand():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(250.0)
+    assert dom.actual_w == 250.0
+    assert dom.effective_cap_w is None
+
+
+def test_cap_limits_actual():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(250.0)
+    dom.set_cap("nvml", 150.0)
+    assert dom.actual_w == 150.0
+
+
+def test_cap_above_demand_has_no_effect():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(120.0)
+    dom.set_cap("nvml", 200.0)
+    assert dom.actual_w == 120.0
+
+
+def test_effective_cap_is_min_of_sources():
+    dom = PowerDomain(gpu_spec())
+    dom.set_cap("nvml", 200.0)
+    dom.set_cap("opal", 150.0)
+    assert dom.effective_cap_w == 150.0
+    dom.set_cap("opal", None)  # remove
+    assert dom.effective_cap_w == 200.0
+
+
+def test_cap_clamped_into_legal_range():
+    dom = PowerDomain(gpu_spec())
+    dom.set_cap("nvml", 10.0)
+    assert dom.get_cap("nvml") == 100.0  # clamped to min_cap
+    dom.set_cap("nvml", 500.0)
+    assert dom.get_cap("nvml") == 300.0
+
+
+def test_capping_uncappable_domain_raises():
+    spec = DomainSpec(name="mem0", kind=DomainKind.MEMORY, idle_w=30, max_w=150)
+    with pytest.raises(ValueError):
+        PowerDomain(spec).set_cap("x", 100.0)
+
+
+def test_cap_never_pushes_below_idle():
+    dom = PowerDomain(gpu_spec(min_cap_w=10.0))
+    dom.set_demand(250.0)
+    dom.set_cap("nvml", 10.0)
+    assert dom.actual_w == 50.0  # idle floor holds
+
+
+# ---------------------------------------------------------------------------
+# Throttle ratio
+# ---------------------------------------------------------------------------
+
+def test_throttle_is_one_when_uncapped():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(250.0)
+    assert dom.throttle_ratio == 1.0
+
+
+def test_throttle_is_one_at_idle_demand():
+    dom = PowerDomain(gpu_spec())
+    dom.set_cap("nvml", 100.0)
+    assert dom.throttle_ratio == 1.0  # no dynamic demand to throttle
+
+
+def test_throttle_fraction_of_dynamic_power():
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(250.0)  # dyn demand 200
+    dom.set_cap("nvml", 150.0)  # dyn grant 100
+    assert dom.throttle_ratio == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+@given(
+    demand=st.floats(0.0, 400.0),
+    cap=st.floats(100.0, 300.0),
+)
+def test_actual_power_invariants(demand, cap):
+    """idle <= actual <= min(demand clamp, cap clamp) always holds."""
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(demand)
+    dom.set_cap("nvml", cap)
+    actual = dom.actual_w
+    assert actual >= dom.spec.idle_w
+    assert actual <= dom.spec.max_w
+    assert actual <= max(dom.get_cap("nvml"), dom.spec.idle_w) + 1e-9
+    assert actual <= dom.demand_w + 1e-9
+
+
+@given(
+    demand=st.floats(0.0, 400.0),
+    caps=st.lists(st.floats(100.0, 300.0), min_size=0, max_size=4),
+)
+def test_throttle_ratio_bounded(demand, caps):
+    dom = PowerDomain(gpu_spec())
+    dom.set_demand(demand)
+    for i, c in enumerate(caps):
+        dom.set_cap(f"src{i}", c)
+    assert 0.0 <= dom.throttle_ratio <= 1.0
+
+
+@given(st.lists(st.floats(100.0, 300.0), min_size=1, max_size=5))
+def test_effective_cap_is_minimum(caps):
+    dom = PowerDomain(gpu_spec())
+    for i, c in enumerate(caps):
+        dom.set_cap(f"s{i}", c)
+    assert dom.effective_cap_w == pytest.approx(min(caps))

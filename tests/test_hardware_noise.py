@@ -1,0 +1,56 @@
+"""Unit tests for the run-to-run variability model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.noise import JitterModel
+
+
+def test_disabled_model_returns_exactly_one():
+    model = JitterModel(rng=None)
+    assert model.runtime_factor("lassen", "laghos", 1) == 1.0
+
+
+def test_elevated_sigma_at_low_node_counts():
+    model = JitterModel()
+    assert model.sigma("lassen", "laghos", 1) > model.sigma("lassen", "laghos", 4)
+    assert model.sigma("lassen", "quicksilver", 2) > model.sigma(
+        "lassen", "quicksilver", 8
+    )
+
+
+def test_only_flagged_apps_get_elevated_sigma():
+    model = JitterModel()
+    assert model.sigma("lassen", "lammps", 1) == model.sigma("lassen", "lammps", 8)
+
+
+def test_tioga_quieter_than_lassen():
+    model = JitterModel()
+    assert model.sigma("tioga", "lammps", 4) < model.sigma("lassen", "lammps", 4)
+
+
+def test_extra_sigma_override():
+    model = JitterModel(extra_sigma={("lassen", "lammps"): 0.5})
+    assert model.sigma("lassen", "lammps", 8) == 0.5
+
+
+def test_factors_have_median_about_one():
+    model = JitterModel(rng=np.random.default_rng(1))
+    factors = [model.runtime_factor("lassen", "laghos", 1) for _ in range(2000)]
+    assert np.median(factors) == pytest.approx(1.0, abs=0.02)
+    assert all(f > 0 for f in factors)
+
+
+def test_low_node_spread_exceeds_twenty_percent():
+    """The Fig 4 premise: >20% spread for laghos/qs at 1-2 nodes."""
+    model = JitterModel(rng=np.random.default_rng(2))
+    factors = [model.runtime_factor("lassen", "quicksilver", 2) for _ in range(200)]
+    spread = (max(factors) - min(factors)) / np.median(factors) * 100
+    assert spread > 20.0
+
+
+def test_high_node_spread_is_small():
+    model = JitterModel(rng=np.random.default_rng(2))
+    factors = [model.runtime_factor("lassen", "quicksilver", 16) for _ in range(200)]
+    spread = (max(factors) - min(factors)) / np.median(factors) * 100
+    assert spread < 5.0

@@ -1,0 +1,78 @@
+"""Unit tests for sensor suites."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.domains import DomainKind
+from repro.hardware.platforms.lassen import make_lassen_node
+from repro.hardware.platforms.tioga import make_tioga_node
+
+
+def test_lassen_reading_reports_all_component_domains():
+    node = make_lassen_node("n0")
+    r = node.sensors.read(10.0)
+    names = set(r.domains_w)
+    assert {"cpu0", "cpu1", "memory0", "gpu0", "gpu1", "gpu2", "gpu3"} <= names
+    assert "uncore0" not in names  # uncore only via node sensor
+
+
+def test_lassen_node_reading_is_measured_and_includes_uncore():
+    node = make_lassen_node("n0")
+    r = node.sensors.read(10.0)
+    assert r.node_measured
+    assert r.node_w == pytest.approx(400.0)  # idle incl. 90 W uncore
+    assert sum(r.domains_w.values()) == pytest.approx(310.0)  # without uncore
+
+
+def test_tioga_node_reading_is_conservative_estimate():
+    node = make_tioga_node("t0")
+    r = node.sensors.read(10.0)
+    assert not r.node_measured
+    # cpu 60 + 4 oam x 90 = 420; memory and uncore invisible.
+    assert r.node_w == pytest.approx(420.0)
+    assert "memory0" not in r.domains_w
+
+
+def test_tioga_reports_oam_not_per_gpu():
+    node = make_tioga_node("t0")
+    r = node.sensors.read(0.0)
+    oam_keys = [k for k in r.domains_w if k.startswith("oam")]
+    assert len(oam_keys) == 4
+
+
+def test_timestamp_quantised_to_sensor_granularity():
+    node = make_lassen_node("n0")  # OCC: 500 microseconds
+    r = node.sensors.read(1.00037)
+    assert r.timestamp == pytest.approx(1.0)
+    r2 = node.sensors.read(1.0006)
+    assert r2.timestamp == pytest.approx(1.0005)
+
+
+def test_total_by_kind_aggregates():
+    node = make_lassen_node("n0")
+    node.domains["gpu0"].set_demand(300.0)
+    r = node.sensors.read(0.0)
+    assert r.total_by_kind(DomainKind.GPU) == pytest.approx(300.0 + 3 * 50.0)
+    assert r.total_by_kind(DomainKind.CPU) == pytest.approx(80.0)
+
+
+def test_sensor_noise_is_seeded_and_bounded():
+    rng = np.random.default_rng(3)
+    node = make_lassen_node("n0", rng=rng, sensor_noise_sigma_w=1.0)
+    readings = [node.sensors.read(float(i)).node_w for i in range(50)]
+    assert len(set(readings)) > 1  # noise present
+    assert all(abs(v - 400.0) < 10.0 for v in readings)  # bounded
+
+    rng2 = np.random.default_rng(3)
+    node2 = make_lassen_node("n0", rng=rng2, sensor_noise_sigma_w=1.0)
+    readings2 = [node2.sensors.read(float(i)).node_w for i in range(50)]
+    assert readings == readings2  # deterministic given the seed
+
+
+def test_noise_never_produces_negative_power():
+    rng = np.random.default_rng(0)
+    node = make_lassen_node("n0", rng=rng, sensor_noise_sigma_w=500.0)
+    for i in range(100):
+        r = node.sensors.read(float(i))
+        assert r.node_w >= 0.0
+        assert all(v >= 0.0 for v in r.domains_w.values())

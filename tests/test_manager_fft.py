@@ -1,0 +1,91 @@
+"""Unit tests for FFT period detection."""
+
+import numpy as np
+import pytest
+
+from repro.manager.fft import MIN_SAMPLES, estimate_period
+
+
+def square_wave(period_s, dt, duration_s, high=250.0, low=60.0, duty=0.3):
+    t = np.arange(0.0, duration_s, dt)
+    pos = (t % period_s) / period_s
+    return np.where(pos < duty, high, low)
+
+
+def sine_wave(period_s, dt, duration_s, amp=100.0, offset=300.0):
+    t = np.arange(0.0, duration_s, dt)
+    return offset + amp * np.sin(2 * np.pi * t / period_s)
+
+
+def test_detects_sine_period():
+    vals = sine_wave(20.0, dt=2.0, duration_s=90.0)
+    assert estimate_period(vals, 2.0) == pytest.approx(20.0, abs=2.0)
+
+
+def test_detects_square_wave_period():
+    """Quicksilver-like bursts: the FPP use case."""
+    vals = square_wave(20.0, dt=2.0, duration_s=90.0)
+    assert estimate_period(vals, 2.0) == pytest.approx(20.0, abs=2.5)
+
+
+def test_subbin_interpolation_beats_bin_resolution():
+    """A 13 s period in a 90 s window falls between bins; the estimate
+    must land within the FPP convergence threshold (2 s)."""
+    vals = sine_wave(13.0, dt=1.0, duration_s=90.0)
+    assert estimate_period(vals, 1.0) == pytest.approx(13.0, abs=1.5)
+
+
+def test_flat_signal_returns_none():
+    assert estimate_period([300.0] * 45, 2.0) is None
+
+
+def test_linear_trend_returns_none():
+    vals = np.linspace(100.0, 500.0, 45)
+    assert estimate_period(vals, 2.0) is None
+
+
+def test_white_noise_returns_none():
+    rng = np.random.default_rng(1)
+    vals = 300.0 + rng.normal(0, 5.0, 64)
+    # Pure noise has no prominent peak at default prominence.
+    assert estimate_period(vals, 2.0) is None
+
+
+def test_too_few_samples_returns_none():
+    assert estimate_period([1.0] * (MIN_SAMPLES - 1), 2.0) is None
+
+
+def test_invalid_dt_returns_none():
+    assert estimate_period([1.0] * 20, 0.0) is None
+
+
+def test_period_longer_than_half_window_rejected():
+    vals = sine_wave(200.0, dt=2.0, duration_s=90.0)  # 0.45 cycles visible
+    assert estimate_period(vals, 2.0) is None
+
+
+def test_period_scales_with_dt():
+    vals = square_wave(20.0, dt=2.0, duration_s=90.0)
+    stretched = estimate_period(vals, 4.0)  # same samples, half the rate
+    assert stretched == pytest.approx(40.0, abs=5.0)
+
+
+def test_detects_stretched_period():
+    """The stretched-by-capping case FPP must distinguish."""
+    base = estimate_period(square_wave(12.0, 2.0, 90.0), 2.0)
+    stretched = estimate_period(square_wave(16.0, 2.0, 90.0), 2.0)
+    assert base is not None and stretched is not None
+    assert stretched - base > 2.0  # above the convergence threshold
+
+
+def test_noisy_periodic_signal_still_detected():
+    rng = np.random.default_rng(2)
+    vals = square_wave(20.0, 2.0, 90.0) + rng.normal(0, 8.0, 45)
+    assert estimate_period(vals, 2.0) == pytest.approx(20.0, abs=3.0)
+
+
+def test_prominence_threshold_configurable():
+    rng = np.random.default_rng(3)
+    vals = 300.0 + rng.normal(0, 5.0, 64)
+    # With a permissive threshold even noise yields some period.
+    assert estimate_period(vals, 2.0, min_prominence=1.01) is not None

@@ -1,0 +1,98 @@
+"""Unit tests for the socket-level FPP extension."""
+
+import pytest
+
+from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.manager.module import attach_manager
+from repro.manager.policies import FPPSocketPolicy, SOCKET_FPP_PARAMS
+
+
+def socket_cluster(platform="lassen", n_nodes=2, cap=1400.0, seed=4):
+    return PowerManagedCluster(
+        platform=platform,
+        n_nodes=n_nodes,
+        seed=seed,
+        trace=False,
+        manager_config=ManagerConfig(global_cap_w=cap, policy="fpp-socket"),
+    )
+
+
+def test_socket_params_scaled_for_cpu_range():
+    assert SOCKET_FPP_PARAMS.p_reduce_w < 50.0
+    assert max(SOCKET_FPP_PARAMS.powercap_levels_w) < 25.0
+
+
+def test_socket_policy_registered():
+    from repro.manager.policies import POLICY_FACTORIES
+
+    assert POLICY_FACTORIES["fpp-socket"] is FPPSocketPolicy
+
+
+def test_socket_share_enforced_on_cpu_job():
+    cluster = socket_cluster()
+    job = cluster.submit(Jobspec(app="nqueens", nnodes=2, launcher="non-mpi"))
+    cluster.run_until_complete(timeout_s=200_000)
+    m = cluster.metrics(job.jobid)
+    # NQueens demands ~740 W/node but the share is 700 W: sockets capped.
+    assert m.max_node_power_w <= 700.0 * 1.02
+    assert m.runtime_s > 300.0  # slowed by the cap
+
+
+def test_socket_caps_installed_per_socket():
+    cluster = socket_cluster()
+    cluster.submit(Jobspec(app="nqueens", nnodes=2, launcher="non-mpi"))
+    cluster.run_for(30.0)
+    nm = cluster.manager.node_manager_for_rank(0)
+    caps = nm.policy.describe()["caps_w"]
+    assert len(caps) == 2  # dual socket
+    lo, hi = nm.socket_cap_range
+    assert all(lo <= c <= hi for c in caps)
+    cluster.run_until_complete(timeout_s=200_000)
+
+
+def test_unconstrained_socket_policy_is_noop():
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=2,
+        seed=4,
+        trace=False,
+        manager_config=ManagerConfig(global_cap_w=None, policy="fpp-socket"),
+    )
+    job = cluster.submit(Jobspec(app="nqueens", nnodes=2, launcher="non-mpi"))
+    cluster.run_until_complete(timeout_s=200_000)
+    assert cluster.metrics(job.jobid).runtime_s == pytest.approx(300.0, abs=3.0)
+
+
+def test_socket_policy_on_generic_platform_uses_rapl():
+    cluster = PowerManagedCluster(
+        platform="generic",
+        n_nodes=2,
+        seed=4,
+        trace=False,
+        manager_config=ManagerConfig(global_cap_w=700.0, policy="fpp-socket"),
+    )
+    cluster.submit(Jobspec(app="nqueens", nnodes=2, launcher="non-mpi"))
+    cluster.run_for(10.0)
+    node = cluster.nodes[0]
+    assert any(d.get_cap("rapl") is not None for d in node.cpu_domains)
+    cluster.run_until_complete(timeout_s=200_000)
+
+
+def test_node_manager_socket_helpers():
+    cluster = socket_cluster()
+    nm = cluster.manager.node_manager_for_rank(0)
+    assert nm.socket_count == 2
+    lo, hi = nm.socket_cap_range
+    assert (lo, hi) == (50.0, 250.0)
+    # Derivation fits the budget: 2 sockets + non-CPU estimate.
+    share = nm.derive_socket_share(700.0)
+    assert lo <= share <= hi
+
+
+def test_socket_cap_clamped_into_range():
+    cluster = socket_cluster()
+    nm = cluster.manager.node_manager_for_rank(0)
+    nm.set_socket_cap(0, 10.0)  # below min -> clamped
+    assert cluster.nodes[0].cpu_domains[0].get_cap("socket-manager") == 50.0
+    nm.clear_socket_caps()
+    assert cluster.nodes[0].cpu_domains[0].get_cap("socket-manager") is None

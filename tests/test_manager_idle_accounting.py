@@ -1,0 +1,86 @@
+"""Unit tests for idle-node budget accounting (reproduction insight #1)."""
+
+import pytest
+
+from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.manager.module import attach_manager
+
+
+def test_idle_reserve_reduces_shares(lassen4):
+    mgr = attach_manager(
+        lassen4,
+        ManagerConfig(
+            global_cap_w=3200.0,
+            policy="proportional",
+            account_idle_nodes=True,
+            idle_node_w=400.0,
+        ),
+    )
+    lassen4.submit(Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.5}))
+    lassen4.run_for(10.0)
+    # 2 busy + 2 idle: budget 3200 - 2*400 = 2400 over 2 nodes.
+    assert mgr.cluster.per_node_share_w() == pytest.approx(1200.0)
+    lassen4.run_until_complete(timeout_s=500_000)
+
+
+def test_default_formula_matches_paper(lassen4):
+    """Without the flag, shares follow the paper's formula exactly."""
+    mgr = attach_manager(
+        lassen4, ManagerConfig(global_cap_w=3200.0, policy="proportional")
+    )
+    lassen4.submit(Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.5}))
+    lassen4.run_for(10.0)
+    assert mgr.cluster.per_node_share_w() == pytest.approx(1600.0)
+    lassen4.run_until_complete(timeout_s=500_000)
+
+
+def test_full_allocation_is_unaffected(lassen4):
+    mgr = attach_manager(
+        lassen4,
+        ManagerConfig(
+            global_cap_w=3200.0, policy="proportional", account_idle_nodes=True
+        ),
+    )
+    lassen4.submit(Jobspec(app="laghos", nnodes=4))
+    lassen4.run_for(5.0)
+    assert mgr.cluster.per_node_share_w() == pytest.approx(800.0)
+    lassen4.run_until_complete(timeout_s=500_000)
+
+
+def test_whole_cluster_power_bounded_with_accounting():
+    """With the reserve, *total* cluster power stays under the budget."""
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=8,
+        seed=26,
+        manager_config=ManagerConfig(
+            global_cap_w=6400.0,
+            policy="proportional",
+            static_node_cap_w=1950.0,
+            account_idle_nodes=True,
+        ),
+    )
+    cluster.submit(Jobspec(app="gemm", nnodes=4, params={"work_scale": 0.75}))
+    cluster.run_until_complete(timeout_s=1_000_000)
+    series = cluster.trace.cluster_series()
+    # Skip the first 60 s of estimator warm-up.
+    steady = [p for t, p in series if t >= 60.0]
+    assert max(steady) <= 6400.0 * 1.02
+
+
+def test_budget_smaller_than_idle_reserve_clamps_to_zero(lassen4):
+    mgr = attach_manager(
+        lassen4,
+        ManagerConfig(
+            global_cap_w=700.0,
+            policy="proportional",
+            account_idle_nodes=True,
+            idle_node_w=400.0,
+        ),
+    )
+    lassen4.submit(Jobspec(app="laghos", nnodes=1))
+    lassen4.run_for(2.0)
+    # 3 idle nodes reserve 1200 > 700: the busy node's share floors at 0
+    # (enforced caps clamp to device minimums; nothing crashes).
+    assert mgr.cluster.per_node_share_w() == pytest.approx(0.0)
+    lassen4.run_until_complete(timeout_s=500_000)

@@ -1,0 +1,85 @@
+"""Unit tests for the power-aware admission scheduler."""
+
+import pytest
+
+from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.manager.power_aware_sched import PowerAwareScheduler
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PowerAwareScheduler(4, global_cap_w=0.0)
+    with pytest.raises(ValueError):
+        PowerAwareScheduler(4, global_cap_w=1000.0, min_share_w=-1.0)
+
+
+def test_projected_share_math():
+    s = PowerAwareScheduler(8, global_cap_w=9600.0, node_peak_w=3050.0)
+    assert s.projected_share_w(2) == pytest.approx(3050.0)  # 9600/2 capped
+    s.allocate(6)
+    assert s.projected_share_w(2) == pytest.approx(1200.0)  # 9600/8
+
+
+def test_admits_when_share_above_floor():
+    s = PowerAwareScheduler(8, global_cap_w=9600.0, min_share_w=1000.0)
+    assert s.pick_next([1], {1: 8}) == 1  # 9600/8 = 1200 >= 1000
+
+
+def test_holds_when_share_below_floor():
+    s = PowerAwareScheduler(8, global_cap_w=6400.0, min_share_w=1100.0)
+    s.allocate(4)  # two jobs running: share 1600
+    # Admitting 4 more nodes -> 6400/8 = 800 < 1100: hold.
+    assert s.pick_next([1], {1: 4}) is None
+    assert s.held_jobs == 1
+
+
+def test_never_starves_on_empty_cluster():
+    # Even a job whose share can never reach the floor starts when the
+    # cluster is otherwise empty.
+    s = PowerAwareScheduler(8, global_cap_w=4000.0, min_share_w=2000.0)
+    assert s.pick_next([1], {1: 8}) == 1  # 4000/8 = 500 < 2000, but empty
+
+
+def test_admission_resumes_after_departures():
+    s = PowerAwareScheduler(8, global_cap_w=6400.0, min_share_w=1100.0)
+    first = s.allocate(4)
+    assert s.pick_next([1], {1: 4}) is None
+    s.release(first)
+    assert s.pick_next([1], {1: 4}) == 1  # 6400/4 = 1600 now
+
+
+def test_end_to_end_holds_then_runs():
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=16,
+        trace=False,
+        manager_config=ManagerConfig(
+            global_cap_w=3200.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+        scheduler_factory=lambda size: PowerAwareScheduler(
+            size, global_cap_w=3200.0, min_share_w=1100.0
+        ),
+    )
+    a = cluster.submit(Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.3}))
+    b = cluster.submit(Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.3}))
+    cluster.run_until_complete(timeout_s=1_000_000)
+    # 3200/4 = 800 < 1100: b waited for a rather than diluting shares.
+    assert b.t_start >= a.t_end
+    assert cluster.instance.scheduler.held_jobs > 0
+
+
+def test_plain_fcfs_would_overlap():
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=16,
+        trace=False,
+        manager_config=ManagerConfig(
+            global_cap_w=3200.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+    )
+    a = cluster.submit(Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.3}))
+    b = cluster.submit(Jobspec(app="gemm", nnodes=2, params={"work_scale": 0.3}))
+    cluster.run_until_complete(timeout_s=1_000_000)
+    assert b.t_start == a.t_start  # the contrast case

@@ -1,0 +1,79 @@
+"""Property tests for proportional-share arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flux.instance import FluxInstance
+from repro.manager.cluster_manager import ClusterLevelManager, ManagerConfig
+
+
+def manager_with(config, n_nodes=16):
+    inst = FluxInstance(platform="lassen", n_nodes=n_nodes, seed=1)
+    mgr = ClusterLevelManager(inst.brokers[0], config)
+    inst.brokers[0].load_module(mgr)
+    return inst, mgr
+
+
+@given(
+    budget=st.floats(1000.0, 50_000.0),
+    job_sizes=st.lists(st.integers(1, 4), min_size=0, max_size=4),
+)
+def test_allocations_never_exceed_budget(budget, job_sizes):
+    """sum(share * nodes) <= budget for every job population."""
+    inst, mgr = manager_with(
+        ManagerConfig(global_cap_w=budget, policy="proportional")
+    )
+    for i, n in enumerate(job_sizes):
+        mgr.job_level.job_started(i + 1, list(range(sum(job_sizes[:i]), sum(job_sizes[:i]) + n)))
+    share = mgr.per_node_share_w()
+    total_nodes = sum(job_sizes)
+    if total_nodes == 0:
+        assert share is None
+    else:
+        assert share is not None
+        assert share * total_nodes <= budget + 1e-6 or share == mgr.config.node_peak_w
+        # When the peak is granted, the budget must actually cover it.
+        if share == mgr.config.node_peak_w:
+            assert total_nodes * mgr.config.node_peak_w <= budget
+
+
+@given(
+    budget=st.floats(2000.0, 50_000.0),
+    idle_w=st.floats(100.0, 600.0),
+    busy=st.integers(1, 16),
+)
+def test_idle_accounting_never_negative(budget, idle_w, busy):
+    inst, mgr = manager_with(
+        ManagerConfig(
+            global_cap_w=budget,
+            policy="proportional",
+            account_idle_nodes=True,
+            idle_node_w=idle_w,
+        )
+    )
+    mgr.job_level.job_started(1, list(range(busy)))
+    share = mgr.per_node_share_w()
+    assert share is not None
+    assert share >= 0.0
+    idle = 16 - busy
+    covered = share * busy + idle * idle_w
+    assert covered <= max(budget, idle * idle_w) + 1e-6
+
+
+@given(sizes=st.lists(st.integers(1, 3), min_size=2, max_size=5))
+def test_share_is_uniform_across_jobs(sizes):
+    """Every job gets the same per-node share (the paper's fairness)."""
+    inst, mgr = manager_with(
+        ManagerConfig(global_cap_w=5000.0, policy="proportional")
+    )
+    start = 0
+    for i, n in enumerate(sizes):
+        if start + n > 16:
+            break
+        mgr.job_level.job_started(i + 1, list(range(start, start + n)))
+        start += n
+    share = mgr.per_node_share_w()
+    for state in mgr.job_level.jobs.values():
+        mgr.job_level.assign(state.jobid, None if share is None else share * len(state.ranks))
+        if share is not None:
+            assert state.node_limit_w == pytest.approx(share)

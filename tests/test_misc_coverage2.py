@@ -1,0 +1,156 @@
+"""Second edge-case coverage batch."""
+
+import pytest
+
+from repro.apps.base import PhaseProfile
+from repro.apps.registry import get_profile
+from repro.flux.jobspec import Jobspec, JobRecord, JobState
+from repro.flux.message import FluxRPCError
+
+
+# ---------------------------------------------------------------------------
+# Jobspec / JobRecord serialisation
+# ---------------------------------------------------------------------------
+
+def test_job_record_to_kvs_roundtrip_fields():
+    spec = Jobspec(app="gemm", nnodes=3, user="alice", launcher="mpi")
+    rec = JobRecord(jobid=7, spec=spec, t_submit=1.5)
+    rec.state = JobState.RUNNING
+    rec.ranks = [0, 1, 2]
+    rec.t_start = 2.0
+    kvs = rec.to_kvs()
+    assert kvs["jobid"] == 7
+    assert kvs["app"] == "gemm"
+    assert kvs["user"] == "alice"
+    assert kvs["state"] == "running"
+    assert kvs["ranks"] == [0, 1, 2]
+    assert kvs["t_end"] is None
+
+
+def test_jobspec_params_default_to_empty():
+    assert Jobspec(app="gemm", nnodes=1).params == {}
+
+
+# ---------------------------------------------------------------------------
+# FluxRPCError metadata
+# ---------------------------------------------------------------------------
+
+def test_rpc_error_carries_topic_and_errnum():
+    err = FluxRPCError("power-manager.set-node-limit", 22, "bad limit")
+    assert err.topic == "power-manager.set-node-limit"
+    assert err.errnum == 22
+    assert "bad limit" in str(err)
+
+
+# ---------------------------------------------------------------------------
+# Phase profiles: per-platform overrides
+# ---------------------------------------------------------------------------
+
+def test_quicksilver_tioga_has_distinct_phase_profile():
+    p = get_profile("quicksilver")
+    lassen_ph = p.phase_profile("lassen")
+    tioga_ph = p.phase_profile("tioga")
+    assert lassen_ph.duty != tioga_ph.duty  # HIP variant behaves differently
+
+
+def test_phase_profile_defaults_used_when_no_override():
+    p = get_profile("laghos")
+    assert p.phase_profile("lassen") is p.phases
+
+
+def test_phase_mean_factor_sums_to_duty_weighted():
+    ph = PhaseProfile(period_s=10.0, duty=0.25, gpu_depth=1.0, cpu_depth=0.5)
+    g, c = ph.mean_factor()
+    assert g == pytest.approx(0.25)
+    assert c == pytest.approx(0.25 + 0.75 * 0.5)
+
+
+# ---------------------------------------------------------------------------
+# CLI parser wiring
+# ---------------------------------------------------------------------------
+
+def test_cli_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["telemetry"])
+    assert args.app == "quicksilver"
+    assert args.nodes == 2
+    assert args.platform == "lassen"
+
+    args = build_parser().parse_args(["queue"])
+    assert args.seed == 10
+
+    args = build_parser().parse_args(["report", "--policy", "fpp"])
+    assert args.policy == "fpp"
+
+
+def test_cli_rejects_bad_platform():
+    from repro.cli import build_parser
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["telemetry", "--platform", "summit"])
+
+
+# ---------------------------------------------------------------------------
+# Experiment result formatting (smoke)
+# ---------------------------------------------------------------------------
+
+def test_table4_rows_include_every_scenario_and_app():
+    from repro.experiments.table4_policies import SCENARIOS, Table4Result
+
+    # Formatting only needs the dataclass shape — use one tiny scenario.
+    from repro.experiments.table4_policies import run_policy_scenario
+
+    res = run_policy_scenario("unconstrained", seed=3)
+    table = Table4Result(scenarios={"unconstrained": res})
+    rows = table.table_rows()
+    assert any("gemm" in r for r in rows)
+    assert any("quicksilver" in r for r in rows)
+
+
+def test_scalability_table_formatting():
+    from repro.experiments.scalability import ScalabilityResult, ScaleCell
+
+    res = ScalabilityResult(
+        cells=[
+            ScaleCell(32, "fanout", 1e-3, 70, 992, 0.37),
+            ScaleCell(32, "tree", 9e-4, 12, 992, 0.37),
+        ]
+    )
+    rows = res.table_rows()
+    assert len(rows) == 3
+    assert res.cell(32, "tree").root_messages == 12
+    with pytest.raises(KeyError):
+        res.cell(64, "tree")
+
+
+def test_budget_sweep_table_formatting():
+    from repro.experiments.budget_sweep import BudgetPoint, BudgetSweepResult
+
+    res = BudgetSweepResult(
+        points=[
+            BudgetPoint(9600.0, 554.0, 554.0, 3925.0, 9.1, 9.1),
+            BudgetPoint(None, 550.0, 550.0, 4532.0, 11.1, 11.1),
+        ]
+    )
+    rows = res.table_rows()
+    assert "unc." in rows[-1]
+    assert "9.6" in rows[1]
+
+
+# ---------------------------------------------------------------------------
+# Telemetry client misc
+# ---------------------------------------------------------------------------
+
+def test_job_power_data_mean_empty_raises():
+    from repro.monitor.client import JobPowerData
+
+    with pytest.raises(ValueError):
+        JobPowerData(jobid=1).mean("node_w")
+
+
+def test_component_powers_handles_missing_keys():
+    from repro.monitor.client import component_powers
+
+    parts = component_powers({"power_node_watts": 500.0})
+    assert parts == {"cpu_w": 0.0, "mem_w": 0.0, "gpu_w": 0.0, "node_w": 500.0}

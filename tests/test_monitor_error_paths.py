@@ -1,0 +1,88 @@
+"""Error-path coverage for the monitor stack."""
+
+import pytest
+
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec
+from repro.flux.message import FluxRPCError
+from repro.monitor.module import attach_monitor
+from repro.monitor.node_agent import NodeAgentModule
+from repro.monitor.root_agent import GET_JOB_POWER_TOPIC, RootAgentModule
+
+
+def test_root_agent_requires_rank0(lassen4):
+    with pytest.raises(ValueError):
+        RootAgentModule(lassen4.brokers[1])
+
+
+def test_node_agent_requires_hardware():
+    from repro.flux.broker import Broker
+    from repro.flux.overlay import TBON
+    from repro.simkernel import Simulator
+
+    sim = Simulator()
+    broker = Broker(sim, 0, TBON(size=1))  # no node attached
+    with pytest.raises(ValueError):
+        NodeAgentModule(broker)
+
+
+def test_get_job_power_fails_when_node_agent_missing(lassen4):
+    """A rank without the monitor loaded surfaces errnum 5 to the client."""
+    # Load the root agent only (no node agents anywhere).
+    lassen4.load_module_on_root(lambda b: RootAgentModule(b))
+    fut = lassen4.brokers[0].rpc(
+        0, GET_JOB_POWER_TOPIC, {"ranks": [1, 2], "t_start": 0.0, "t_end": 5.0}
+    )
+    lassen4.run_for(1.0)
+    with pytest.raises(FluxRPCError) as exc:
+        _ = fut.value
+    assert exc.value.errnum == 5
+
+
+def test_get_job_power_missing_args(lassen4):
+    attach_monitor(lassen4)
+    fut = lassen4.brokers[0].rpc(0, GET_JOB_POWER_TOPIC, {"ranks": [0]})
+    lassen4.run_for(1.0)
+    with pytest.raises(FluxRPCError):
+        _ = fut.value
+
+
+def test_tree_strategy_partial_rank_subsets():
+    inst = FluxInstance(platform="lassen", n_nodes=8, seed=31)
+    attach_monitor(inst, strategy="tree")
+    inst.run_for(10.0)
+    fut = inst.brokers[0].rpc(
+        0,
+        GET_JOB_POWER_TOPIC,
+        {"ranks": [0, 3, 5, 7], "t_start": 0.0, "t_end": 10.0},
+    )
+    inst.run_for(1.0)
+    hosts = sorted(n["hostname"] for n in fut.value["nodes"])
+    assert hosts == ["lassen000", "lassen003", "lassen005", "lassen007"]
+
+
+def test_client_timeout(lassen4):
+    """With no root agent loaded, fetch errors rather than hanging."""
+    mon = attach_monitor(lassen4)
+    rec = lassen4.submit(Jobspec(app="laghos", nnodes=1))
+    lassen4.run_until_complete()
+    lassen4.unload_module_everywhere(RootAgentModule.name)
+    with pytest.raises(FluxRPCError):
+        mon.client.fetch(rec.jobid)
+
+
+def test_flush_then_new_samples_flagged_correctly(lassen4):
+    attach_monitor(lassen4)
+    lassen4.run_for(20.0)
+    lassen4.brokers[0].rpc(0, "power-monitor.clear", {})
+    lassen4.run_for(20.0)
+    # Old window: partial (history flushed). New window: complete.
+    old = lassen4.brokers[0].rpc(
+        0, "power-monitor.query", {"t_start": 0.0, "t_end": 18.0}
+    )
+    new = lassen4.brokers[0].rpc(
+        0, "power-monitor.query", {"t_start": 24.0, "t_end": 38.0}
+    )
+    lassen4.run_for(1.0)
+    assert old.value["complete"] is False
+    assert new.value["complete"] is True

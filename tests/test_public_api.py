@@ -1,0 +1,61 @@
+"""The public API surface: everything in ``__all__`` exists and imports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.simkernel",
+        "repro.hardware",
+        "repro.hardware.platforms",
+        "repro.variorum",
+        "repro.variorum.backends",
+        "repro.flux",
+        "repro.apps",
+        "repro.monitor",
+        "repro.manager",
+        "repro.manager.policies",
+        "repro.analysis",
+        "repro.experiments",
+        "repro.cli",
+    ],
+)
+def test_subpackage_all_resolves(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_public_items_have_docstrings():
+    """Every public item on the top-level API is documented."""
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if name.startswith("__") or isinstance(obj, str):
+            continue
+        assert getattr(obj, "__doc__", None), f"{name} lacks a docstring"
+
+
+def test_policy_registry_matches_exports():
+    from repro.manager.policies import POLICY_FACTORIES
+
+    assert set(POLICY_FACTORIES) == {
+        "static",
+        "proportional",
+        "fpp",
+        "fpp-socket",
+        "history",
+    }

@@ -1,0 +1,104 @@
+"""Failure propagation through composite waitables (AllOf/AnyOf)."""
+
+import pytest
+
+from repro.simkernel import AllOf, AnyOf, Process, SimEvent, Simulator, Timeout
+
+
+def test_allof_propagates_first_failure():
+    sim = Simulator()
+    good = SimEvent(sim)
+    bad = SimEvent(sim)
+    caught = []
+
+    def gen():
+        try:
+            yield AllOf(sim, [good, bad])
+        except ValueError as exc:
+            caught.append((sim.now, str(exc)))
+
+    Process(sim, gen())
+    sim.schedule(1.0, bad.fail, ValueError("boom"))
+    sim.schedule(5.0, good.succeed, "late")
+    sim.run()
+    assert caught and caught[0][1] == "boom"
+    assert caught[0][0] == pytest.approx(1.0)  # did not wait for 'good'
+
+
+def test_allof_success_after_failure_is_ignored():
+    sim = Simulator()
+    a = SimEvent(sim)
+    b = SimEvent(sim)
+    outcomes = []
+
+    def gen():
+        try:
+            res = yield AllOf(sim, [a, b])
+            outcomes.append(("ok", res))
+        except RuntimeError:
+            outcomes.append(("err", None))
+
+    Process(sim, gen())
+    sim.schedule(1.0, a.fail, RuntimeError("x"))
+    sim.schedule(2.0, b.succeed, 42)
+    sim.run()
+    assert outcomes == [("err", None)]
+
+
+def test_anyof_failure_wins_race():
+    sim = Simulator()
+    slow_ok = Timeout(10.0, "fine")
+    bad = SimEvent(sim)
+    caught = []
+
+    def gen():
+        try:
+            yield AnyOf(sim, [slow_ok, bad])
+        except KeyError as exc:
+            caught.append(sim.now)
+
+    Process(sim, gen())
+    sim.schedule(1.0, bad.fail, KeyError("nope"))
+    sim.run()
+    assert caught == [pytest.approx(1.0)]
+
+
+def test_anyof_success_beats_later_failure():
+    sim = Simulator()
+    fast = Timeout(1.0, "winner")
+    bad = SimEvent(sim)
+    got = []
+
+    def gen():
+        idx, res = yield AnyOf(sim, [fast, bad])
+        got.append((idx, res))
+
+    Process(sim, gen())
+    sim.schedule(5.0, bad.fail, ValueError("late loser"))
+    sim.run()
+    assert got == [(0, "winner")]
+
+
+def test_allof_of_rpcs_surfaces_service_errors():
+    """The shape the monitor's root agent depends on."""
+    from repro.flux.broker import Broker
+    from repro.flux.message import FluxRPCError
+    from repro.flux.overlay import TBON
+
+    sim = Simulator()
+    registry = {}
+    brokers = [Broker(sim, r, TBON(size=3), registry=registry) for r in range(3)]
+    brokers[1].register_service("ok", lambda b, m: b.respond(m, {"v": 1}))
+    # rank 2 has no service: errnum 38.
+    caught = []
+
+    def gen():
+        futs = [brokers[0].rpc(1, "ok"), brokers[0].rpc(2, "ok")]
+        try:
+            yield AllOf(sim, futs)
+        except FluxRPCError as exc:
+            caught.append(exc.errnum)
+
+    Process(sim, gen())
+    sim.run()
+    assert caught == [38]

@@ -1,0 +1,185 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.simkernel.engine import SimulationError
+
+
+def test_initial_time_defaults_to_zero():
+    assert Simulator().now == 0.0
+
+
+def test_initial_time_configurable():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.0]
+    assert sim.now == 3.0
+
+
+def test_callbacks_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_priority_breaks_ties_before_sequence():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "low", priority=1)
+    sim.schedule(1.0, seen.append, "high", priority=0)
+    sim.run()
+    assert seen == ["high", "low"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nonfinite_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(1.0, seen.append, "x")
+    ev.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(10.0, seen.append, "b")
+    sim.run(until=5.0)
+    assert seen == ["a"]
+    assert sim.now == 5.0  # clock advanced to the horizon
+
+
+def test_run_until_resumes_later():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, seen.append, "b")
+    sim.run(until=5.0)
+    sim.run()
+    assert seen == ["b"]
+
+
+def test_callback_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(1.0, lambda: seen.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_zero_delay_events_run_at_same_time_after_pending():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(0.0, seen.append, "later")
+        seen.append("first")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, seen.append, "second")
+    sim.run()
+    assert seen == ["first", "second", "later"]
+
+
+def test_max_events_guard_trips_on_runaway():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_on_empty_heap():
+    assert Simulator().step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    ev = sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.pending() == 1
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+
+
+def test_args_passed_to_callback():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, 2)
+    sim.run()
+    assert seen == [(1, 2)]

@@ -1,0 +1,91 @@
+"""Unit tests for periodic timers."""
+
+import pytest
+
+from repro.simkernel import PeriodicTimer, Simulator
+
+
+def test_ticks_on_fixed_grid():
+    sim = Simulator()
+    ticks = []
+    PeriodicTimer(sim, 2.0, lambda t: ticks.append(sim.now))
+    sim.run(until=10.0)
+    assert ticks == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+
+def test_start_delay_zero_ticks_immediately():
+    sim = Simulator()
+    ticks = []
+    PeriodicTimer(sim, 2.0, lambda t: ticks.append(sim.now), start_delay=0.0)
+    sim.run(until=4.0)
+    assert ticks == [0.0, 2.0, 4.0]
+
+
+def test_custom_start_delay():
+    sim = Simulator()
+    ticks = []
+    PeriodicTimer(sim, 5.0, lambda t: ticks.append(sim.now), start_delay=1.0)
+    sim.run(until=12.0)
+    assert ticks == [1.0, 6.0, 11.0]
+
+
+def test_stop_cancels_future_ticks():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda t: ticks.append(sim.now))
+    sim.schedule(3.5, timer.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert not timer.running
+
+
+def test_stop_from_within_callback():
+    sim = Simulator()
+    ticks = []
+
+    def cb(timer):
+        ticks.append(sim.now)
+        if len(ticks) == 2:
+            timer.stop()
+
+    PeriodicTimer(sim, 1.0, cb)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_tick_counter():
+    sim = Simulator()
+    timer = PeriodicTimer(sim, 1.0, lambda t: None)
+    sim.run(until=5.0)
+    assert timer.ticks == 5
+
+
+def test_invalid_period_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda t: None)
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, -1.0, lambda t: None)
+
+
+def test_jitter_does_not_drift_nominal_grid():
+    """Jittered ticks wobble, but the grid itself never drifts."""
+    sim = Simulator()
+    times = []
+    jitters = iter([0.3, -0.2, 0.1, 0.0, 0.25, -0.1, 0.2, 0.0, 0.1, -0.3])
+    PeriodicTimer(
+        sim, 2.0, lambda t: times.append(sim.now), jitter_fn=lambda: next(jitters, 0.0)
+    )
+    sim.run(until=20.0)
+    # Each tick within 0.5 of its nominal slot; count matches the grid.
+    for i, t in enumerate(times, start=1):
+        assert abs(t - 2.0 * i) < 0.5
+
+
+def test_two_timers_interleave_deterministically():
+    sim = Simulator()
+    seen = []
+    PeriodicTimer(sim, 2.0, lambda t: seen.append("a"))
+    PeriodicTimer(sim, 2.0, lambda t: seen.append("b"))
+    sim.run(until=4.0)
+    assert seen == ["a", "b", "a", "b"]

@@ -1,0 +1,145 @@
+"""Stateful property test: the job manager under random operation mixes.
+
+Hypothesis drives a real FluxInstance through random submit / depend /
+cancel / advance sequences and checks the structural invariants after
+every step: node accounting balances, running jobs hold disjoint ranks,
+states only move along the lifecycle DAG, and eventlogs stay monotone.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec, JobState
+
+N_NODES = 6
+
+#: Legal state transitions (RFC 21-style DAG).
+LEGAL_NEXT = {
+    JobState.SUBMITTED: {JobState.SCHEDULED, JobState.CANCELLED},
+    JobState.SCHEDULED: {JobState.RUNNING},
+    JobState.RUNNING: {JobState.COMPLETED, JobState.FAILED},
+    JobState.COMPLETED: set(),
+    JobState.CANCELLED: set(),
+    JobState.FAILED: set(),
+}
+
+
+def _closure(state):
+    """States reachable from ``state`` in one or more hops.
+
+    Invariants only observe the machine *between* rules, so a job may
+    traverse several lifecycle states inside one rule; reachability is
+    the observable property.
+    """
+    out, frontier = set(), set(LEGAL_NEXT[state])
+    while frontier:
+        s = frontier.pop()
+        if s not in out:
+            out.add(s)
+            frontier |= LEGAL_NEXT[s]
+    return out
+
+
+REACHABLE = {s: _closure(s) for s in LEGAL_NEXT}
+
+
+class JobManagerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.inst = FluxInstance(platform="lassen", n_nodes=N_NODES, seed=99)
+        self.last_state = {}
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(
+        nnodes=st.integers(1, N_NODES),
+        app=st.sampled_from(["laghos", "quicksilver"]),
+        scale=st.floats(0.2, 2.0),
+        fail=st.booleans(),
+    )
+    def submit(self, nnodes, app, scale, fail):
+        params = {"work_scale": scale}
+        if fail:
+            params["fail_at_s"] = 2.0
+        self.inst.submit(Jobspec(app=app, nnodes=nnodes, params=params))
+
+    @rule(
+        nnodes=st.integers(1, 3),
+        dep_choice=st.integers(0, 10_000),
+    )
+    def submit_dependent(self, nnodes, dep_choice):
+        jobs = list(self.inst.jobmanager.jobs)
+        if not jobs:
+            return
+        dep = jobs[dep_choice % len(jobs)]
+        self.inst.submit(
+            Jobspec(app="laghos", nnodes=nnodes, params={"work_scale": 0.3}),
+            depends_on=[dep],
+        )
+
+    @rule(choice=st.integers(0, 10_000))
+    def cancel_a_queued_job(self, choice):
+        queued = [
+            j
+            for j, r in self.inst.jobmanager.jobs.items()
+            if r.state is JobState.SUBMITTED
+        ]
+        if queued:
+            self.inst.jobmanager.cancel(queued[choice % len(queued)])
+
+    @rule(dt=st.floats(0.5, 20.0))
+    def advance(self, dt):
+        self.inst.run_for(dt)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def node_accounting_balances(self):
+        running = [
+            r
+            for r in self.inst.jobmanager.jobs.values()
+            if r.state in (JobState.RUNNING, JobState.SCHEDULED)
+        ]
+        in_use = sum(len(r.ranks) for r in running)
+        assert in_use + self.inst.scheduler.free_count == N_NODES
+
+    @invariant()
+    def running_jobs_hold_disjoint_ranks(self):
+        seen = set()
+        for r in self.inst.jobmanager.jobs.values():
+            if r.state in (JobState.RUNNING, JobState.SCHEDULED):
+                assert not (set(r.ranks) & seen)
+                seen.update(r.ranks)
+
+    @invariant()
+    def states_follow_lifecycle(self):
+        for jobid, record in self.inst.jobmanager.jobs.items():
+            prev = self.last_state.get(jobid)
+            if prev is not None and prev is not record.state:
+                assert record.state in REACHABLE[prev], (
+                    f"job {jobid}: illegal {prev} -> {record.state}"
+                )
+            self.last_state[jobid] = record.state
+
+    @invariant()
+    def terminal_jobs_have_end_times(self):
+        for record in self.inst.jobmanager.jobs.values():
+            if not record.state.active:
+                assert record.t_end is not None
+
+    @invariant()
+    def eventlogs_are_monotone(self):
+        for jobid in self.inst.jobmanager.jobs:
+            log = self.inst.jobmanager.eventlog(jobid)
+            times = [e["t"] for e in log]
+            assert times == sorted(times)
+
+
+TestJobManagerStateful = JobManagerMachine.TestCase
+TestJobManagerStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
