@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The framework observing itself — metrics, traces, overhead.
+
+The paper's production-grade claim rests partly on Section IV-B:
+the monitor costs 0.4 % of node time on average (1.2 % on Lassen,
+0.04 % on Tioga). This example runs a power-constrained FPP workload
+and then uses :mod:`repro.telemetry` to answer three questions about
+the framework itself:
+
+1. What did the control plane do? (metric snapshot: RPC counts and
+   latencies, cap updates, FFT runs)
+2. Where did the time go? (the paper-style overhead report)
+3. What happened, when? (trace events, exported for chrome://tracing)
+
+Run: ``python examples/observability_demo.py``
+The same data is available from the CLI: ``python -m repro.cli observe``.
+"""
+
+from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.analysis.chrome_trace import write_chrome_trace
+
+
+def main() -> None:
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=8,
+        seed=1,
+        manager_config=ManagerConfig(
+            global_cap_w=9600.0, policy="fpp", static_node_cap_w=1950.0
+        ),
+    )
+    cluster.submit(Jobspec(app="gemm", nnodes=4, params={"work_scale": 2.0}))
+    cluster.submit(Jobspec(app="lammps", nnodes=4, params={"work_scale": 2.0}))
+    cluster.run_until_complete()
+
+    hub = cluster.telemetry_hub
+
+    # 1. What did the control plane do?
+    print("=== metric snapshot " + "=" * 40)
+    print(hub.metrics.render())
+    rpc = hub.metrics.histogram(
+        "flux_rpc_latency_seconds", labels={"topic": "power-manager.set-node-limit"}
+    )
+    if rpc.count:
+        print(
+            f"\nset-limit RPC round trip: mean {1e3 * rpc.mean:.2f} ms, "
+            f"p99 <= {1e3 * rpc.quantile(0.99):.2f} ms over {rpc.count} calls"
+        )
+
+    # 2. Where did the time go? (Section IV-B overhead methodology)
+    print("\n=== overhead report " + "=" * 40)
+    report = cluster.overhead_report()
+    print(report.render())
+    print(
+        f"monitor measured {report.monitor_overhead_pct:.2f} % vs "
+        f"paper's {report.paper_reference_pct():.2f} % on {report.platform}"
+    )
+
+    # 3. What happened, when? Load traces.json in chrome://tracing
+    # (or https://ui.perfetto.dev) to browse the timeline.
+    print("\n=== trace tail " + "=" * 45)
+    print(hub.tracer.render(last=8))
+    n = write_chrome_trace("observability_traces.json", hub.tracer)
+    print(f"\nwrote {n} events to observability_traces.json "
+          f"({hub.tracer.dropped} dropped by the ring)")
+
+    # Prometheus-format export, for diffing runs or scraping into
+    # an external dashboard.
+    with open("observability_metrics.prom", "w") as fh:
+        fh.write(hub.metrics.to_prometheus())
+    print("wrote metric exposition to observability_metrics.prom")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ from repro.manager.policies import (
     StaticPolicy,
 )
 from repro.monitor.module import attach_monitor
+from repro.telemetry import Telemetry, telemetry_of
 
 __version__ = "0.1.0"
 
@@ -59,5 +60,7 @@ __all__ = [
     "HistoryPolicy",
     "attach_manager",
     "attach_monitor",
+    "Telemetry",
+    "telemetry_of",
     "__version__",
 ]

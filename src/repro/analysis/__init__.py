@@ -1,5 +1,12 @@
-"""Analysis utilities: energy integration, traces, summary statistics."""
+"""Analysis utilities: energy integration, traces, summary statistics,
+and exporters (CSV power traces, chrome://tracing telemetry dumps)."""
 
+from repro.analysis.chrome_trace import (
+    chrome_trace_dict,
+    events_from_chrome,
+    to_chrome_trace_json,
+    write_chrome_trace,
+)
 from repro.analysis.energy import (
     JobMetrics,
     integrate_energy_j,
@@ -25,4 +32,8 @@ __all__ = [
     "sparkline",
     "CampaignSummary",
     "summarise_campaign",
+    "chrome_trace_dict",
+    "to_chrome_trace_json",
+    "write_chrome_trace",
+    "events_from_chrome",
 ]

@@ -4,6 +4,10 @@ Mirrors the user-facing tools of the paper's deployment:
 
 * ``repro telemetry`` — run a job on a simulated cluster and print its
   power CSV (the flux-power-monitor client workflow).
+* ``repro observe`` — run a managed workload and dump the framework's
+  own observability data: metric snapshot (text/Prometheus/JSON), the
+  paper-style overhead report, recent trace events, and optionally a
+  ``chrome://tracing`` file (see docs/observability.md).
 * ``repro policies`` — regenerate the Table IV policy comparison.
 * ``repro static-caps`` — regenerate the Table III static-cap sweep.
 * ``repro queue`` — the Section IV-E job-queue campaign.
@@ -12,6 +16,7 @@ Mirrors the user-facing tools of the paper's deployment:
 Usage::
 
     python -m repro.cli telemetry --app quicksilver --nodes 2
+    python -m repro.cli observe --policy fpp --format prom
     python -m repro.cli policies --seed 1
 """
 
@@ -52,6 +57,46 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         f"{m.avg_node_energy_kj:.1f} kJ/node, complete={data.complete}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """Run a small managed workload and dump the observability data."""
+    from repro.analysis.chrome_trace import write_chrome_trace
+
+    cluster = PowerManagedCluster(
+        platform=args.platform,
+        n_nodes=args.cluster_nodes,
+        seed=args.seed,
+        manager_config=ManagerConfig(
+            global_cap_w=1200.0 * args.cluster_nodes,
+            policy=args.policy,
+            static_node_cap_w=1950.0,
+        ),
+    )
+    per_job = max(1, args.cluster_nodes // max(1, args.jobs))
+    for _ in range(args.jobs):
+        cluster.submit(Jobspec(app=args.app, nnodes=per_job))
+    cluster.run_until_complete(timeout_s=10_000_000)
+
+    hub = cluster.telemetry_hub
+    if args.format == "prom":
+        text = hub.metrics.to_prometheus()
+    elif args.format == "json":
+        text = hub.metrics.to_json(indent=2) + "\n"
+    else:
+        text = hub.metrics.render() + "\n\n" + cluster.overhead_report().render() + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote metrics to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    if args.trace:
+        print(hub.tracer.render(last=args.trace))
+    if args.chrome:
+        n = write_chrome_trace(args.chrome, hub.tracer)
+        print(f"wrote {n} trace events to {args.chrome}", file=sys.stderr)
     return 0
 
 
@@ -154,6 +199,32 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--output", "-o", help="CSV output path (default: stdout)")
     t.set_defaults(func=_cmd_telemetry)
+
+    o = sub.add_parser(
+        "observe", help="run a managed workload and dump framework telemetry"
+    )
+    o.add_argument("--app", default="gemm", choices=list_apps())
+    o.add_argument("--jobs", type=int, default=2, help="number of jobs to submit")
+    o.add_argument("--cluster-nodes", type=int, default=8)
+    o.add_argument("--platform", default="lassen",
+                   choices=("lassen", "tioga", "generic"))
+    o.add_argument(
+        "--policy", default="fpp",
+        choices=("static", "proportional", "fpp", "fpp-socket"),
+    )
+    o.add_argument("--seed", type=int, default=0)
+    o.add_argument(
+        "--format", default="text", choices=("text", "prom", "json"),
+        help="metric snapshot format (default: human-readable text)",
+    )
+    o.add_argument("--output", "-o", help="metrics output path (default: stdout)")
+    o.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="also print the last N trace events",
+    )
+    o.add_argument("--chrome", metavar="PATH",
+                   help="write a chrome://tracing JSON file")
+    o.set_defaults(func=_cmd_observe)
 
     p = sub.add_parser("policies", help="regenerate the Table IV comparison")
     p.add_argument("--seed", type=int, default=1)

@@ -29,6 +29,7 @@ from repro.manager.cluster_manager import ManagerConfig
 from repro.manager.module import PowerManager, attach_manager
 from repro.monitor.client import JobPowerData
 from repro.monitor.module import PowerMonitor, attach_monitor
+from repro.telemetry import OverheadReport, Telemetry
 
 
 class PowerManagedCluster:
@@ -53,6 +54,10 @@ class PowerManagedCluster:
         Record a cluster-wide power trace (Table III / Fig 5-7 data).
     enable_jitter:
         Run-to-run variability on (Fig 3/4 experiments).
+    telemetry_enabled:
+        Observability hub on/off (metrics, traces, overhead accounting
+        — :mod:`repro.telemetry`). Pure observer: simulated results are
+        identical either way.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class PowerManagedCluster:
         app_dt: float = 1.0,
         backfill: bool = False,
         scheduler_factory=None,
+        telemetry_enabled: bool = True,
     ) -> None:
         self.instance = FluxInstance(
             platform=platform,
@@ -85,6 +91,7 @@ class PowerManagedCluster:
             app_dt=app_dt,
             backfill=backfill,
             scheduler_factory=scheduler_factory,
+            telemetry_enabled=telemetry_enabled,
         )
         self.monitor: Optional[PowerMonitor] = None
         if with_monitor:
@@ -145,3 +152,38 @@ class PowerManagedCluster:
 
     def makespan_s(self) -> Optional[float]:
         return self.instance.jobmanager.makespan_s()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def telemetry_hub(self) -> Telemetry:
+        """The observability hub (metrics + traces + overhead accountant).
+
+        Distinct from :meth:`telemetry`, which fetches a *job's* power
+        samples through the monitor client, mirroring the production
+        tool's naming.
+        """
+        return self.instance.telemetry
+
+    def overhead_report(self) -> OverheadReport:
+        """Paper-style overhead report (Section IV-D) for this run.
+
+        Attributed monitor/manager seconds come from the overhead
+        accountant; application node-seconds are derived from the job
+        runs so the percentages share the same capacity denominator
+        (elapsed time x cluster size) as the paper's.
+        """
+        acc = self.instance.telemetry.accountant
+        app_node_s = 0.0
+        for run in self.instance.app_runs.values():
+            t_end = run.t_end if run.t_end is not None else self.sim.now
+            app_node_s += max(0.0, t_end - run.t_start) * len(run.nodes)
+        cats = {c: acc.seconds(c) for c in acc.categories()}
+        cats["application"] = cats.get("application", 0.0) + app_node_s
+        return OverheadReport(
+            platform=self.instance.platform,
+            elapsed_s=self.sim.now,
+            n_nodes=self.instance.n_nodes,
+            category_seconds=cats,
+        )

@@ -4,6 +4,12 @@ A broker owns the services registered by its loaded modules, delivers
 requests to them, routes responses back to waiting RPC futures, and
 participates in event distribution (events are sequenced at rank 0 and
 broadcast down the tree, per Flux semantics).
+
+Every broker reports into the simulation-wide telemetry hub
+(:mod:`repro.telemetry`): message and RPC counters, per-topic RPC
+round-trip latency histograms, and TBON hop/byte accounting — the
+numbers docs/observability.md catalogs. Instrumentation is purely
+observational; it never alters routing, timing, or payloads.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.flux.message import FluxRPCError, Message, MessageType
 from repro.simkernel import SimEvent, Simulator
+from repro.telemetry import telemetry_of
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.flux.module import Module
@@ -70,6 +77,10 @@ class Broker:
         self._ingest_horizon = 0.0
         self.messages_sent = 0
         self.messages_delivered = 0
+        #: Shared observability hub (one per simulator); see repro.telemetry.
+        self.telemetry = telemetry_of(sim)
+        #: matchtag -> (topic, send time) for RPC latency accounting.
+        self._rpc_sent: Dict[int, Tuple[str, float]] = {}
 
     # ------------------------------------------------------------------
     # Module management (RFC 5: dynamically loaded broker plugins)
@@ -119,6 +130,12 @@ class Broker:
         tag = Message.new_matchtag()
         future = SimEvent(self.sim)
         self._pending_rpcs[tag] = future
+        self.telemetry.metrics.counter(
+            "flux_rpc_requests_total",
+            labels={"topic": topic},
+            help="RPC requests sent, by topic",
+        ).inc()
+        self._rpc_sent[tag] = (topic, self.sim.now)
         msg = Message(
             msg_type=MessageType.REQUEST,
             topic=topic,
@@ -164,6 +181,11 @@ class Broker:
             dst_rank=0,
         )
         self.messages_sent += 1
+        self.telemetry.metrics.counter(
+            "flux_events_published_total",
+            labels={"topic": topic},
+            help="events published (pre-sequencing), by topic",
+        ).inc()
         arrival = self._fifo_arrival(0, self.overlay.path_delay(self.rank, 0))
         self.sim.schedule_at(arrival, self._registry[0]._sequence_event, msg)
 
@@ -177,11 +199,19 @@ class Broker:
     def _broadcast_event(self, msg: Message) -> None:
         self._deliver_event(msg)
         for child in self.overlay.children(self.rank):
+            self.telemetry.metrics.counter(
+                "tbon_event_forwards_total",
+                help="event copies forwarded down TBON edges",
+            ).inc()
             arrival = self._fifo_arrival(child, self.overlay.hop_delay())
             self.sim.schedule_at(arrival, self._registry[child]._broadcast_event, msg)
 
     def _deliver_event(self, msg: Message) -> None:
         self.messages_delivered += 1
+        self.telemetry.metrics.counter(
+            "flux_event_deliveries_total",
+            help="event deliveries to brokers (fan-out included)",
+        ).inc()
         for prefix, callback in list(self._subscriptions):
             if msg.topic.startswith(prefix):
                 callback(msg)
@@ -198,6 +228,20 @@ class Broker:
         assert msg.dst_rank is not None
         self.messages_sent += 1
         size = msg.size_bytes()
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "flux_messages_sent_total",
+            labels={"type": msg.msg_type.value},
+            help="point-to-point messages transmitted, by type",
+        ).inc()
+        metrics.counter(
+            "tbon_bytes_total",
+            help="payload+header bytes put on the overlay",
+        ).inc(size)
+        metrics.counter(
+            "tbon_hops_total",
+            help="tree edges traversed by point-to-point messages",
+        ).inc(self.overlay.hop_count(msg.src_rank, msg.dst_rank))
         delay = self.overlay.path_delay(msg.src_rank, msg.dst_rank, size_bytes=size)
         arrival = self._fifo_arrival(msg.dst_rank, delay)
         target = self._registry[msg.dst_rank]
@@ -219,7 +263,13 @@ class Broker:
         return arrival
 
     def _deliver(self, msg: Message) -> None:
+        """Hand an arrived message to its service or waiting RPC future."""
         self.messages_delivered += 1
+        self.telemetry.metrics.counter(
+            "flux_messages_delivered_total",
+            labels={"type": msg.msg_type.value},
+            help="point-to-point messages delivered, by type",
+        ).inc()
         if msg.msg_type is MessageType.REQUEST:
             handler = self._services.get(msg.topic)
             if handler is None:
@@ -228,9 +278,26 @@ class Broker:
             handler(self, msg)
         elif msg.msg_type is MessageType.RESPONSE:
             future = self._pending_rpcs.pop(msg.matchtag, None)
+            sent = self._rpc_sent.pop(msg.matchtag, None)
+            if sent is not None:
+                topic, t_sent = sent
+                self.telemetry.metrics.histogram(
+                    "flux_rpc_latency_seconds",
+                    labels={"topic": topic},
+                    help="RPC round-trip latency (send to response), by topic",
+                ).observe(self.sim.now - t_sent)
+                self.telemetry.tracer.span(
+                    f"rpc:{topic}", "flux", t_sent, rank=self.rank,
+                    peer=msg.src_rank, errnum=msg.errnum,
+                )
             if future is None:
                 return  # response to a cancelled/unknown RPC: drop
             if msg.errnum != 0:
+                self.telemetry.metrics.counter(
+                    "flux_rpc_errors_total",
+                    labels={"topic": msg.topic},
+                    help="RPC responses carrying a nonzero errnum, by topic",
+                ).inc()
                 future.fail(FluxRPCError(msg.topic, msg.errnum, msg.errmsg))
             else:
                 future.succeed(msg.payload)

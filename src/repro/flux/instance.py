@@ -25,6 +25,7 @@ from repro.hardware.noise import JitterModel
 from repro.hardware.node import Node
 from repro.hardware.platforms import make_node
 from repro.simkernel import RandomStreams, Simulator
+from repro.telemetry import Telemetry, telemetry_of
 
 
 class FluxInstance:
@@ -52,6 +53,10 @@ class FluxInstance:
         Application control step (seconds).
     backfill:
         Enable conservative backfill in the FCFS scheduler.
+    telemetry_enabled:
+        When False, the observability hub (:mod:`repro.telemetry`)
+        records nothing. Recording is a pure observer either way, so
+        simulated results are byte-identical on/off.
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class FluxInstance:
         nodes: Optional[List[Node]] = None,
         sim: Optional[Simulator] = None,
         scheduler_factory: Optional[Callable[[int], Scheduler]] = None,
+        telemetry_enabled: bool = True,
     ) -> None:
         """``nodes``/``sim`` may be supplied to bootstrap this instance
         over existing hardware inside a running simulation — the
@@ -76,6 +82,12 @@ class FluxInstance:
         self.platform = platform
         self.app_dt = float(app_dt)
         self.sim = sim if sim is not None else Simulator()
+        #: The shared observability hub (nested instances on the same
+        #: simulator share it). Disabling is one-way here so a nested
+        #: instance's default True never re-enables a disabled parent.
+        self.telemetry: Telemetry = telemetry_of(self.sim)
+        if not telemetry_enabled:
+            self.telemetry.enabled = False
         self.streams = RandomStreams(seed=seed)
 
         if nodes is not None:

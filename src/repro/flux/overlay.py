@@ -132,6 +132,15 @@ class TBON:
         factor = 1.0 + self.latency_jitter * float(self._rng.standard_normal())
         return max(base * 0.1, base * factor)
 
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of tree edges a message from ``src`` to ``dst`` crosses.
+
+        Pure topology (no RNG draw) — usable by telemetry accounting
+        without perturbing the seeded latency stream that
+        :meth:`path_delay` consumes.
+        """
+        return len(self.route(src, dst)) - 1
+
     def path_delay(self, src: int, dst: int, size_bytes: int = 0) -> float:
         """Total latency for a message from ``src`` to ``dst``.
 
@@ -139,7 +148,7 @@ class TBON:
         hop — negligible for control RPCs, dominant for whole-machine
         telemetry payloads.
         """
-        hops = len(self.route(src, dst)) - 1
+        hops = self.hop_count(src, dst)
         serialise = (
             size_bytes * 8.0 / self.bandwidth_bps if size_bytes > 0 else 0.0
         )

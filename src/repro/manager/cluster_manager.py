@@ -25,6 +25,7 @@ from repro.flux.broker import Broker
 from repro.flux.message import Message
 from repro.flux.module import Module
 from repro.manager.job_level import JobLevelManager
+from repro.telemetry import MANAGER_RECOMPUTE_COST_PER_JOB_S
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,27 @@ class ClusterLevelManager(Module):
         share = self.per_node_share_w()
         self.share_log.append(
             (self.sim.now, self.job_level.active_node_count(), share)
+        )
+        tel = self.broker.telemetry
+        tel.metrics.counter(
+            "manager_share_recomputes_total",
+            help="cluster-level proportional-share recomputations",
+        ).inc()
+        tel.metrics.gauge(
+            "manager_active_nodes",
+            help="nodes currently allocated to jobs",
+        ).set(self.job_level.active_node_count())
+        tel.metrics.gauge(
+            "manager_per_node_share_w",
+            help="current per-node power share (0 when uncapped/idle)",
+        ).set(share if share is not None else 0.0)
+        tel.tracer.instant(
+            "manager.recompute", "manager", rank=self.broker.rank,
+            share_w=share, jobs=len(self.job_level.jobs),
+        )
+        tel.accountant.charge(
+            "manager",
+            MANAGER_RECOMPUTE_COST_PER_JOB_S * max(1, len(self.job_level.jobs)),
         )
         for jobid, state in list(self.job_level.jobs.items()):
             job_limit = None if share is None else share * len(state.ranks)

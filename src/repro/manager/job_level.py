@@ -51,16 +51,33 @@ class JobLevelManager:
             self.broker.rpc(rank, JOB_DEPARTED_TOPIC, {"jobid": jobid})
 
     def assign(self, jobid: int, job_limit_w: Optional[float]) -> None:
-        """Set a job's power limit and distribute it equally to its nodes."""
+        """Set a job's power limit and distribute it equally to its nodes.
+
+        The payload carries ``t_assigned`` (always, not only when
+        telemetry is enabled, so message sizes — and therefore transport
+        timing — are identical either way); the node manager uses it to
+        measure one-way cap-propagation latency
+        (``manager_cap_update_latency_seconds``).
+        """
         state = self.jobs.get(jobid)
         if state is None:
             raise KeyError(f"job {jobid} is not active")
         state.job_limit_w = job_limit_w
         node_limit = state.node_limit_w
         self.assignment_log.append((self.broker.sim.now, jobid, node_limit))
+        self.broker.telemetry.metrics.counter(
+            "manager_job_limit_assignments_total",
+            help="job-level limit assignments fanned out to node managers",
+        ).inc()
         for rank in state.ranks:
             self.broker.rpc(
-                rank, SET_LIMIT_TOPIC, {"limit_w": node_limit, "jobid": jobid}
+                rank,
+                SET_LIMIT_TOPIC,
+                {
+                    "limit_w": node_limit,
+                    "jobid": jobid,
+                    "t_assigned": self.broker.sim.now,
+                },
             )
 
     def active_node_count(self) -> int:

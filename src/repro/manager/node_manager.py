@@ -24,6 +24,7 @@ from repro.flux.message import Message
 from repro.flux.module import Module
 from repro.hardware.firmware import CappingError
 from repro.manager.policies.base import PowerPolicy
+from repro.telemetry import MANAGER_TRACK_COST_S
 
 SET_LIMIT_TOPIC = "power-manager.set-node-limit"
 JOB_DEPARTED_TOPIC = "power-manager.job-departed"
@@ -177,8 +178,16 @@ class NodeManagerModule(Module):
             else:
                 raise CappingError("no GPU capping driver on this platform")
             self._last_gpu_caps[index] = watts
+            self.broker.telemetry.metrics.counter(
+                "manager_gpu_cap_sets_total",
+                help="GPU power-cap writes through the platform drivers",
+            ).inc()
         except CappingError:
             self.cap_request_failures += 1
+            self.broker.telemetry.metrics.counter(
+                "manager_cap_failures_total",
+                help="failed device cap requests (NVML faults, no driver)",
+            ).inc()
 
     def enforce_limit_via_gpus(self, node_limit_w: float) -> None:
         """Uniformly cap all GPUs so the node fits its limit."""
@@ -226,8 +235,16 @@ class NodeManagerModule(Module):
             else:
                 raise CappingError("no CPU capping driver on this platform")
             self._last_socket_caps[index] = watts
+            self.broker.telemetry.metrics.counter(
+                "manager_socket_cap_sets_total",
+                help="CPU socket power-cap writes through the platform drivers",
+            ).inc()
         except CappingError:
             self.cap_request_failures += 1
+            self.broker.telemetry.metrics.counter(
+                "manager_cap_failures_total",
+                help="failed device cap requests (NVML faults, no driver)",
+            ).inc()
 
     def clear_socket_caps(self) -> None:
         node = self.broker.node
@@ -272,14 +289,33 @@ class NodeManagerModule(Module):
                     EMA_ALPHA * non_cpu + (1.0 - EMA_ALPHA) * self._non_cpu_est_w
                 )
         self._recent.append((self.sim.now, node_w, tuple(gpu_w)))
+        self.broker.telemetry.accountant.charge("manager", MANAGER_TRACK_COST_S)
         self.policy.on_sample(self.sim.now, node_w, gpu_w)
 
     # ------------------------------------------------------------------
     # Services
     # ------------------------------------------------------------------
     def _handle_set_limit(self, broker: Broker, msg: Message) -> None:
+        """Install a node-level limit pushed down the cap-decision chain."""
         limit = msg.payload.get("limit_w")
         jobid = msg.payload.get("jobid")
+        t_assigned = msg.payload.get("t_assigned")
+        tel = broker.telemetry
+        tel.metrics.counter(
+            "manager_node_limit_updates_total",
+            help="node-level limit updates applied by node managers",
+        ).inc()
+        if t_assigned is not None:
+            # One-way latency of the cluster→job→node cap chain — the
+            # "policy loop" the paper's responsiveness rests on.
+            tel.metrics.histogram(
+                "manager_cap_update_latency_seconds",
+                help="cap-chain propagation, share decision to node apply",
+            ).observe(self.sim.now - float(t_assigned))
+            tel.tracer.span(
+                "manager.cap_update", "manager", float(t_assigned),
+                rank=broker.rank, jobid=jobid, limit_w=limit,
+            )
         if limit is not None:
             try:
                 limit = float(limit)

@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 
 from repro.manager.fft import estimate_period
 from repro.manager.policies.base import PowerPolicy
+from repro.telemetry import FPP_FFT_COST_S
 
 
 @dataclass(frozen=True)
@@ -266,15 +267,45 @@ class FPPPolicy(PowerPolicy):
         assert self.manager is not None
         if self.manager.node_limit_w is None and not self.manager.job_present:
             return  # idle node: nothing to manage
+        tel = self.manager.broker.telemetry
+        rank = self.manager.broker.rank
+        tel.metrics.counter(
+            "fpp_control_ticks_total",
+            help="FPP 90 s control-interval evaluations (active nodes)",
+        ).inc()
         lo, _hi = self.manager.gpu_cap_range
         ceiling = self._ceiling()
-        for i, ctl in enumerate(self.controllers):
-            ctl.refresh_period()
-            new_cap = ctl.next_cap(self.caps_w[i], lo, ceiling)
-            if new_cap != self.caps_w[i]:
-                self.caps_w[i] = new_cap
-                self.manager.set_gpu_cap(i, new_cap)
-            ctl.reset_buffer()
+        with tel.tracer.trace_span(
+            "fpp.control_tick", "manager", rank=rank, gpus=len(self.controllers)
+        ):
+            for i, ctl in enumerate(self.controllers):
+                ctl.refresh_period()
+                tel.metrics.counter(
+                    "fpp_fft_runs_total",
+                    help="FFT period estimations at control ticks",
+                ).inc()
+                tel.accountant.charge("manager", FPP_FFT_COST_S)
+                outcome = "detected" if ctl.period_s is not None else "none"
+                tel.metrics.counter(
+                    "fpp_periods_total", labels={"outcome": outcome},
+                    help="period-detection outcomes (detected vs flat/noisy)",
+                ).inc()
+                if ctl.period_s is not None:
+                    tel.metrics.histogram(
+                        "fpp_period_seconds",
+                        buckets=(2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 90.0),
+                        help="detected dominant application periods",
+                    ).observe(ctl.period_s)
+                new_cap = ctl.next_cap(self.caps_w[i], lo, ceiling)
+                if new_cap != self.caps_w[i]:
+                    direction = "down" if new_cap < self.caps_w[i] else "up"
+                    tel.metrics.counter(
+                        "fpp_cap_changes_total", labels={"direction": direction},
+                        help="FPP per-GPU cap adjustments, by direction",
+                    ).inc()
+                    self.caps_w[i] = new_cap
+                    self.manager.set_gpu_cap(i, new_cap)
+                ctl.reset_buffer()
 
     def reset_job_state(self) -> None:
         """Fresh controllers when a new job lands on the node."""

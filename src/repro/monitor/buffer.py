@@ -6,6 +6,12 @@ oldest sample is overwritten. The paper's default is 100,000 samples ≈
 default sampling rate that is ~2.3 days of history per node. A job
 whose start predates the oldest retained sample gets a *partial* data
 flag in the client CSV.
+
+The buffer itself is passive (no simulator access); the node agent
+mirrors its state into the observability hub after each write — fill
+level as ``monitor_buffer_occupancy{rank=...}``, wrap-around losses as
+``monitor_buffer_dropped{rank=...}``, administrative flushes as
+``monitor_buffer_flushes_total`` (see docs/observability.md).
 """
 
 from __future__ import annotations

@@ -4,6 +4,12 @@ Stateless with respect to jobs: it samples Variorum on a fixed period
 into its circular buffer and answers range queries. It neither knows
 nor cares what is running — the design decision the paper credits for
 the monitor's low overhead (Section III-A).
+
+Each sample reports into the telemetry hub (``monitor_samples_total``,
+per-rank buffer occupancy/drop gauges) and charges its per-platform
+collection cost to the ``monitor`` overhead category — the same cost
+model that slows co-located applications, so the overhead accountant's
+percentage matches the slowdown the apps actually experience.
 """
 
 from __future__ import annotations
@@ -66,6 +72,25 @@ class NodeAgentModule(Module):
         sample = variorum.get_node_power_json(self.broker.node, self.sim.now)
         self.buffer.append(self.sim.now, sample)
         self.samples_taken += 1
+        tel = self.broker.telemetry
+        rank = {"rank": str(self.broker.rank)}
+        tel.metrics.counter(
+            "monitor_samples_total",
+            help="Variorum samples appended to node-agent ring buffers",
+        ).inc()
+        tel.metrics.gauge(
+            "monitor_buffer_occupancy", labels=rank,
+            help="retained samples in the node agent's circular buffer",
+        ).set(len(self.buffer))
+        tel.metrics.gauge(
+            "monitor_buffer_dropped", labels=rank,
+            help="samples lost to ring wrap on this node agent",
+        ).set(self.buffer.dropped)
+        # The per-sample collection cost — identical to the fraction
+        # that slows co-located apps (node_overhead_fraction).
+        tel.accountant.charge(
+            "monitor", self.node_overhead_fraction * self.sample_interval_s
+        )
 
     # ------------------------------------------------------------------
     # Services
@@ -81,6 +106,10 @@ class NodeAgentModule(Module):
             broker.respond(msg, errnum=22, errmsg="t_end < t_start")
             return
         samples, complete = self.buffer.range(t_start, t_end)
+        self.broker.telemetry.metrics.counter(
+            "monitor_queries_total",
+            help="range queries answered by node agents",
+        ).inc()
         # Optional downsampling: long windows on big machines produce
         # multi-megabyte responses; a client that only needs the shape
         # asks for at most N samples and gets an even stride.
@@ -117,6 +146,14 @@ class NodeAgentModule(Module):
         partial data — the flush case the client CSV flag exists for.
         """
         flushed = self.buffer.flush()
+        tel = broker.telemetry
+        tel.metrics.counter(
+            "monitor_buffer_flushes_total",
+            help="administrative buffer flushes",
+        ).inc()
+        tel.metrics.gauge(
+            "monitor_buffer_occupancy", labels={"rank": str(broker.rank)},
+        ).set(0)
         broker.respond(msg, {"rank": broker.rank, "flushed": flushed})
 
     def _handle_status(self, broker: Broker, msg: Message) -> None:

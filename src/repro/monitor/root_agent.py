@@ -21,6 +21,7 @@ from repro.flux.message import Message
 from repro.flux.module import Module
 from repro.monitor.node_agent import QUERY_TOPIC
 from repro.simkernel import AllOf
+from repro.telemetry import AGGREGATION_COST_PER_NODE_S
 
 GET_JOB_POWER_TOPIC = "power-monitor.get-job-power"
 SUBTREE_TOPIC = "power-monitor.query-subtree"
@@ -57,14 +58,33 @@ class RootAgentModule(Module):
             broker.respond(msg, errnum=22, errmsg="empty rank list")
             return
         max_samples = msg.payload.get("max_samples")
+        self.broker.telemetry.metrics.counter(
+            "monitor_aggregations_total",
+            labels={"strategy": self.strategy},
+            help="job-power aggregation requests served by the root agent",
+        ).inc()
         if self.strategy == "tree":
             self.spawn(self._collect_tree(msg, ranks, t_start, t_end, max_samples))
         else:
             self.spawn(self._collect_fanout(msg, ranks, t_start, t_end, max_samples))
 
+    def _finish_aggregation(self, t_start: float, n_ranks: int) -> None:
+        """Record latency/trace/overhead for one completed aggregation."""
+        tel = self.broker.telemetry
+        tel.metrics.histogram(
+            "monitor_aggregation_latency_seconds",
+            help="root-agent fan-in latency, request arrival to response",
+        ).observe(self.sim.now - t_start)
+        tel.tracer.span(
+            "monitor.aggregate", "monitor", t_start, rank=self.broker.rank,
+            nodes=n_ranks, strategy=self.strategy,
+        )
+        tel.accountant.charge("monitor", AGGREGATION_COST_PER_NODE_S * n_ranks)
+
     def _collect_fanout(
         self, msg: Message, ranks: List[int], t0: float, t1: float, max_samples=None
     ):
+        t_begin = self.sim.now
         query = {"t_start": t0, "t_end": t1}
         if max_samples is not None:
             query["max_samples"] = max_samples
@@ -74,12 +94,14 @@ class RootAgentModule(Module):
         except Exception as exc:  # node agent missing / errored
             self.broker.respond(msg, errnum=5, errmsg=str(exc))
             return
+        self._finish_aggregation(t_begin, len(ranks))
         self.broker.respond(msg, {"nodes": results})
 
     def _collect_tree(
         self, msg: Message, ranks: List[int], t0: float, t1: float, max_samples=None
     ):
         """Hierarchical collection: ask each root child for its subtree."""
+        t_begin = self.sim.now
         wanted = set(ranks)
         extra = {} if max_samples is None else {"max_samples": max_samples}
         futures = []
@@ -114,6 +136,7 @@ class RootAgentModule(Module):
                 nodes.extend(res["nodes"])
             else:
                 nodes.append(res)
+        self._finish_aggregation(t_begin, len(ranks))
         self.broker.respond(msg, {"nodes": nodes})
 
 

@@ -1,0 +1,154 @@
+"""Structured tracing: ring-buffered spans and instants on sim time.
+
+The recorder keeps the most recent ``capacity`` events in a ring —
+bounded memory for arbitrarily long runs, mirroring the monitor's own
+circular sample buffer. Overflow evicts oldest-first and is counted in
+:attr:`TraceRecorder.dropped`, so an export can say how much history it
+is missing.
+
+Timestamps are **simulated seconds** (the registry clock), so a trace
+from a seeded run is itself deterministic. Most handler spans have zero
+sim-time duration (callbacks are instantaneous in the discrete-event
+model); spans with real extent are the cross-time ones — RPC round
+trips, aggregation fan-ins — recorded via :meth:`TraceRecorder.span`
+from an explicit start time.
+
+Export to ``chrome://tracing`` JSON lives in
+:mod:`repro.analysis.chrome_trace`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded span or instant.
+
+    Attributes
+    ----------
+    name:
+        Event name, dot-separated by convention (``fpp.control_tick``).
+    category:
+        Subsystem: ``"flux"``, ``"monitor"`` or ``"manager"``.
+    ts_s:
+        Start time in simulated seconds.
+    dur_s:
+        Duration in simulated seconds (0.0 for instants).
+    rank:
+        Broker rank the event happened on, or ``None``.
+    kind:
+        ``"span"`` or ``"instant"``.
+    attrs:
+        Free-form JSON-compatible details (jobid, topic, ...).
+    """
+
+    name: str
+    category: str
+    ts_s: float
+    dur_s: float = 0.0
+    rank: Optional[int] = None
+    kind: str = "span"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Fixed-capacity ring of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = 8192,
+                 clock: Optional[Callable[[], float]] = None,
+                 enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.total_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        """Append one event (oldest evicted when the ring is full)."""
+        if not self.enabled:
+            return
+        self._ring.append(event)
+        self.total_recorded += 1
+
+    def instant(self, name: str, category: str, rank: Optional[int] = None,
+                **attrs: Any) -> None:
+        """Record a zero-duration event at the current sim time."""
+        self.record(TraceEvent(
+            name=name, category=category, ts_s=self.clock(), dur_s=0.0,
+            rank=rank, kind="instant", attrs=attrs,
+        ))
+
+    def span(self, name: str, category: str, start_s: float,
+             end_s: Optional[float] = None, rank: Optional[int] = None,
+             **attrs: Any) -> None:
+        """Record a span from an explicit start time (cross-time work).
+
+        ``end_s`` defaults to the current sim time — the pattern for
+        RPC round trips: stamp ``start_s`` at send, call this from the
+        response path.
+        """
+        end = self.clock() if end_s is None else end_s
+        self.record(TraceEvent(
+            name=name, category=category, ts_s=start_s,
+            dur_s=max(0.0, end - start_s), rank=rank, kind="span", attrs=attrs,
+        ))
+
+    @contextmanager
+    def trace_span(self, name: str, category: str,
+                   rank: Optional[int] = None, **attrs: Any) -> Iterator[None]:
+        """Context manager recording a span around the enclosed code.
+
+        Duration is simulated time elapsed inside the block — zero for
+        a plain handler, positive if the block advances the simulator.
+        """
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.span(name, category, start, rank=rank, **attrs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Events evicted because the ring wrapped."""
+        return self.total_recorded - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        """Drop retained events; ``total_recorded`` is preserved."""
+        self._ring.clear()
+
+    def render(self, last: Optional[int] = None) -> str:
+        """Terminal-friendly dump of the newest ``last`` events."""
+        events = self.events()
+        if last is not None:
+            events = events[-last:]
+        lines = []
+        for ev in events:
+            where = f" rank={ev.rank}" if ev.rank is not None else ""
+            extra = f" {ev.attrs}" if ev.attrs else ""
+            lines.append(
+                f"t={ev.ts_s:12.6f}s +{ev.dur_s:.6f}s "
+                f"[{ev.category}] {ev.name}{where}{extra}"
+            )
+        if self.dropped:
+            lines.append(f"({self.dropped} older events evicted)")
+        return "\n".join(lines)

@@ -44,6 +44,39 @@ def test_telemetry_rejects_unknown_app():
         main(["telemetry", "--app", "hpl"])
 
 
+def test_observe_command_text(capsys):
+    rc = main(["observe", "--cluster-nodes", "2", "--jobs", "1",
+               "--policy", "proportional"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "monitor_samples_total" in out
+    assert "overhead accounting" in out
+    assert "paper reference" in out
+
+
+def test_observe_command_prometheus(capsys):
+    rc = main(["observe", "--cluster-nodes", "2", "--jobs", "1",
+               "--policy", "proportional", "--format", "prom"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "# TYPE monitor_samples_total counter" in out
+
+
+def test_observe_command_json_and_chrome(tmp_path, capsys):
+    import json
+
+    metrics_file = tmp_path / "metrics.json"
+    chrome_file = tmp_path / "trace.json"
+    rc = main(["observe", "--cluster-nodes", "2", "--jobs", "1",
+               "--format", "json", "-o", str(metrics_file),
+               "--chrome", str(chrome_file), "--trace", "5"])
+    assert rc == 0
+    doc = json.loads(metrics_file.read_text())
+    assert "monitor_samples_total" in doc["metrics"]
+    trace = json.loads(chrome_file.read_text())
+    assert trace["traceEvents"]
+
+
 def test_static_caps_command(capsys):
     assert main(["static-caps", "--seed", "1"]) == 0
     out = capsys.readouterr().out
