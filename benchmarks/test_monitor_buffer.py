@@ -53,3 +53,50 @@ def test_sampling_hot_path(benchmark):
 
     benchmark(one_sample)
     assert len(buf) > 0
+
+
+def test_range_bisect_vs_linear_scan(benchmark):
+    """Window query on a full 100k buffer: bisect vs the old O(n) scan.
+
+    The node agent answers every aggregation query through
+    ``CircularBuffer.range``; on a full buffer a narrow window (a short
+    job on a long-lived agent) used to scan all 100k retained samples.
+    """
+    buf = CircularBuffer()
+    for t in range(buf.capacity + 5_000):  # force a wrap too
+        buf.append(float(t), {"t": t})
+    t0, t1 = 100_000.0, 100_060.0  # 61-sample window in retained history
+
+    def linear_scan():
+        return [
+            (ts, s)
+            for ts, s in buf.snapshot()
+            if t0 <= ts <= t1
+        ]
+
+    expected = linear_scan()
+    got = run_once(benchmark, buf.range, t0, t1)
+    samples, complete = got
+    assert [s["t"] for s in samples] == [s["t"] for _, s in expected]
+    assert len(samples) == 61 and complete
+
+    import time
+
+    reps = 200
+    start = time.perf_counter()
+    for _ in range(reps):
+        buf.range(t0, t1)
+    bisect_s = (time.perf_counter() - start) / reps
+    start = time.perf_counter()
+    scan = linear_scan()
+    scan_s = time.perf_counter() - start
+    emit(
+        "CircularBuffer.range on a full 100k ring (61-sample window)",
+        [
+            f"bisect-backed range: {bisect_s * 1e6:8.1f} us",
+            f"full linear scan:    {scan_s * 1e6:8.1f} us",
+            f"speedup:             {scan_s / max(bisect_s, 1e-12):8.0f}x",
+        ],
+    )
+    assert len(scan) == 61
+    assert bisect_s < scan_s

@@ -25,7 +25,9 @@ Quick start::
 """
 
 from repro.cluster import PowerManagedCluster
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, LinkFaults
 from repro.flux.instance import FluxInstance
+from repro.flux.module import RetryConfig
 from repro.flux.jobspec import Jobspec, JobRecord, JobState
 from repro.flux.user_instance import UserInstance, spawn_user_instance
 from repro.manager.cluster_manager import ManagerConfig
@@ -58,6 +60,11 @@ __all__ = [
     "FPPPolicy",
     "FPPParams",
     "HistoryPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
+    "RetryConfig",
     "attach_manager",
     "attach_monitor",
     "Telemetry",

@@ -11,6 +11,7 @@ Mirrors the user-facing tools of the paper's deployment:
 * ``repro policies`` — regenerate the Table IV policy comparison.
 * ``repro static-caps`` — regenerate the Table III static-cap sweep.
 * ``repro queue`` — the Section IV-E job-queue campaign.
+* ``repro chaos`` — the fault-injection campaign (graceful degradation).
 * ``repro apps`` — list the calibrated application models.
 
 Usage::
@@ -171,6 +172,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection campaign and print the degradation audit."""
+    from repro.experiments.chaos_campaign import run_chaos_campaign
+
+    result = run_chaos_campaign(seed=args.seed, n_nodes=args.nodes)
+    for line in result.table_rows():
+        print(line)
+    return 0 if result.degraded_ok() else 1
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':<12} {'scaling':<7} {'launcher':<8} {'base s':>7}  inputs")
     for name in list_apps():
@@ -250,6 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("static", "proportional", "fpp", "fpp-socket"),
     )
     r.set_defaults(func=_cmd_report)
+
+    c = sub.add_parser(
+        "chaos", help="run the fault-injection campaign (degradation audit)"
+    )
+    c.add_argument("--seed", type=int, default=1)
+    c.add_argument("--nodes", type=int, default=8)
+    c.set_defaults(func=_cmd_chaos)
 
     a = sub.add_parser("apps", help="list calibrated application models")
     a.set_defaults(func=_cmd_apps)

@@ -23,8 +23,11 @@ from typing import Dict, Optional
 
 from repro.analysis.energy import JobMetrics, job_metrics
 from repro.analysis.traces import ClusterPowerTrace
+from repro.faults import FaultInjector, FaultPlan
+from repro.flux.broker import Broker
 from repro.flux.instance import FluxInstance
 from repro.flux.jobspec import JobRecord, Jobspec
+from repro.flux.module import RetryConfig
 from repro.manager.cluster_manager import ManagerConfig
 from repro.manager.module import PowerManager, attach_manager
 from repro.monitor.client import JobPowerData
@@ -58,6 +61,13 @@ class PowerManagedCluster:
         Observability hub on/off (metrics, traces, overhead accounting
         — :mod:`repro.telemetry`). Pure observer: simulated results are
         identical either way.
+    fault_plan:
+        Fault campaign to inject (:class:`~repro.faults.FaultPlan`);
+        ``None`` (or an empty plan) injects nothing and leaves the run
+        byte-identical to a faultless build — see docs/failures.md.
+    monitor_retry:
+        Per-node timeout/retry policy for telemetry aggregation
+        (:class:`~repro.flux.module.RetryConfig`); None uses defaults.
     """
 
     def __init__(
@@ -79,6 +89,9 @@ class PowerManagedCluster:
         backfill: bool = False,
         scheduler_factory=None,
         telemetry_enabled: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        monitor_retry: Optional[RetryConfig] = None,
+        monitor_strategy: str = "fanout",
     ) -> None:
         self.instance = FluxInstance(
             platform=platform,
@@ -96,7 +109,10 @@ class PowerManagedCluster:
         self.monitor: Optional[PowerMonitor] = None
         if with_monitor:
             self.monitor = attach_monitor(
-                self.instance, sample_interval_s=monitor_interval_s
+                self.instance,
+                sample_interval_s=monitor_interval_s,
+                strategy=monitor_strategy,
+                retry=monitor_retry,
             )
         self.manager: Optional[PowerManager] = None
         if manager_config is not None:
@@ -106,6 +122,24 @@ class PowerManagedCluster:
         self.trace: Optional[ClusterPowerTrace] = None
         if trace:
             self.trace = ClusterPowerTrace(self.instance, interval_s=trace_interval_s)
+        #: Fault injector; a no-op (nothing scheduled, no RNG stream)
+        #: unless a non-empty plan was supplied.
+        self.faults = FaultInjector(
+            self.instance, fault_plan, on_restart=self._on_broker_restart
+        )
+
+    def _on_broker_restart(self, broker: Broker) -> None:
+        """Reload management modules on a broker that came back up.
+
+        The reborn node agent starts with an empty ring buffer, so
+        telemetry windows straddling the outage come back partial; the
+        node manager re-installs the static cap and picks up dynamic
+        limits at the cluster manager's next recompute.
+        """
+        if self.monitor is not None:
+            self.monitor.reload_agent(broker.rank)
+        if self.manager is not None:
+            self.manager.reload_node_manager(broker.rank)
 
     # ------------------------------------------------------------------
     # Delegation

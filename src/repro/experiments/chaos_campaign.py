@@ -1,0 +1,186 @@
+"""Chaos campaign: the degradation story end to end.
+
+Runs the proportional-sharing scenario while the fault injector crashes
+one leaf broker mid-job (with an automatic restart), hangs another, and
+drops/delays TBON messages in a window — then checks what production
+operation cares about:
+
+* the telemetry fetch still succeeds, with the dead node's row marked
+  ``partial`` in the client CSV instead of the whole query failing;
+* the cluster manager reclaims the dead node's power share within one
+  recompute of the ``broker.down`` event;
+* the retry/timeout/degradation counters actually moved, so the
+  degradation is observable, not silent.
+
+``repro chaos`` on the command line prints the summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster import PowerManagedCluster
+from repro.faults import FaultEvent, FaultPlan, LinkFaults
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+from repro.monitor.client import JobPowerData
+
+#: When the leaf broker crashes. It stays down for the rest of the run
+#: so the post-job telemetry fetch exercises retry exhaustion and the
+#: per-node error record (restart/recovery is pinned by the tests).
+CRASH_AT_S = 40.0
+#: When the second broker hangs / for how long.
+HANG_AT_S = 55.0
+HANG_DURATION_S = 12.0
+#: The probabilistic link-fault window.
+LINK_WINDOW = (30.0, 60.0)
+
+
+@dataclass
+class ChaosResult:
+    """What the chaos campaign observed."""
+
+    seed: int
+    n_nodes: int
+    crashed_rank: int
+    hung_rank: int
+    crashed_host: str
+    #: Per-host completeness flags from the post-crash telemetry fetch.
+    node_complete: Dict[str, bool] = field(default_factory=dict)
+    #: Per-host error strings for nodes that never answered.
+    node_error: Dict[str, str] = field(default_factory=dict)
+    fetch_rows: int = 0
+    csv_lines: int = 0
+    #: (time, active_nodes, per_node_share_w) entries around the crash.
+    share_before_w: Optional[float] = None
+    share_after_w: Optional[float] = None
+    #: How many recomputes it took to react to the down event (must be 1).
+    recomputes_after_down: int = 0
+    rpc_retries: float = 0.0
+    rpc_timeouts: float = 0.0
+    degraded_aggregations: float = 0.0
+    node_deaths: float = 0.0
+    faults_injected: float = 0.0
+    messages_dropped: float = 0.0
+
+    def degraded_ok(self) -> bool:
+        """The acceptance gate: degraded, redistributed, observable."""
+        return (
+            self.node_complete.get(self.crashed_host) is False
+            and self.crashed_host in self.node_error
+            and self.recomputes_after_down == 1
+            and self.share_after_w is not None
+            and self.share_before_w is not None
+            and self.share_after_w > self.share_before_w
+            and self.rpc_timeouts > 0
+            and self.degraded_aggregations > 0
+            and self.node_deaths > 0
+        )
+
+    def table_rows(self) -> List[str]:
+        rows = [
+            f"{'check':<38} {'value':>14}",
+            f"{'crashed rank / host':<38} {self.crashed_rank}/{self.crashed_host:>8}",
+            f"{'hung rank':<38} {self.hung_rank:>14}",
+            f"{'fetch rows':<38} {self.fetch_rows:>14}",
+            f"{'crashed host flagged partial':<38} "
+            f"{str(self.node_complete.get(self.crashed_host) is False):>14}",
+            f"{'share before crash (W/node)':<38} "
+            f"{(self.share_before_w or 0.0):>14.1f}",
+            f"{'share after crash (W/node)':<38} "
+            f"{(self.share_after_w or 0.0):>14.1f}",
+            f"{'recomputes to react':<38} {self.recomputes_after_down:>14}",
+            f"{'rpc retries':<38} {self.rpc_retries:>14.0f}",
+            f"{'rpc timeouts':<38} {self.rpc_timeouts:>14.0f}",
+            f"{'degraded aggregations':<38} {self.degraded_aggregations:>14.0f}",
+            f"{'node deaths seen by manager':<38} {self.node_deaths:>14.0f}",
+            f"{'faults injected':<38} {self.faults_injected:>14.0f}",
+            f"{'messages dropped':<38} {self.messages_dropped:>14.0f}",
+            f"{'degraded_ok':<38} {str(self.degraded_ok()):>14}",
+        ]
+        return rows
+
+
+def _counter_total(metrics, name: str) -> float:
+    return sum(m.value for m in metrics.series_for(name))
+
+
+def run_chaos_campaign(seed: int = 1, n_nodes: int = 8) -> ChaosResult:
+    """Run the chaos scenario and audit the degradation chain."""
+    if n_nodes < 4:
+        raise ValueError("chaos campaign needs >= 4 nodes")
+    # Deepest leaf and its neighbour: ranks that take nobody else down.
+    crashed_rank = n_nodes - 1
+    hung_rank = n_nodes - 2
+    plan = FaultPlan(
+        events=[
+            FaultEvent(t=CRASH_AT_S, kind="crash", rank=crashed_rank),
+            FaultEvent(t=HANG_AT_S, kind="hang", rank=hung_rank,
+                       duration_s=HANG_DURATION_S),
+        ],
+        link=LinkFaults(
+            drop_prob=0.03, delay_prob=0.10, delay_s=0.25,
+            t_start=LINK_WINDOW[0], t_end=LINK_WINDOW[1],
+        ),
+    )
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=n_nodes,
+        seed=seed,
+        manager_config=ManagerConfig(
+            global_cap_w=1200.0 * n_nodes,
+            policy="proportional",
+            static_node_cap_w=1950.0,
+        ),
+        fault_plan=plan,
+    )
+    job = cluster.submit(
+        Jobspec(app="gemm", nnodes=n_nodes, params={"work_scale": 6.0})
+    )
+    cluster.run_until_complete(timeout_s=1_000_000)
+    cluster.run_for(5.0)
+
+    crashed_host = cluster.nodes[crashed_rank].hostname
+    data: JobPowerData = cluster.monitor.client.fetch(job.jobid, timeout_s=120.0)
+
+    # Share redistribution: last recompute before the down event vs the
+    # first at/after it (the manager must react within exactly one).
+    manager = cluster.manager.cluster
+    down_t = next(t for t, kind, r in cluster.faults.injected if kind == "crash")
+    before = [e for e in manager.share_log if e[0] < down_t]
+    after = [e for e in manager.share_log if e[0] >= down_t]
+    share_before = before[-1][2] if before else None
+    # Entries strictly between the down event and the job's completion
+    # recompute tell us how fast the reclaim happened.
+    recomputes_after_down = 0
+    share_after = None
+    for t, _n, share in after:
+        recomputes_after_down += 1
+        share_after = share
+        break  # the very first recompute after the event must already reclaim
+
+    metrics = cluster.telemetry_hub.metrics
+    result = ChaosResult(
+        seed=seed,
+        n_nodes=n_nodes,
+        crashed_rank=crashed_rank,
+        hung_rank=hung_rank,
+        crashed_host=crashed_host,
+        node_complete=dict(data.node_complete),
+        node_error=dict(data.node_error),
+        fetch_rows=len(data.rows),
+        csv_lines=len(data.to_csv().splitlines()),
+        share_before_w=share_before,
+        share_after_w=share_after,
+        recomputes_after_down=recomputes_after_down,
+        rpc_retries=_counter_total(metrics, "rpc_retries_total"),
+        rpc_timeouts=_counter_total(metrics, "rpc_timeouts_total"),
+        degraded_aggregations=_counter_total(
+            metrics, "monitor_degraded_aggregations_total"
+        ),
+        node_deaths=_counter_total(metrics, "manager_node_deaths_total"),
+        faults_injected=_counter_total(metrics, "faults_injected_total"),
+        messages_dropped=_counter_total(metrics, "tbon_messages_dropped_total"),
+    )
+    return result

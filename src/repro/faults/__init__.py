@@ -1,0 +1,19 @@
+"""Fault injection and graceful degradation.
+
+Deterministic, seeded fault plans (broker crashes/restarts, node-agent
+hangs, probabilistic TBON message drops/delays) executed against a
+running instance by the :class:`FaultInjector`. The rest of the stack
+degrades per node instead of failing per cluster; docs/failures.md
+describes the model and the knobs.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import KINDS, FaultEvent, FaultPlan, LinkFaults
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "KINDS",
+    "LinkFaults",
+]

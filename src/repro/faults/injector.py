@@ -1,0 +1,161 @@
+"""Executes a fault plan against a running instance.
+
+The injector is the only component allowed to mutate broker liveness
+state (``up`` / ``hung_until`` / the shared down-rank set / the
+``fault_hook``). With an empty plan it schedules nothing, installs
+nothing and never touches the RNG — a run with faults disabled is
+byte-identical to one without an injector at all (pinned by
+``tests/test_faults.py``).
+
+Fault semantics (see docs/failures.md for the full model):
+
+* **crash** — the broker goes down: its modules (node agent, managers)
+  are unloaded, the rank joins the shared down set so point-to-point
+  routes through it black-hole, and rank 0 publishes a ``broker.down``
+  event on the dead rank's behalf (in Flux, the TBON parent detects
+  the lost connection). Applications keep running on the node — only
+  the management plane died.
+* **restart** — the broker comes back empty: ``broker.up`` again,
+  ``broker.up`` event published, and the ``on_restart`` callback gives
+  the cluster wiring a chance to reload fresh modules (with an empty
+  telemetry buffer — history died with the broker).
+* **hang** — requests delivered to the rank are dropped until the hang
+  expires; responses already computed still drain and the broker stays
+  "up". This is the failure the RPC retry layer recovers from.
+* **link faults** — within the configured window, each transmitted
+  message draws once from the dedicated ``faults/link`` RNG substream
+  and may be dropped or delayed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.flux.broker import Broker
+from repro.flux.instance import FluxInstance
+from repro.flux.message import Message
+from repro.faults.plan import FaultEvent, FaultPlan, LinkFaults
+
+
+class FaultInjector:
+    """Schedules a :class:`~repro.faults.plan.FaultPlan` on an instance.
+
+    Parameters
+    ----------
+    instance:
+        The target Flux instance.
+    plan:
+        What to inject; None or an empty plan is a strict no-op.
+    on_restart:
+        Called with the broker after each restart so the deployment can
+        reload its modules (e.g. a fresh node agent).
+    """
+
+    def __init__(
+        self,
+        instance: FluxInstance,
+        plan: Optional[FaultPlan] = None,
+        on_restart: Optional[Callable[[Broker], None]] = None,
+    ) -> None:
+        self.instance = instance
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self.on_restart = on_restart
+        #: (t, kind, rank) log of every fault actually injected.
+        self.injected: List[Tuple[float, str, int]] = []
+        if self.plan.is_empty():
+            return
+        self.plan.validate(instance.n_nodes)
+        for ev in self.plan.events:
+            instance.sim.schedule_at(ev.t, self._fire, ev)
+        if self.plan.link is not None:
+            hook = self._make_link_hook(
+                self.plan.link, instance.streams.get("faults/link")
+            )
+            for broker in instance.brokers:
+                broker.fault_hook = hook
+
+    @property
+    def enabled(self) -> bool:
+        """True when this injector will (or did) change anything."""
+        return not self.plan.is_empty()
+
+    # ------------------------------------------------------------------
+    # Scheduled events
+    # ------------------------------------------------------------------
+    def _fire(self, ev: FaultEvent) -> None:
+        if ev.kind == "crash":
+            self._crash(ev.rank)
+            if ev.duration_s > 0:
+                self.instance.sim.schedule(ev.duration_s, self._restart, ev.rank)
+        elif ev.kind == "restart":
+            self._restart(ev.rank)
+        elif ev.kind == "hang":
+            self._hang(ev.rank, ev.duration_s)
+
+    def _record(self, kind: str, rank: int) -> None:
+        sim = self.instance.sim
+        self.injected.append((sim.now, kind, rank))
+        tel = self.instance.telemetry
+        tel.metrics.counter(
+            "faults_injected_total",
+            labels={"kind": kind},
+            help="fault events executed by the injector, by kind",
+        ).inc()
+        tel.tracer.instant(f"fault.{kind}", "faults", rank=rank)
+
+    def _crash(self, rank: int) -> None:
+        broker = self.instance.brokers[rank]
+        if not broker.up:
+            return
+        broker.up = False
+        for name in list(broker.modules):
+            broker.unload_module(name)
+        self.instance.down_ranks.add(rank)
+        self._record("crash", rank)
+        # The TBON parent notices the dead connection; rank 0 publishes
+        # the down event on the crashed rank's behalf.
+        self.instance.brokers[0].publish("broker.down", {"rank": rank})
+
+    def _restart(self, rank: int) -> None:
+        broker = self.instance.brokers[rank]
+        if broker.up:
+            return
+        broker.up = True
+        broker.hung_until = 0.0
+        self.instance.down_ranks.discard(rank)
+        self._record("restart", rank)
+        self.instance.brokers[0].publish("broker.up", {"rank": rank})
+        if self.on_restart is not None:
+            self.on_restart(broker)
+
+    def _hang(self, rank: int, duration_s: float) -> None:
+        broker = self.instance.brokers[rank]
+        if not broker.up:
+            return
+        broker.hung_until = max(
+            broker.hung_until, self.instance.sim.now + duration_s
+        )
+        self._record("hang", rank)
+
+    # ------------------------------------------------------------------
+    # Link faults
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_link_hook(link: LinkFaults, rng) -> Callable[[Broker, Message], Any]:
+        def hook(broker: Broker, msg: Message) -> Any:
+            if not (link.t_start <= broker.sim.now < link.t_end):
+                return None
+            if (
+                link.ranks is not None
+                and msg.src_rank not in link.ranks
+                and msg.dst_rank not in link.ranks
+            ):
+                return None
+            u = float(rng.random())
+            if u < link.drop_prob:
+                return "drop"
+            if u < link.drop_prob + link.delay_prob:
+                return link.delay_s
+            return None
+
+        return hook

@@ -1,0 +1,167 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is pure data: a schedule of discrete fault events
+(broker crashes/restarts, node-agent hangs) plus an optional
+probabilistic link-fault window. Plans are either written by hand (the
+chaos tests pin exact scenarios) or generated from a seeded RNG
+substream (:meth:`FaultPlan.generate`), so the same root seed always
+yields the same campaign — fault injection is reproducible by
+construction, like every other stochastic element of the simulator.
+
+The plan says *what* goes wrong and *when*; the
+:class:`~repro.faults.injector.FaultInjector` makes it happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+#: Fault kinds a :class:`FaultEvent` may carry.
+KINDS = ("crash", "restart", "hang")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    t:
+        Simulated time at which the fault fires.
+    kind:
+        ``"crash"`` (broker goes down, modules unloaded), ``"restart"``
+        (a crashed broker comes back up), or ``"hang"`` (the broker
+        stops servicing requests for ``duration_s`` but stays up).
+    rank:
+        Target broker rank. Rank 0 hosts the root services and the
+        event sequencer; plans may not crash or hang it.
+    duration_s:
+        For ``"hang"``, how long requests are dropped. For ``"crash"``,
+        a value > 0 schedules an automatic restart after that long;
+        0 means the broker stays down (use an explicit restart event
+        to bring it back).
+    """
+
+    t: float
+    kind: str
+    rank: int
+    duration_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """A probabilistic message-fault window on the overlay.
+
+    While ``t_start <= now < t_end``, every point-to-point message
+    whose source or destination matches ``ranks`` (or every message,
+    when ``ranks`` is None) draws once from the ``faults/link`` RNG
+    substream: with probability ``drop_prob`` it is dropped, else with
+    probability ``delay_prob`` it is delayed an extra ``delay_s``.
+    """
+
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_s: float = 0.5
+    t_start: float = 0.0
+    t_end: float = float("inf")
+    ranks: Optional[Set[int]] = None
+
+
+@dataclass
+class FaultPlan:
+    """A full fault campaign: scheduled events + optional link faults."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    link: Optional[LinkFaults] = None
+
+    def is_empty(self) -> bool:
+        """True when injecting this plan changes nothing."""
+        return not self.events and self.link is None
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """A plan that injects nothing (for explicit 'faults off')."""
+        return cls()
+
+    def validate(self, n_ranks: int) -> None:
+        """Raise ValueError if the plan is not injectable on ``n_ranks``."""
+        for ev in self.events:
+            if ev.kind not in KINDS:
+                raise ValueError(f"unknown fault kind {ev.kind!r}")
+            if not (0 <= ev.rank < n_ranks):
+                raise ValueError(
+                    f"fault rank {ev.rank} out of range [0, {n_ranks})"
+                )
+            if ev.rank == 0 and ev.kind in ("crash", "hang"):
+                raise ValueError(
+                    "rank 0 hosts the root services; plans may not "
+                    f"{ev.kind} it"
+                )
+            if ev.t < 0:
+                raise ValueError(f"fault time must be >= 0, got {ev.t}")
+            if ev.duration_s < 0:
+                raise ValueError(
+                    f"duration_s must be >= 0, got {ev.duration_s}"
+                )
+        if self.link is not None:
+            lf = self.link
+            if not (0.0 <= lf.drop_prob <= 1.0) or not (
+                0.0 <= lf.delay_prob <= 1.0
+            ):
+                raise ValueError("link fault probabilities must be in [0, 1]")
+            if lf.drop_prob + lf.delay_prob > 1.0:
+                raise ValueError("drop_prob + delay_prob must be <= 1")
+            if lf.delay_s < 0:
+                raise ValueError(f"delay_s must be >= 0, got {lf.delay_s}")
+            if lf.t_end < lf.t_start:
+                raise ValueError("link fault window ends before it starts")
+
+    @classmethod
+    def generate(
+        cls,
+        rng,
+        n_ranks: int,
+        n_crashes: int = 1,
+        n_hangs: int = 1,
+        t_window: Sequence[float] = (20.0, 120.0),
+        crash_duration_s: float = 30.0,
+        hang_duration_s: float = 12.0,
+        link: Optional[LinkFaults] = None,
+    ) -> "FaultPlan":
+        """Draw a random (but seeded, hence reproducible) campaign.
+
+        Crash/hang targets are sampled without replacement from ranks
+        ``1..n_ranks-1``; fire times are uniform in ``t_window``. The
+        same ``rng`` state always produces the same plan — the
+        determinism the chaos tests pin across seeds.
+        """
+        if n_ranks < 2:
+            raise ValueError("need >= 2 ranks to have a crashable rank")
+        t0, t1 = float(t_window[0]), float(t_window[1])
+        n_targets = min(n_crashes + n_hangs, n_ranks - 1)
+        targets = [
+            int(r) + 1
+            for r in rng.choice(n_ranks - 1, size=n_targets, replace=False)
+        ]
+        events: List[FaultEvent] = []
+        for i, rank in enumerate(targets):
+            t = t0 + (t1 - t0) * float(rng.random())
+            if i < min(n_crashes, n_targets):
+                events.append(
+                    FaultEvent(
+                        t=t, kind="crash", rank=rank,
+                        duration_s=float(crash_duration_s),
+                    )
+                )
+            else:
+                events.append(
+                    FaultEvent(
+                        t=t, kind="hang", rank=rank,
+                        duration_s=float(hang_duration_s),
+                    )
+                )
+        events.sort(key=lambda ev: (ev.t, ev.rank))
+        plan = cls(events=events, link=link)
+        plan.validate(n_ranks)
+        return plan

@@ -14,7 +14,7 @@ observational; it never alters routing, timing, or payloads.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.flux.message import FluxRPCError, Message, MessageType
 from repro.simkernel import SimEvent, Simulator
@@ -53,6 +53,7 @@ class Broker:
         overlay: "TBON",
         node: Optional["Node"] = None,
         registry: Optional[Dict[int, "Broker"]] = None,
+        down_ranks: Optional[Set[int]] = None,
     ) -> None:
         self.sim = sim
         self.rank = rank
@@ -60,6 +61,22 @@ class Broker:
         self.node = node
         self._registry = registry if registry is not None else {rank: self}
         self._registry[rank] = self
+        #: False while this broker is crashed (fault injection). A down
+        #: broker delivers nothing; its tree position still forwards
+        #: events (the overlay heals around it for broadcast), but
+        #: point-to-point routes crossing it are dead.
+        self.up = True
+        #: Requests delivered before this simulated time are dropped —
+        #: a hung agent accepts connections but never services them.
+        self.hung_until = 0.0
+        #: Set by the fault injector: called once per transmitted
+        #: message; returns ``"drop"``, an extra-delay float, or a
+        #: falsy value for "no fault". None (the default) costs
+        #: nothing, keeping fault-free runs byte-identical.
+        self.fault_hook: Optional[Callable[["Broker", Message], Any]] = None
+        #: Instance-wide set of crashed ranks, shared by every broker
+        #: so route liveness is one membership test per hop.
+        self.down_ranks: Set[int] = down_ranks if down_ranks is not None else set()
 
         self.modules: Dict[str, "Module"] = {}
         self._services: Dict[str, ServiceHandler] = {}
@@ -173,6 +190,8 @@ class Broker:
 
     def publish(self, topic: str, payload: Optional[Dict[str, Any]] = None) -> None:
         """Publish an event: routed to rank 0, sequenced, broadcast."""
+        if not self.up:
+            return  # a crashed broker cannot publish
         msg = Message(
             msg_type=MessageType.EVENT,
             topic=topic,
@@ -197,7 +216,13 @@ class Broker:
         self._broadcast_event(msg)
 
     def _broadcast_event(self, msg: Message) -> None:
-        self._deliver_event(msg)
+        # Event distribution heals around crashed brokers: a down rank
+        # still forwards copies to its subtree (in Flux the children
+        # reparent), it just cannot deliver locally.
+        if self.up:
+            self._deliver_event(msg)
+        else:
+            self._drop_message(msg, "node-down")
         for child in self.overlay.children(self.rank):
             self.telemetry.metrics.counter(
                 "tbon_event_forwards_total",
@@ -226,6 +251,26 @@ class Broker:
         (store-and-forward through intermediate brokers).
         """
         assert msg.dst_rank is not None
+        # Fault model. Point-to-point traffic is store-and-forward, so
+        # any crashed rank on the tree route black-holes the message
+        # (this is what makes a dead interior broker take out its whole
+        # subtree's telemetry). The link-fault hook, when installed,
+        # may drop the message or stretch its latency. Both checks are
+        # no-ops in a fault-free run — byte-identical behaviour.
+        if self.down_ranks and any(
+            r in self.down_ranks
+            for r in self.overlay.route(msg.src_rank, msg.dst_rank)
+        ):
+            self._drop_message(msg, "route-down")
+            return
+        extra_delay = 0.0
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(self, msg)
+            if verdict == "drop":
+                self._drop_message(msg, "link")
+                return
+            if verdict:
+                extra_delay = float(verdict)
         self.messages_sent += 1
         size = msg.size_bytes()
         metrics = self.telemetry.metrics
@@ -243,7 +288,7 @@ class Broker:
             help="tree edges traversed by point-to-point messages",
         ).inc(self.overlay.hop_count(msg.src_rank, msg.dst_rank))
         delay = self.overlay.path_delay(msg.src_rank, msg.dst_rank, size_bytes=size)
-        arrival = self._fifo_arrival(msg.dst_rank, delay)
+        arrival = self._fifo_arrival(msg.dst_rank, delay + extra_delay)
         target = self._registry[msg.dst_rank]
         # Receiver-side ingest: concurrent senders share the target's
         # inbound link, so its serialisation time queues across them.
@@ -262,8 +307,25 @@ class Broker:
         self._fifo_horizon[dst_rank] = arrival
         return arrival
 
+    def _drop_message(self, msg: Message, reason: str) -> None:
+        """Account a message lost to fault injection or a dead peer."""
+        self.telemetry.metrics.counter(
+            "tbon_messages_dropped_total",
+            labels={"reason": reason},
+            help="messages lost to injected faults or dead brokers, by reason",
+        ).inc()
+
     def _deliver(self, msg: Message) -> None:
         """Hand an arrived message to its service or waiting RPC future."""
+        if not self.up:
+            # Crashed after this message was already in flight.
+            self._drop_message(msg, "node-down")
+            return
+        if msg.msg_type is MessageType.REQUEST and self.sim.now < self.hung_until:
+            # A hung broker accepts the connection but never services
+            # the request; responses already computed still drain.
+            self._drop_message(msg, "hung")
+            return
         self.messages_delivered += 1
         self.telemetry.metrics.counter(
             "flux_messages_delivered_total",

@@ -10,7 +10,7 @@ mirroring ``flux module load`` on a production system.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.apps.registry import get_profile
 from repro.apps.run import AppRun
@@ -109,8 +109,18 @@ class FluxInstance:
             self.n_nodes, fanout=fanout, rng=self.streams.get("tbon/latency")
         )
         registry: Dict[int, Broker] = {}
+        #: Crashed ranks, shared with every broker so routing sees node
+        #: death instantly; mutated only by the fault injector.
+        self.down_ranks: Set[int] = set()
         self.brokers: List[Broker] = [
-            Broker(self.sim, rank, self.overlay, node=self.nodes[rank], registry=registry)
+            Broker(
+                self.sim,
+                rank,
+                self.overlay,
+                node=self.nodes[rank],
+                registry=registry,
+                down_ranks=self.down_ranks,
+            )
             for rank in range(self.n_nodes)
         ]
 

@@ -63,6 +63,24 @@ class FluxRPCError(RuntimeError):
         self.errmsg = errmsg
 
 
+class RPCTimeoutError(FluxRPCError):
+    """An RPC ran out of retry attempts without ever seeing a response.
+
+    Raised locally by :meth:`repro.flux.module.Module.rpc_with_retry`
+    (there is no response message to carry an errnum); uses POSIX
+    ``ETIMEDOUT`` (110) so callers can treat it like any RPC failure.
+    """
+
+    def __init__(self, topic: str, dst_rank: int, attempts: int) -> None:
+        super().__init__(
+            topic,
+            110,
+            f"no response from rank {dst_rank} after {attempts} attempt(s)",
+        )
+        self.dst_rank = dst_rank
+        self.attempts = attempts
+
+
 @dataclass
 class Message:
     """One message on the overlay network."""

@@ -84,6 +84,7 @@ class ClusterLevelManager(Module):
 
     def on_load(self) -> None:
         self.subscribe("job-state.", self._on_job_state)
+        self.subscribe("broker.", self._on_broker_event)
 
     # ------------------------------------------------------------------
     # Job state tracking
@@ -96,6 +97,31 @@ class ClusterLevelManager(Module):
             self._recompute()
         elif state in ("completed", "cancelled"):
             self.job_level.job_ended(jobid)
+            self._recompute()
+
+    def _on_broker_event(self, msg: Message) -> None:
+        """React to node death: reclaim its share in one recompute.
+
+        A crashed broker takes its node manager with it; leaving the
+        dead rank in the books would keep paying it a share of the
+        budget forever. Dropping it and recomputing immediately lets
+        the surviving nodes of every affected job absorb the reclaimed
+        power (``P_n = P_G/(N_k + N_i)`` over the *live* node count).
+        """
+        if msg.topic != "broker.down":
+            return
+        rank = int(msg.payload["rank"])
+        affected = self.job_level.node_died(rank)
+        tel = self.broker.telemetry
+        tel.metrics.counter(
+            "manager_node_deaths_total",
+            help="broker down-events processed by the cluster manager",
+        ).inc()
+        tel.tracer.instant(
+            "manager.node_down", "manager", rank=self.broker.rank,
+            dead_rank=rank, affected_jobs=len(affected),
+        )
+        if affected:
             self._recompute()
 
     # ------------------------------------------------------------------

@@ -80,6 +80,23 @@ class JobLevelManager:
                 },
             )
 
+    def node_died(self, rank: int) -> List[int]:
+        """Drop a dead rank from every job; returns the affected jobids.
+
+        The dead node's manager is gone, so no departure RPC is sent to
+        it; the caller (cluster manager) recomputes shares so surviving
+        nodes reclaim the dead node's power. A job whose every node died
+        is forgotten entirely.
+        """
+        affected: List[int] = []
+        for jobid, state in list(self.jobs.items()):
+            if rank in state.ranks:
+                state.ranks.remove(rank)
+                affected.append(jobid)
+                if not state.ranks:
+                    del self.jobs[jobid]
+        return affected
+
     def active_node_count(self) -> int:
         return sum(len(s.ranks) for s in self.jobs.values())
 

@@ -24,9 +24,31 @@ class PowerManager:
     config: ManagerConfig
     cluster: ClusterLevelManager
     node_managers: List[NodeManagerModule]
+    #: Kept so a broker restart can reload an identical node manager.
+    policy_factory: Optional[Callable[[], PowerPolicy]] = None
 
     def node_manager_for_rank(self, rank: int) -> NodeManagerModule:
         return self.node_managers[rank]
+
+    def reload_node_manager(self, rank: int) -> NodeManagerModule:
+        """Load a fresh node manager on ``rank`` (post-restart recovery).
+
+        The new manager re-installs the configured static node cap but
+        knows nothing of pre-crash job limits — those return with the
+        cluster manager's next recompute, as on a real node reboot.
+        """
+        broker = self.instance.brokers[rank]
+        if NodeManagerModule.name in broker.modules:
+            broker.unload_module(NodeManagerModule.name)
+        manager = NodeManagerModule(
+            broker,
+            policy_factory=self.policy_factory,
+            sample_interval_s=self.config.sample_interval_s,
+            static_node_cap_w=self.config.static_node_cap_w,
+        )
+        broker.load_module(manager)
+        self.node_managers[rank] = manager
+        return manager
 
     @property
     def share_log(self):
@@ -77,4 +99,5 @@ def attach_manager(
         config=config,
         cluster=cluster,  # type: ignore[arg-type]
         node_managers=node_managers,  # type: ignore[arg-type]
+        policy_factory=policy_factory,
     )

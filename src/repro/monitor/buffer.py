@@ -7,6 +7,15 @@ default sampling rate that is ~2.3 days of history per node. A job
 whose start predates the oldest retained sample gets a *partial* data
 flag in the client CSV.
 
+Storage is a pair of pre-sized Python lists used as a ring (timestamps
+and samples side by side) with a head index at the oldest entry.
+Because timestamps are appended in nondecreasing order, the ring is a
+rotated sorted array and :meth:`CircularBuffer.range` locates the
+window with an O(log n) bisection over logical positions instead of
+scanning all retained samples — the difference between microseconds
+and milliseconds on a full 100k-sample buffer (see
+``benchmarks/test_monitor_buffer.py``).
+
 The buffer itself is passive (no simulator access); the node agent
 mirrors its state into the observability hub after each write — fill
 level as ``monitor_buffer_occupancy{rank=...}``, wrap-around losses as
@@ -16,7 +25,6 @@ level as ``monitor_buffer_occupancy{rank=...}``, wrap-around losses as
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Bytes per serialised sample used for capacity accounting; chosen so
@@ -38,41 +46,65 @@ class CircularBuffer:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        self._buf: deque = deque(maxlen=self.capacity)
+        self._ts: List[float] = []
+        self._samples: List[Dict[str, Any]] = []
+        #: Physical index of the oldest entry once the ring has wrapped.
+        self._head = 0
         self.total_appended = 0
 
     def append(self, timestamp: float, sample: Dict[str, Any]) -> None:
-        if self._buf and timestamp < self._buf[-1][0]:
+        newest = self.newest_timestamp
+        if newest is not None and timestamp < newest:
             raise ValueError(
-                f"timestamps must be nondecreasing "
-                f"({timestamp} < {self._buf[-1][0]})"
+                f"timestamps must be nondecreasing ({timestamp} < {newest})"
             )
-        self._buf.append((float(timestamp), sample))
+        if len(self._ts) < self.capacity:
+            self._ts.append(float(timestamp))
+            self._samples.append(sample)
+        else:
+            self._ts[self._head] = float(timestamp)
+            self._samples[self._head] = sample
+            self._head = (self._head + 1) % self.capacity
         self.total_appended += 1
 
     def __len__(self) -> int:
-        return len(self._buf)
+        return len(self._ts)
 
     @property
     def dropped(self) -> int:
-        """Samples overwritten because the ring wrapped."""
-        return self.total_appended - len(self._buf)
+        """Samples overwritten because the ring wrapped (or flushed)."""
+        return self.total_appended - len(self._ts)
 
     @property
     def oldest_timestamp(self) -> Optional[float]:
-        return self._buf[0][0] if self._buf else None
+        return self._ts[self._head] if self._ts else None
 
     @property
     def newest_timestamp(self) -> Optional[float]:
-        return self._buf[-1][0] if self._buf else None
+        # With head at the oldest entry, the newest sits just before it
+        # (index -1 before the first wrap — Python wraps that for us).
+        return self._ts[self._head - 1] if self._ts else None
 
     def size_bytes(self, per_sample: int = DEFAULT_SAMPLE_BYTES) -> int:
         """Estimated storage footprint at the current fill level."""
-        return len(self._buf) * per_sample
+        return len(self._ts) * per_sample
 
     def capacity_bytes(self, per_sample: int = DEFAULT_SAMPLE_BYTES) -> int:
         """Storage footprint when full (the paper's 43.4 MiB)."""
         return self.capacity * per_sample
+
+    def _bisect(self, t: float, right: bool) -> int:
+        """Logical index of the first entry with ts >= t (or > t if right)."""
+        n = len(self._ts)
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            ts = self._ts[(self._head + mid) % n]
+            if ts < t or (right and ts == t):
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
 
     def range(
         self, t_start: float, t_end: float
@@ -85,7 +117,13 @@ class CircularBuffer:
         """
         if t_end < t_start:
             raise ValueError("t_end must be >= t_start")
-        samples = [s for (t, s) in self._buf if t_start <= t <= t_end]
+        n = len(self._ts)
+        if n:
+            lo = self._bisect(t_start, right=False)
+            hi = self._bisect(t_end, right=True)
+            samples = [self._samples[(self._head + i) % n] for i in range(lo, hi)]
+        else:
+            samples = []
         oldest = self.oldest_timestamp
         complete = self.total_appended == 0 or (
             oldest is not None and (oldest <= t_start or self.dropped == 0)
@@ -98,10 +136,16 @@ class CircularBuffer:
         ``total_appended`` is preserved so later range queries still
         know history was lost and report partial data.
         """
-        n = len(self._buf)
-        self._buf.clear()
+        n = len(self._ts)
+        self._ts = []
+        self._samples = []
+        self._head = 0
         return n
 
     def snapshot(self) -> List[Tuple[float, Dict[str, Any]]]:
         """Copy of current contents (oldest first); for tests/inspection."""
-        return list(self._buf)
+        n = len(self._ts)
+        return [
+            (self._ts[(self._head + i) % n], self._samples[(self._head + i) % n])
+            for i in range(n)
+        ]

@@ -54,6 +54,15 @@ class JobPowerData:
     jobid: int
     rows: List[Dict[str, Any]] = field(default_factory=list)
     node_complete: Dict[str, bool] = field(default_factory=dict)
+    #: hostname -> error string for nodes whose agent never answered
+    #: (crashed/hung node; see docs/failures.md). Such nodes appear in
+    #: ``node_complete`` as False with zero rows.
+    node_error: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded_hosts(self) -> List[str]:
+        """Hosts whose data came back as an error record (no samples)."""
+        return sorted(self.node_error)
 
     @property
     def hostnames(self) -> List[str]:
@@ -101,13 +110,22 @@ class JobPowerData:
     def to_csv(self) -> str:
         buf = io.StringIO()
         buf.write(CSV_HEADER + "\n")
+        hosts_with_rows = set()
         for r in self.rows:
+            hosts_with_rows.add(r["hostname"])
             buf.write(
                 f"{self.jobid},{r['hostname']},{r['timestamp']:.3f},"
                 f"{r['node_w']:.3f},{r['cpu_w']:.3f},{r['mem_w']:.3f},"
                 f"{r['gpu_w']:.3f},"
                 f"{'complete' if self.node_complete[r['hostname']] else 'partial'}\n"
             )
+        # A node with zero in-window samples (fully flushed buffer, or a
+        # dead node's error record) must still be visible in the
+        # artefact: emit an explicit marker row with empty value fields
+        # rather than silently omitting the host.
+        for host in self.hostnames:
+            if host not in hosts_with_rows:
+                buf.write(f"{self.jobid},{host},,,,,,partial\n")
         return buf.getvalue()
 
     def write_csv(self, path: str) -> None:
@@ -155,6 +173,11 @@ class PowerMonitorClient:
         for node_result in payload["nodes"]:
             host = node_result["hostname"]
             data.node_complete[host] = bool(node_result["complete"])
+            if node_result.get("error"):
+                # Degradation record: the node agent never answered
+                # (crashed/hung/partitioned). No samples; flagged partial.
+                data.node_error[host] = str(node_result["error"])
+                continue
             for sample in node_result["samples"]:
                 row = component_powers(sample)
                 row["hostname"] = host

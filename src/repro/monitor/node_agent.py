@@ -46,6 +46,11 @@ class NodeAgentModule(Module):
         self.sample_interval_s = float(sample_interval_s)
         self.buffer = CircularBuffer(buffer_capacity)
         self.samples_taken = 0
+        #: Simulated time this agent started sampling; a query window
+        #: opening earlier (e.g. after a crash/restart wiped the ring)
+        #: is reported as partial even though the fresh buffer never
+        #: wrapped.
+        self._t_loaded = 0.0
 
     @property
     def node_overhead_fraction(self) -> float:
@@ -59,6 +64,7 @@ class NodeAgentModule(Module):
         )
 
     def on_load(self) -> None:
+        self._t_loaded = self.sim.now
         self.register_service(QUERY_TOPIC, self._handle_query)
         self.register_service(STATUS_TOPIC, self._handle_status)
         self.register_service(CLEAR_TOPIC, self._handle_clear)
@@ -106,6 +112,9 @@ class NodeAgentModule(Module):
             broker.respond(msg, errnum=22, errmsg="t_end < t_start")
             return
         samples, complete = self.buffer.range(t_start, t_end)
+        if t_start < self._t_loaded:
+            # This agent has no history before it (re)started sampling.
+            complete = False
         self.broker.telemetry.metrics.counter(
             "monitor_queries_total",
             help="range queries answered by node agents",
@@ -125,8 +134,18 @@ class NodeAgentModule(Module):
                 broker.respond(msg, errnum=22, errmsg="max_samples must be >= 1")
                 return
             if len(samples) > max_samples:
-                stride = -(-len(samples) // max_samples)  # ceil division
-                samples = samples[::stride]
+                # Even stride over the window, always retaining the last
+                # sample so the downsampled timeline still reaches t_end
+                # (a plain samples[::stride] silently drops it whenever
+                # (len-1) % stride != 0).
+                if max_samples == 1:
+                    samples = [samples[-1]]
+                else:
+                    stride = -(-(len(samples) - 1) // (max_samples - 1))
+                    picked = samples[::stride]
+                    if (len(samples) - 1) % stride != 0:
+                        picked.append(samples[-1])
+                    samples = picked
                 downsampled = True
         broker.respond(
             msg,

@@ -10,21 +10,79 @@ aggregate back. Two collection strategies are provided:
 * ``"tree"`` — requests aggregate hierarchically along the TBON (each
   broker collects its subtree). Same result; fewer root-link messages.
   Exercised by the TBON ablation bench.
+
+Collection degrades per node rather than failing whole queries: each
+fan-out leg runs a per-node timeout with bounded retry/backoff
+(:class:`~repro.flux.module.RetryConfig`), and a node that never
+answers contributes an *error record* — same shape as a node result but
+with empty samples, ``complete=False`` and an ``error`` string — so one
+dead node agent marks one CSV row partial instead of turning the whole
+job query into an errnum=5 failure. See docs/failures.md.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from repro.flux.broker import Broker
-from repro.flux.message import Message
-from repro.flux.module import Module
+from repro.flux.message import FluxRPCError, Message
+from repro.flux.module import Module, RetryConfig
 from repro.monitor.node_agent import QUERY_TOPIC
-from repro.simkernel import AllOf
+from repro.simkernel import AllOf, SimEvent
 from repro.telemetry import AGGREGATION_COST_PER_NODE_S
 
 GET_JOB_POWER_TOPIC = "power-monitor.get-job-power"
 SUBTREE_TOPIC = "power-monitor.query-subtree"
+
+
+def _exhaust_budget(cfg: RetryConfig) -> float:
+    """Worst-case wall time before a node leg gives up (all attempts)."""
+    return cfg.timeout_s * sum(cfg.backoff ** i for i in range(cfg.retries + 1))
+
+
+def _subtree_retry(cfg: RetryConfig, overlay, child: int, subranks) -> RetryConfig:
+    """Timeout policy for one subtree leg of the tree strategy.
+
+    A live aggregator always answers — worst case after its deepest
+    descendant leg exhausts its node-level retries — so re-sending a
+    subtree query is never useful (it would just restart the child's
+    collection); what matters is waiting long enough. The single-attempt
+    timeout covers the node-leg exhaust budget plus one ``timeout_s`` of
+    slack per tree level below us, so each level's deadline strictly
+    contains its children's.
+    """
+    height = max(overlay.depth(r) for r in subranks) - overlay.depth(child) + 1
+    return RetryConfig(
+        timeout_s=_exhaust_budget(cfg) + height * cfg.timeout_s,
+        retries=0,
+        backoff=cfg.backoff,
+    )
+
+
+def _error_records(
+    broker: Broker, ranks, exc: Exception
+) -> List[Dict[str, Any]]:
+    """Per-node degradation records for ranks that never answered."""
+    records = []
+    for rank in sorted(ranks):
+        peer = broker._registry.get(rank)
+        hostname = (
+            peer.node.hostname
+            if peer is not None and peer.node is not None
+            else f"rank{rank}"
+        )
+        records.append(
+            {
+                "hostname": hostname,
+                "rank": rank,
+                "samples": [],
+                "complete": False,
+                "downsampled": False,
+                "error": str(exc),
+                "errnum": getattr(exc, "errnum", 5),
+            }
+        )
+    return records
 
 
 class RootAgentModule(Module):
@@ -32,13 +90,19 @@ class RootAgentModule(Module):
 
     name = "power-monitor-root"
 
-    def __init__(self, broker: Broker, strategy: str = "fanout") -> None:
+    def __init__(
+        self,
+        broker: Broker,
+        strategy: str = "fanout",
+        retry: Optional[RetryConfig] = None,
+    ) -> None:
         if broker.rank != 0:
             raise ValueError("root agent runs at the TBON root (rank 0)")
         if strategy not in ("fanout", "tree"):
             raise ValueError(f"unknown strategy {strategy!r}")
         super().__init__(broker)
         self.strategy = strategy
+        self.retry = retry if retry is not None else RetryConfig()
 
     def on_load(self) -> None:
         self.register_service(GET_JOB_POWER_TOPIC, self._handle_get_job_power)
@@ -68,7 +132,9 @@ class RootAgentModule(Module):
         else:
             self.spawn(self._collect_fanout(msg, ranks, t_start, t_end, max_samples))
 
-    def _finish_aggregation(self, t_start: float, n_ranks: int) -> None:
+    def _finish_aggregation(
+        self, t_start: float, n_ranks: int, nodes: List[Dict[str, Any]]
+    ) -> None:
         """Record latency/trace/overhead for one completed aggregation."""
         tel = self.broker.telemetry
         tel.metrics.histogram(
@@ -80,6 +146,41 @@ class RootAgentModule(Module):
             nodes=n_ranks, strategy=self.strategy,
         )
         tel.accountant.charge("monitor", AGGREGATION_COST_PER_NODE_S * n_ranks)
+        n_errors = sum(1 for rec in nodes if rec.get("error"))
+        if n_errors:
+            tel.metrics.counter(
+                "monitor_degraded_aggregations_total",
+                labels={"strategy": self.strategy},
+                help="aggregations that completed with >= 1 per-node error record",
+            ).inc()
+            tel.tracer.instant(
+                "monitor.degraded", "monitor", rank=self.broker.rank,
+                failed_nodes=n_errors, of=n_ranks, strategy=self.strategy,
+            )
+
+    def _watch_node(self, rank: int, query: Dict[str, Any], future: SimEvent):
+        """One fan-out leg: retry the node query, degrade on exhaustion."""
+        try:
+            res = yield from self.rpc_with_retry(
+                rank, QUERY_TOPIC, query, retry=self.retry, first_future=future
+            )
+            return [res]
+        except FluxRPCError as exc:
+            return _error_records(self.broker, [rank], exc)
+
+    def _watch_subtree(self, child: int, subranks, payload, future: SimEvent):
+        """One tree leg: a dead child degrades its whole subtree."""
+        try:
+            res = yield from self.rpc_with_retry(
+                child, SUBTREE_TOPIC, payload,
+                retry=_subtree_retry(
+                    self.retry, self.broker.overlay, child, subranks
+                ),
+                first_future=future,
+            )
+            return res["nodes"]
+        except FluxRPCError as exc:
+            return _error_records(self.broker, subranks, exc)
 
     def _collect_fanout(
         self, msg: Message, ranks: List[int], t0: float, t1: float, max_samples=None
@@ -88,14 +189,18 @@ class RootAgentModule(Module):
         query = {"t_start": t0, "t_end": t1}
         if max_samples is not None:
             query["max_samples"] = max_samples
+        # Send every request first (send order fixes the deterministic
+        # latency-draw order), then hand each pending future to a
+        # watcher that owns its timeout/retry/degradation.
         futures = [self.rpc(rank, QUERY_TOPIC, query) for rank in ranks]
-        try:
-            results = yield AllOf(self.sim, futures)
-        except Exception as exc:  # node agent missing / errored
-            self.broker.respond(msg, errnum=5, errmsg=str(exc))
-            return
-        self._finish_aggregation(t_begin, len(ranks))
-        self.broker.respond(msg, {"nodes": results})
+        watchers = [
+            self.spawn(self._watch_node(rank, query, fut))
+            for rank, fut in zip(ranks, futures)
+        ]
+        results = yield AllOf(self.sim, watchers)
+        nodes = [rec for legs in results for rec in legs]
+        self._finish_aggregation(t_begin, len(ranks), nodes)
+        self.broker.respond(msg, {"nodes": nodes})
 
     def _collect_tree(
         self, msg: Message, ranks: List[int], t0: float, t1: float, max_samples=None
@@ -104,19 +209,17 @@ class RootAgentModule(Module):
         t_begin = self.sim.now
         wanted = set(ranks)
         extra = {} if max_samples is None else {"max_samples": max_samples}
-        futures = []
-        # Rank 0 itself, if requested.
+        legs = []  # (kind, target, subranks, payload)
         if 0 in wanted:
-            futures.append(
-                self.rpc(0, QUERY_TOPIC, {"t_start": t0, "t_end": t1, **extra})
-            )
+            legs.append(("node", 0, [0], {"t_start": t0, "t_end": t1, **extra}))
         for child in self.broker.overlay.children(0):
             subtree = _subtree_ranks(self.broker.overlay, child) & wanted
             if subtree:
-                futures.append(
-                    self.rpc(
+                legs.append(
+                    (
+                        "subtree",
                         child,
-                        SUBTREE_TOPIC,
+                        sorted(subtree),
                         {
                             "ranks": sorted(subtree),
                             "t_start": t0,
@@ -125,18 +228,21 @@ class RootAgentModule(Module):
                         },
                     )
                 )
-        try:
-            results = yield AllOf(self.sim, futures)
-        except Exception as exc:
-            self.broker.respond(msg, errnum=5, errmsg=str(exc))
-            return
-        nodes = []
-        for res in results:
-            if "nodes" in res:
-                nodes.extend(res["nodes"])
-            else:
-                nodes.append(res)
-        self._finish_aggregation(t_begin, len(ranks))
+        futures = [
+            self.rpc(target, QUERY_TOPIC if kind == "node" else SUBTREE_TOPIC, payload)
+            for kind, target, _, payload in legs
+        ]
+        watchers = [
+            self.spawn(
+                self._watch_node(target, payload, fut)
+                if kind == "node"
+                else self._watch_subtree(target, subranks, payload, fut)
+            )
+            for (kind, target, subranks, payload), fut in zip(legs, futures)
+        ]
+        results = yield AllOf(self.sim, watchers)
+        nodes = [rec for leg in results for rec in leg]
+        self._finish_aggregation(t_begin, len(ranks), nodes)
         self.broker.respond(msg, {"nodes": nodes})
 
 
@@ -145,10 +251,18 @@ class SubtreeAggregatorModule(Module):
 
     Answers :data:`SUBTREE_TOPIC` by querying its own node agent plus
     recursively delegating to children whose subtrees intersect the
-    request.
+    request. Degrades the same way the root does: an unresponsive
+    descendant becomes error records inside an errnum=0 response, so
+    partial data propagates up the tree instead of poisoning it.
     """
 
     name = "power-monitor-subtree"
+
+    def __init__(
+        self, broker: Broker, retry: Optional[RetryConfig] = None
+    ) -> None:
+        super().__init__(broker)
+        self.retry = retry if retry is not None else RetryConfig()
 
     def on_load(self) -> None:
         self.register_service(SUBTREE_TOPIC, self._handle_subtree)
@@ -159,24 +273,48 @@ class SubtreeAggregatorModule(Module):
         t1 = float(msg.payload["t_end"])
         self.spawn(self._collect(msg, ranks, t0, t1, msg.payload.get("max_samples")))
 
+    def _watch_node(self, rank: int, query, future: SimEvent):
+        try:
+            res = yield from self.rpc_with_retry(
+                rank, QUERY_TOPIC, query, retry=self.retry, first_future=future
+            )
+            return [res]
+        except FluxRPCError as exc:
+            return _error_records(self.broker, [rank], exc)
+
+    def _watch_subtree(self, child: int, subranks, payload, future: SimEvent):
+        try:
+            res = yield from self.rpc_with_retry(
+                child, SUBTREE_TOPIC, payload,
+                retry=_subtree_retry(
+                    self.retry, self.broker.overlay, child, subranks
+                ),
+                first_future=future,
+            )
+            return res["nodes"]
+        except FluxRPCError as exc:
+            return _error_records(self.broker, subranks, exc)
+
     def _collect(self, msg: Message, ranks, t0: float, t1: float, max_samples=None):
         extra = {} if max_samples is None else {"max_samples": max_samples}
-        futures = []
+        legs = []
         if self.broker.rank in ranks:
-            futures.append(
-                self.rpc(
+            legs.append(
+                (
+                    "node",
                     self.broker.rank,
-                    QUERY_TOPIC,
+                    [self.broker.rank],
                     {"t_start": t0, "t_end": t1, **extra},
                 )
             )
         for child in self.broker.overlay.children(self.broker.rank):
             subtree = _subtree_ranks(self.broker.overlay, child) & ranks
             if subtree:
-                futures.append(
-                    self.rpc(
+                legs.append(
+                    (
+                        "subtree",
                         child,
-                        SUBTREE_TOPIC,
+                        sorted(subtree),
                         {
                             "ranks": sorted(subtree),
                             "t_start": t0,
@@ -185,17 +323,20 @@ class SubtreeAggregatorModule(Module):
                         },
                     )
                 )
-        try:
-            results = yield AllOf(self.sim, futures)
-        except Exception as exc:
-            self.broker.respond(msg, errnum=5, errmsg=str(exc))
-            return
-        nodes = []
-        for res in results:
-            if "nodes" in res:
-                nodes.extend(res["nodes"])
-            else:
-                nodes.append(res)
+        futures = [
+            self.rpc(target, QUERY_TOPIC if kind == "node" else SUBTREE_TOPIC, payload)
+            for kind, target, _, payload in legs
+        ]
+        watchers = [
+            self.spawn(
+                self._watch_node(target, payload, fut)
+                if kind == "node"
+                else self._watch_subtree(target, subranks, payload, fut)
+            )
+            for (kind, target, subranks, payload), fut in zip(legs, futures)
+        ]
+        results = yield AllOf(self.sim, watchers)
+        nodes = [rec for leg in results for rec in leg]
         self.broker.respond(msg, {"nodes": nodes})
 
 

@@ -89,3 +89,10 @@ def test_queue_command(capsys):
     out = capsys.readouterr().out
     assert "proportional" in out and "fpp" in out
     assert "makespans equal" in out
+
+
+def test_chaos_command_smoke(capsys):
+    """End-to-end chaos campaign: exit 0 iff degradation chain holds."""
+    assert main(["chaos", "--seed", "1", "--nodes", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "partial" in out

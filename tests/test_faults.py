@@ -1,0 +1,294 @@
+"""Fault injection and graceful degradation.
+
+Covers the PR's tentpole guarantees:
+
+* a crashed node degrades one telemetry row to ``partial`` instead of
+  failing the whole job query;
+* the cluster manager reclaims a dead node's share within one recompute;
+* fanout and tree aggregation agree under injected failures (leaf and
+  interior crashes);
+* fault schedules are deterministic per seed and differ across seeds;
+* a run with faults disabled is byte-identical to one without the
+  fault layer engaged at all (the hard invariant).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.cluster import PowerManagedCluster
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, LinkFaults
+from repro.flux.instance import FluxInstance
+from repro.flux.jobspec import Jobspec
+from repro.flux.module import RetryConfig
+from repro.manager.cluster_manager import ManagerConfig
+from repro.monitor.module import attach_monitor
+from repro.monitor.root_agent import GET_JOB_POWER_TOPIC
+from repro.simkernel import RandomStreams
+
+
+def _counter_total(metrics, name: str) -> float:
+    return sum(m.value for m in metrics.series_for(name))
+
+
+def _fetch_nodes(inst, ranks, t0, t1, timeout=200.0):
+    """Drive a get-job-power RPC to completion and return its node list."""
+    fut = inst.brokers[0].rpc(
+        0, GET_JOB_POWER_TOPIC, {"ranks": ranks, "t_start": t0, "t_end": t1}
+    )
+    deadline = inst.sim.now + timeout
+    while not fut.triggered:
+        assert inst.sim.step(), "simulation drained"
+        assert inst.sim.now < deadline, "aggregation never completed"
+    return fut.value["nodes"]
+
+
+# ----------------------------------------------------------------------
+# Plan validation and determinism
+# ----------------------------------------------------------------------
+def test_plan_validation_rejects_rank0_and_bad_values():
+    with pytest.raises(ValueError):
+        FaultPlan([FaultEvent(t=1.0, kind="crash", rank=0)]).validate(4)
+    with pytest.raises(ValueError):
+        FaultPlan([FaultEvent(t=1.0, kind="hang", rank=0)]).validate(4)
+    with pytest.raises(ValueError):
+        FaultPlan([FaultEvent(t=1.0, kind="melt", rank=1)]).validate(4)
+    with pytest.raises(ValueError):
+        FaultPlan([FaultEvent(t=-1.0, kind="crash", rank=1)]).validate(4)
+    with pytest.raises(ValueError):
+        FaultPlan([FaultEvent(t=1.0, kind="crash", rank=9)]).validate(4)
+    with pytest.raises(ValueError):
+        FaultPlan(link=LinkFaults(drop_prob=0.8, delay_prob=0.5)).validate(4)
+    FaultPlan([FaultEvent(t=1.0, kind="restart", rank=0)]).validate(4)  # ok
+
+
+def test_generated_plans_deterministic_per_seed():
+    def gen(seed):
+        rng = RandomStreams(seed=seed).get("faults/plan")
+        return FaultPlan.generate(rng, n_ranks=16, n_crashes=2, n_hangs=2)
+
+    a, b, c = gen(7), gen(7), gen(8)
+    assert a.events == b.events  # same seed, same campaign
+    assert a.events != c.events  # different seed, different campaign
+    assert all(ev.rank != 0 for ev in a.events)
+    assert all(20.0 <= ev.t <= 120.0 for ev in a.events)
+    assert sum(1 for ev in a.events if ev.kind == "crash") == 2
+    assert sum(1 for ev in a.events if ev.kind == "hang") == 2
+
+
+def test_empty_plan_is_strict_noop():
+    inst = FluxInstance(platform="lassen", n_nodes=2, seed=0)
+    events_before = len(inst.sim._heap) if hasattr(inst.sim, "_heap") else None
+    inj = FaultInjector(inst, FaultPlan.empty())
+    assert not inj.enabled
+    assert all(b.fault_hook is None for b in inst.brokers)
+    if events_before is not None:
+        assert len(inst.sim._heap) == events_before
+
+
+# ----------------------------------------------------------------------
+# Degraded aggregation under crashes
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+def test_crashed_node_degrades_fetch_not_fails():
+    """The acceptance scenario: crash mid-job, fetch returns partial."""
+    plan = FaultPlan([FaultEvent(t=30.0, kind="crash", rank=7)])
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=8,
+        seed=5,
+        manager_config=ManagerConfig(
+            global_cap_w=9600.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+        fault_plan=plan,
+    )
+    job = cluster.submit(Jobspec(app="gemm", nnodes=8, params={"work_scale": 3.0}))
+    cluster.run_until_complete(timeout_s=1_000_000)
+    data = cluster.monitor.client.fetch(job.jobid, timeout_s=120.0)
+
+    dead_host = cluster.nodes[7].hostname
+    assert data.node_complete[dead_host] is False
+    assert dead_host in data.node_error
+    assert data.samples_for(dead_host) == []
+    # Survivors are intact and complete.
+    for rank in range(7):
+        host = cluster.nodes[rank].hostname
+        assert data.node_complete[host] is True
+        assert data.samples_for(host)
+    # The CSV shows the dead node explicitly as a marker row.
+    csv = data.to_csv()
+    assert f"{job.jobid},{dead_host},,,,,,partial" in csv.splitlines()
+    # Degradation is observable.
+    metrics = cluster.telemetry_hub.metrics
+    assert _counter_total(metrics, "rpc_timeouts_total") > 0
+    assert _counter_total(metrics, "rpc_retries_total") > 0
+    assert _counter_total(metrics, "monitor_degraded_aggregations_total") == 1
+
+
+@pytest.mark.chaos
+def test_manager_reclaims_dead_share_within_one_recompute():
+    plan = FaultPlan([FaultEvent(t=30.0, kind="crash", rank=7)])
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=8,
+        seed=5,
+        manager_config=ManagerConfig(
+            global_cap_w=9600.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+        fault_plan=plan,
+    )
+    cluster.submit(Jobspec(app="gemm", nnodes=8, params={"work_scale": 3.0}))
+    cluster.run_until_complete(timeout_s=1_000_000)
+    share_log = cluster.manager.share_log
+    before = [e for e in share_log if e[0] < 30.0]
+    after = [e for e in share_log if e[0] >= 30.0]
+    assert before[-1][2] == pytest.approx(9600.0 / 8)
+    # The very first recompute at/after the crash already reclaims.
+    assert after[0][2] == pytest.approx(9600.0 / 7)
+    metrics = cluster.telemetry_hub.metrics
+    assert _counter_total(metrics, "manager_node_deaths_total") == 1
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("dead_rank", [7, 1])  # leaf and interior
+def test_fanout_tree_parity_under_crash(dead_rank):
+    """Both strategies degrade the same rank set for any crashed broker.
+
+    An interior broker (rank 1 in an 8-node fanout-2 tree) carries its
+    subtree {1, 3, 4, 7}: store-and-forward kills those routes for
+    fanout exactly as the dead child kills the subtree leg for tree.
+    """
+
+    def collect(strategy):
+        inst = FluxInstance(platform="lassen", n_nodes=8, seed=11)
+        attach_monitor(
+            inst,
+            strategy=strategy,
+            retry=RetryConfig(timeout_s=2.0, retries=1, backoff=2.0),
+        )
+        FaultInjector(inst, FaultPlan([FaultEvent(t=10.0, kind="crash", rank=dead_rank)]))
+        inst.run_for(20.0)
+        nodes = _fetch_nodes(inst, list(range(8)), 0.0, 15.0)
+        by_host = {}
+        for rec in nodes:
+            key = (
+                rec["rank"],
+                bool(rec.get("error")),
+                rec["complete"],
+                len(rec["samples"]),
+            )
+            by_host[rec["hostname"]] = key
+        return by_host
+
+    fanout = collect("fanout")
+    tree = collect("tree")
+    assert fanout == tree
+    expected_dead = {7} if dead_rank == 7 else {1, 3, 4, 7}
+    dead = {k for host, (r, err, _c, _n) in fanout.items() for k in [r] if err}
+    assert dead == expected_dead
+
+
+@pytest.mark.chaos
+def test_hang_recovered_by_retries():
+    """A hang shorter than the retry budget costs latency, not data."""
+    inst = FluxInstance(platform="lassen", n_nodes=4, seed=3)
+    attach_monitor(inst, retry=RetryConfig(timeout_s=2.0, retries=2, backoff=2.0))
+    FaultInjector(inst, FaultPlan([FaultEvent(t=9.9, kind="hang", rank=2, duration_s=3.0)]))
+    inst.run_for(10.0)
+    nodes = _fetch_nodes(inst, [0, 1, 2, 3], 0.0, 9.0)
+    assert len(nodes) == 4
+    for rec in nodes:
+        assert not rec.get("error")
+        assert rec["samples"]
+    metrics = inst.telemetry.metrics
+    assert _counter_total(metrics, "rpc_retries_total") > 0
+
+
+@pytest.mark.chaos
+def test_link_drops_recovered_by_retries():
+    inst = FluxInstance(platform="lassen", n_nodes=4, seed=3)
+    attach_monitor(inst, retry=RetryConfig(timeout_s=2.0, retries=3, backoff=1.5))
+    # Restrict the lossy window to the non-root ranks: the client's own
+    # RPC to the root service is local (0 -> 0) and has no retry of its
+    # own, so the test exercises exactly the retried legs.
+    FaultInjector(
+        inst,
+        FaultPlan(
+            link=LinkFaults(drop_prob=0.4, t_start=0.0, t_end=1e9, ranks={1, 2, 3})
+        ),
+    )
+    inst.run_for(10.0)
+    nodes = _fetch_nodes(inst, [0, 1, 2, 3], 0.0, 9.0)
+    complete = [rec for rec in nodes if not rec.get("error")]
+    # With 40% loss and 4 attempts most legs recover; all answered legs
+    # carry real samples.
+    assert complete
+    for rec in complete:
+        assert rec["samples"]
+    metrics = inst.telemetry.metrics
+    assert _counter_total(metrics, "tbon_messages_dropped_total") > 0
+
+
+@pytest.mark.chaos
+def test_restart_brings_back_partial_telemetry():
+    """After crash+restart the node answers again, flagged partial."""
+    plan = FaultPlan(
+        [FaultEvent(t=20.0, kind="crash", rank=3, duration_s=20.0)]
+    )
+    cluster = PowerManagedCluster(
+        platform="lassen", n_nodes=4, seed=9, fault_plan=plan
+    )
+    job = cluster.submit(Jobspec(app="gemm", nnodes=4, params={"work_scale": 3.0}))
+    cluster.run_until_complete(timeout_s=1_000_000)
+    assert cluster.sim.now > 60.0  # restart (t=40) happened mid-job
+    data = cluster.monitor.client.fetch(job.jobid, timeout_s=120.0)
+    host = cluster.nodes[3].hostname
+    # The reborn agent answers (no error record) but its history starts
+    # at the restart, so the job window is partial.
+    assert host not in data.node_error
+    assert data.node_complete[host] is False
+    samples = data.samples_for(host)
+    assert samples
+    assert min(s["timestamp"] for s in samples) >= 40.0
+
+
+# ----------------------------------------------------------------------
+# The hard invariant: faults disabled == byte-identical
+# ----------------------------------------------------------------------
+def _run_fingerprint(fault_plan):
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=21,
+        manager_config=ManagerConfig(
+            global_cap_w=4800.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+        fault_plan=fault_plan,
+    )
+    job = cluster.submit(Jobspec(app="gemm", nnodes=4, params={"work_scale": 2.0}))
+    cluster.run_until_complete(timeout_s=1_000_000)
+    cluster.run_for(4.0)
+    data = cluster.monitor.client.fetch(job.jobid)
+    blob = data.to_csv()
+    blob += repr(cluster.manager.share_log)
+    blob += repr(
+        sorted(
+            (jid, m.runtime_s, m.avg_node_power_w)
+            for jid, m in cluster.all_metrics().items()
+        )
+    )
+    blob += repr(
+        [
+            (e.name, e.category, e.ts_s, e.dur_s, e.rank, e.kind)
+            for e in cluster.telemetry_hub.tracer.events()
+        ]
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def test_faults_disabled_byte_identical():
+    """None plan, empty plan and explicit empty() all fingerprint alike."""
+    assert _run_fingerprint(None) == _run_fingerprint(FaultPlan.empty())
+    assert _run_fingerprint(None) == _run_fingerprint(FaultPlan())

@@ -174,3 +174,32 @@ def test_get_job_power_forwards_max_samples(lassen4):
     lassen4.run_for(1.0)
     for node in fut.value["nodes"]:
         assert len(node["samples"]) <= 5
+
+
+def test_downsampled_query_retains_last_sample(lassen4):
+    """Regression: the stride pick must always include the newest sample.
+
+    The old ``samples[::stride]`` could drop the window's final sample
+    (the freshest reading — exactly what a live dashboard polls for)
+    whenever ``(n - 1) % stride != 0``.
+    """
+    from repro.monitor.module import attach_monitor
+
+    attach_monitor(lassen4)
+    lassen4.run_for(100.0)
+    full = lassen4.brokers[0].rpc(
+        1, "power-monitor.query", {"t_start": 0.0, "t_end": 100.0}
+    )
+    lassen4.run_for(1.0)
+    last_ts = full.value["samples"][-1]["timestamp"]
+    for max_samples in (2, 3, 7, 10):
+        fut = lassen4.brokers[0].rpc(
+            1,
+            "power-monitor.query",
+            {"t_start": 0.0, "t_end": 100.0, "max_samples": max_samples},
+        )
+        lassen4.run_for(1.0)
+        payload = fut.value
+        assert len(payload["samples"]) <= max_samples
+        assert payload["samples"][0]["timestamp"] == 0.0
+        assert payload["samples"][-1]["timestamp"] == last_ts

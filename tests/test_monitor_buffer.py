@@ -156,3 +156,59 @@ def test_newest_oldest_consistency(cap, n):
         assert buf.newest_timestamp == float(n - 1)
         assert buf.oldest_timestamp == float(max(0, n - cap))
         assert buf.oldest_timestamp <= buf.newest_timestamp
+
+
+# ---------------------------------------------------------------------------
+# Flush and wrap edges (the bisect-backed ring rewrite)
+# ---------------------------------------------------------------------------
+
+def test_flush_empties_but_keeps_lifetime_counters():
+    buf = CircularBuffer(capacity=3)
+    for t in range(5):
+        buf.append(float(t), {"t": t})
+    n = buf.flush()
+    assert n == 3
+    assert len(buf) == 0
+    assert buf.total_appended == 5
+    assert buf.oldest_timestamp is None and buf.newest_timestamp is None
+    # History was lost, so windows over the flushed era read as partial.
+    samples, complete = buf.range(0.0, 10.0)
+    assert samples == [] and not complete
+
+
+def test_append_after_flush_restarts_history():
+    """Post-flush appends may go backwards in time and wrap correctly."""
+    buf = CircularBuffer(capacity=3)
+    for t in (10.0, 11.0, 12.0):
+        buf.append(t, {"t": t})
+    buf.flush()
+    for t in range(5):  # earlier than the flushed history: allowed
+        buf.append(float(t), {"t": t})
+    assert len(buf) == 3
+    samples, complete = buf.range(2.0, 4.0)
+    assert [s["t"] for s in samples] == [2, 3, 4]
+    assert complete
+    assert buf.total_appended == 8
+
+
+def test_range_boundaries_exact_on_wrapped_ring():
+    """Window edges landing exactly on retained samples, after wrap."""
+    buf = CircularBuffer(capacity=4)
+    for t in range(10):  # retained: 6, 7, 8, 9
+        buf.append(float(t), {"t": t})
+    samples, complete = buf.range(6.0, 9.0)
+    assert [s["t"] for s in samples] == [6, 7, 8, 9]
+    assert complete  # oldest retained == window start
+    samples, complete = buf.range(5.5, 8.0)
+    assert [s["t"] for s in samples] == [6, 7, 8]
+    assert not complete  # 5.5 predates retained history
+
+
+def test_range_with_duplicate_timestamps_keeps_all():
+    buf = CircularBuffer(capacity=10)
+    buf.append(1.0, {"i": 0})
+    for i in range(1, 4):
+        buf.append(2.0, {"i": i})
+    buf.append(3.0, {"i": 4})
+    samples, _ = buf.range(2.0, 2.0)
+    assert [s["i"] for s in samples] == [1, 2, 3]

@@ -135,3 +135,24 @@ def test_tioga_telemetry_end_to_end(tioga2):
     assert data.mean("node_w") == pytest.approx(
         data.mean("cpu_w") + data.mean("gpu_w"), rel=0.01
     )
+
+
+def test_csv_partial_marker_row_for_sampleless_node():
+    """A node with zero in-window rows gets an explicit marker row."""
+    from repro.monitor.client import JobPowerData
+
+    data = JobPowerData(jobid=7)
+    data.node_complete["alive0"] = True
+    data.rows.append(
+        {"hostname": "alive0", "timestamp": 4.0, "node_w": 900.0,
+         "cpu_w": 300.0, "mem_w": 100.0, "gpu_w": 500.0}
+    )
+    data.node_complete["dead1"] = False
+    data.node_error["dead1"] = "rpc timed out"
+    lines = data.to_csv().strip().splitlines()
+    assert lines[0] == CSV_HEADER
+    assert "7,dead1,,,,,,partial" in lines
+    # Every line still has the full column count.
+    assert all(line.count(",") == CSV_HEADER.count(",") for line in lines)
+    assert data.degraded_hosts == ["dead1"]
+    assert not data.complete
