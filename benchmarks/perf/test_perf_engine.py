@@ -1,0 +1,28 @@
+"""Engine hot-path micro-benchmarks (``pytest benchmarks/perf -m bench -s``).
+
+These are the same measurements ``repro bench`` records in
+``BENCH_<name>.json``; the pytest wrappers exist so the perf suite can
+ride the normal test runner. They carry the ``bench`` marker and
+``benchmarks/`` is outside tier-1 ``testpaths``, so they never slow
+down the default ``pytest`` run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suites import engine_cancel_churn, engine_periodic, engine_prescheduled
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.mark.parametrize(
+    "fn", [engine_prescheduled, engine_periodic, engine_cancel_churn]
+)
+def test_engine_micro(fn):
+    results = fn(True)
+    assert results
+    for r in results:
+        print(f"{r.benchmark}: {r.value:,.0f} {r.metric} ({r.wall_s:.3f} s)")
+        assert r.value > 0
+        assert r.wall_s > 0

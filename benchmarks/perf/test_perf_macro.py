@@ -1,0 +1,28 @@
+"""Macro perf benchmarks: paper-scale scalability query and a policy run.
+
+Run with ``pytest benchmarks/perf -m bench -s``. Quick-sized here; the
+full 792-node measurement is taken by ``repro bench`` (no ``--quick``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suites import scalability_query, table4_policy
+
+pytestmark = pytest.mark.bench
+
+
+def test_scalability_query_quick():
+    results = scalability_query(True)
+    names = {r.benchmark for r in results}
+    assert names == {"scalability_fanout", "scalability_tree", "scalability_sweep"}
+    for r in results:
+        print(f"{r.benchmark}: {r.value:.3f} {r.metric}")
+        assert r.wall_s > 0
+
+
+def test_table4_policy():
+    (result,) = table4_policy(True)
+    print(f"{result.benchmark}: {result.value:.3f} {result.metric}")
+    assert result.wall_s > 0

@@ -12,6 +12,8 @@ Mirrors the user-facing tools of the paper's deployment:
 * ``repro static-caps`` — regenerate the Table III static-cap sweep.
 * ``repro queue`` — the Section IV-E job-queue campaign.
 * ``repro chaos`` — the fault-injection campaign (graceful degradation).
+* ``repro bench`` — time the hot paths and write a ``BENCH_<name>.json``
+  perf artifact (see docs/performance.md).
 * ``repro apps`` — list the calibrated application models.
 
 Usage::
@@ -182,6 +184,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.degraded_ok() else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf benchmark suite and write a BENCH_<name>.json artifact."""
+    import os
+
+    from repro.bench import default_suite, run_suite, validate_report, write_report
+
+    suite = default_suite(only=args.only)
+    if not suite:
+        print(f"no benchmarks match --only {args.only!r}", file=sys.stderr)
+        return 2
+    report = run_suite(
+        suite,
+        name=args.name,
+        quick=args.quick,
+        progress=lambda msg: print(msg, file=sys.stderr),
+        repeats=args.repeats,
+    )
+    validate_report(report.to_dict())
+    for line in report.table_rows():
+        print(line)
+    path = os.path.join(args.out, f"BENCH_{args.name}.json")
+    write_report(report, path)
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':<12} {'scaling':<7} {'launcher':<8} {'base s':>7}  inputs")
     for name in list_apps():
@@ -268,6 +296,28 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=1)
     c.add_argument("--nodes", type=int, default=8)
     c.set_defaults(func=_cmd_chaos)
+
+    b = sub.add_parser(
+        "bench", help="run the perf suite and write a BENCH_<name>.json artifact"
+    )
+    b.add_argument("--name", default="local", help="artifact name (BENCH_<name>.json)")
+    b.add_argument("--out", default=".", help="output directory (default: cwd)")
+    b.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes for smoke testing (marks the artifact quick=true)",
+    )
+    b.add_argument(
+        "--only", default="",
+        help="run only benchmarks whose name contains this substring",
+    )
+    b.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="run each benchmark N times and keep the fastest run "
+        "(best-of-N; use the same N when comparing against a baseline)",
+    )
+    b.set_defaults(func=_cmd_bench)
 
     a = sub.add_parser("apps", help="list calibrated application models")
     a.set_defaults(func=_cmd_apps)

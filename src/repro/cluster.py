@@ -92,6 +92,7 @@ class PowerManagedCluster:
         fault_plan: Optional[FaultPlan] = None,
         monitor_retry: Optional[RetryConfig] = None,
         monitor_strategy: str = "fanout",
+        monitor_batch_sampling: bool = True,
     ) -> None:
         self.instance = FluxInstance(
             platform=platform,
@@ -113,6 +114,7 @@ class PowerManagedCluster:
                 sample_interval_s=monitor_interval_s,
                 strategy=monitor_strategy,
                 retry=monitor_retry,
+                batch_sampling=monitor_batch_sampling,
             )
         self.manager: Optional[PowerManager] = None
         if manager_config is not None:

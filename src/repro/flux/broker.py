@@ -98,6 +98,21 @@ class Broker:
         self.telemetry = telemetry_of(sim)
         #: matchtag -> (topic, send time) for RPC latency accounting.
         self._rpc_sent: Dict[int, Tuple[str, float]] = {}
+        # Metric handles are on the per-message hot path; they are
+        # resolved lazily (so each series still registers at its
+        # historical first-use instant, keeping exports identical) and
+        # cached per broker — per topic/type/reason where labelled.
+        self._c_rpc_requests: Dict[str, Any] = {}
+        self._c_rpc_errors: Dict[str, Any] = {}
+        self._h_rpc_latency: Dict[str, Any] = {}
+        self._c_events_published: Dict[str, Any] = {}
+        self._c_sent_by_type: Dict[str, Any] = {}
+        self._c_delivered_by_type: Dict[str, Any] = {}
+        self._c_dropped_by_reason: Dict[str, Any] = {}
+        self._c_tbon_bytes = None
+        self._c_tbon_hops = None
+        self._c_event_forwards = None
+        self._c_event_deliveries = None
 
     # ------------------------------------------------------------------
     # Module management (RFC 5: dynamically loaded broker plugins)
@@ -147,11 +162,15 @@ class Broker:
         tag = Message.new_matchtag()
         future = SimEvent(self.sim)
         self._pending_rpcs[tag] = future
-        self.telemetry.metrics.counter(
-            "flux_rpc_requests_total",
-            labels={"topic": topic},
-            help="RPC requests sent, by topic",
-        ).inc()
+        counter = self._c_rpc_requests.get(topic)
+        if counter is None:
+            counter = self.telemetry.metrics.counter(
+                "flux_rpc_requests_total",
+                labels={"topic": topic},
+                help="RPC requests sent, by topic",
+            )
+            self._c_rpc_requests[topic] = counter
+        counter.inc()
         self._rpc_sent[tag] = (topic, self.sim.now)
         msg = Message(
             msg_type=MessageType.REQUEST,
@@ -200,11 +219,15 @@ class Broker:
             dst_rank=0,
         )
         self.messages_sent += 1
-        self.telemetry.metrics.counter(
-            "flux_events_published_total",
-            labels={"topic": topic},
-            help="events published (pre-sequencing), by topic",
-        ).inc()
+        counter = self._c_events_published.get(topic)
+        if counter is None:
+            counter = self.telemetry.metrics.counter(
+                "flux_events_published_total",
+                labels={"topic": topic},
+                help="events published (pre-sequencing), by topic",
+            )
+            self._c_events_published[topic] = counter
+        counter.inc()
         arrival = self._fifo_arrival(0, self.overlay.path_delay(self.rank, 0))
         self.sim.schedule_at(arrival, self._registry[0]._sequence_event, msg)
 
@@ -224,19 +247,23 @@ class Broker:
         else:
             self._drop_message(msg, "node-down")
         for child in self.overlay.children(self.rank):
-            self.telemetry.metrics.counter(
-                "tbon_event_forwards_total",
-                help="event copies forwarded down TBON edges",
-            ).inc()
+            if self._c_event_forwards is None:
+                self._c_event_forwards = self.telemetry.metrics.counter(
+                    "tbon_event_forwards_total",
+                    help="event copies forwarded down TBON edges",
+                )
+            self._c_event_forwards.inc()
             arrival = self._fifo_arrival(child, self.overlay.hop_delay())
             self.sim.schedule_at(arrival, self._registry[child]._broadcast_event, msg)
 
     def _deliver_event(self, msg: Message) -> None:
         self.messages_delivered += 1
-        self.telemetry.metrics.counter(
-            "flux_event_deliveries_total",
-            help="event deliveries to brokers (fan-out included)",
-        ).inc()
+        if self._c_event_deliveries is None:
+            self._c_event_deliveries = self.telemetry.metrics.counter(
+                "flux_event_deliveries_total",
+                help="event deliveries to brokers (fan-out included)",
+            )
+        self._c_event_deliveries.inc()
         for prefix, callback in list(self._subscriptions):
             if msg.topic.startswith(prefix):
                 callback(msg)
@@ -273,20 +300,27 @@ class Broker:
                 extra_delay = float(verdict)
         self.messages_sent += 1
         size = msg.size_bytes()
-        metrics = self.telemetry.metrics
-        metrics.counter(
-            "flux_messages_sent_total",
-            labels={"type": msg.msg_type.value},
-            help="point-to-point messages transmitted, by type",
-        ).inc()
-        metrics.counter(
-            "tbon_bytes_total",
-            help="payload+header bytes put on the overlay",
-        ).inc(size)
-        metrics.counter(
-            "tbon_hops_total",
-            help="tree edges traversed by point-to-point messages",
-        ).inc(self.overlay.hop_count(msg.src_rank, msg.dst_rank))
+        msg_type = msg.msg_type.value
+        sent = self._c_sent_by_type.get(msg_type)
+        if sent is None:
+            sent = self.telemetry.metrics.counter(
+                "flux_messages_sent_total",
+                labels={"type": msg_type},
+                help="point-to-point messages transmitted, by type",
+            )
+            self._c_sent_by_type[msg_type] = sent
+        sent.inc()
+        if self._c_tbon_bytes is None:
+            self._c_tbon_bytes = self.telemetry.metrics.counter(
+                "tbon_bytes_total",
+                help="payload+header bytes put on the overlay",
+            )
+            self._c_tbon_hops = self.telemetry.metrics.counter(
+                "tbon_hops_total",
+                help="tree edges traversed by point-to-point messages",
+            )
+        self._c_tbon_bytes.inc(size)
+        self._c_tbon_hops.inc(self.overlay.hop_count(msg.src_rank, msg.dst_rank))
         delay = self.overlay.path_delay(msg.src_rank, msg.dst_rank, size_bytes=size)
         arrival = self._fifo_arrival(msg.dst_rank, delay + extra_delay)
         target = self._registry[msg.dst_rank]
@@ -309,11 +343,15 @@ class Broker:
 
     def _drop_message(self, msg: Message, reason: str) -> None:
         """Account a message lost to fault injection or a dead peer."""
-        self.telemetry.metrics.counter(
-            "tbon_messages_dropped_total",
-            labels={"reason": reason},
-            help="messages lost to injected faults or dead brokers, by reason",
-        ).inc()
+        counter = self._c_dropped_by_reason.get(reason)
+        if counter is None:
+            counter = self.telemetry.metrics.counter(
+                "tbon_messages_dropped_total",
+                labels={"reason": reason},
+                help="messages lost to injected faults or dead brokers, by reason",
+            )
+            self._c_dropped_by_reason[reason] = counter
+        counter.inc()
 
     def _deliver(self, msg: Message) -> None:
         """Hand an arrived message to its service or waiting RPC future."""
@@ -327,11 +365,16 @@ class Broker:
             self._drop_message(msg, "hung")
             return
         self.messages_delivered += 1
-        self.telemetry.metrics.counter(
-            "flux_messages_delivered_total",
-            labels={"type": msg.msg_type.value},
-            help="point-to-point messages delivered, by type",
-        ).inc()
+        msg_type = msg.msg_type.value
+        delivered = self._c_delivered_by_type.get(msg_type)
+        if delivered is None:
+            delivered = self.telemetry.metrics.counter(
+                "flux_messages_delivered_total",
+                labels={"type": msg_type},
+                help="point-to-point messages delivered, by type",
+            )
+            self._c_delivered_by_type[msg_type] = delivered
+        delivered.inc()
         if msg.msg_type is MessageType.REQUEST:
             handler = self._services.get(msg.topic)
             if handler is None:
@@ -343,11 +386,15 @@ class Broker:
             sent = self._rpc_sent.pop(msg.matchtag, None)
             if sent is not None:
                 topic, t_sent = sent
-                self.telemetry.metrics.histogram(
-                    "flux_rpc_latency_seconds",
-                    labels={"topic": topic},
-                    help="RPC round-trip latency (send to response), by topic",
-                ).observe(self.sim.now - t_sent)
+                hist = self._h_rpc_latency.get(topic)
+                if hist is None:
+                    hist = self.telemetry.metrics.histogram(
+                        "flux_rpc_latency_seconds",
+                        labels={"topic": topic},
+                        help="RPC round-trip latency (send to response), by topic",
+                    )
+                    self._h_rpc_latency[topic] = hist
+                hist.observe(self.sim.now - t_sent)
                 self.telemetry.tracer.span(
                     f"rpc:{topic}", "flux", t_sent, rank=self.rank,
                     peer=msg.src_rank, errnum=msg.errnum,
@@ -355,11 +402,15 @@ class Broker:
             if future is None:
                 return  # response to a cancelled/unknown RPC: drop
             if msg.errnum != 0:
-                self.telemetry.metrics.counter(
-                    "flux_rpc_errors_total",
-                    labels={"topic": msg.topic},
-                    help="RPC responses carrying a nonzero errnum, by topic",
-                ).inc()
+                counter = self._c_rpc_errors.get(msg.topic)
+                if counter is None:
+                    counter = self.telemetry.metrics.counter(
+                        "flux_rpc_errors_total",
+                        labels={"topic": msg.topic},
+                        help="RPC responses carrying a nonzero errnum, by topic",
+                    )
+                    self._c_rpc_errors[msg.topic] = counter
+                counter.inc()
                 future.fail(FluxRPCError(msg.topic, msg.errnum, msg.errmsg))
             else:
                 future.succeed(msg.payload)

@@ -16,13 +16,32 @@ from typing import Any, Dict, Optional
 _matchtag_counter = itertools.count(1)
 
 
+class CachedSizeDict(dict):
+    """A payload dict that memoises its own wire-size estimate.
+
+    For write-once payloads that are retained and re-priced many times
+    — telemetry samples sit in a node agent's ring buffer and get
+    re-walked by :func:`estimate_payload_bytes` at every aggregation
+    that ships them. The cache lives *on the object*, so its lifetime
+    is exactly the dict's and no global registry can go stale. Only
+    use for dicts that are never mutated after their first estimate;
+    the first walk is identical to a plain dict's, so the cache can
+    never change an estimate, only skip recomputing it.
+    """
+
+    __slots__ = ("_size_cache",)
+
+
 def estimate_payload_bytes(payload: Any) -> int:
     """Cheap wire-size estimate of a JSON-compatible payload.
 
     Counts container overhead plus per-leaf costs without serialising;
     accurate to tens of percent against real JSON, which is all the
     bandwidth model needs. Cost is O(leaves) — dominated by the same
-    telemetry responses whose transfer time it prices.
+    telemetry responses whose transfer time it prices — except that
+    :class:`CachedSizeDict` payloads (telemetry samples) are walked
+    once and memoised, so an aggregate response re-prices each sample
+    at O(1) instead of re-walking it at every tree level.
     """
     if payload is None or isinstance(payload, bool):
         return 4
@@ -31,9 +50,15 @@ def estimate_payload_bytes(payload: Any) -> int:
     if isinstance(payload, str):
         return len(payload) + 2
     if isinstance(payload, dict):
-        return 2 + sum(
+        size = getattr(payload, "_size_cache", None)
+        if size is not None:
+            return size
+        size = 2 + sum(
             len(str(k)) + 3 + estimate_payload_bytes(v) for k, v in payload.items()
         )
+        if isinstance(payload, CachedSizeDict):
+            payload._size_cache = size
+        return size
     if isinstance(payload, (list, tuple)):
         return 2 + sum(estimate_payload_bytes(v) for v in payload)
     return 16  # unknown scalar
@@ -95,10 +120,17 @@ class Message:
     errmsg: str = ""
     #: Event sequence number, assigned by rank 0 when sequencing events.
     seq: Optional[int] = None
+    #: Cached :meth:`size_bytes` result; payloads are write-once after
+    #: the message is transmitted, so the estimate never changes.
+    _size_cache: Optional[int] = field(default=None, repr=False, compare=False)
 
     def size_bytes(self) -> int:
         """Estimated wire size (headers + payload)."""
-        return 64 + estimate_payload_bytes(self.payload)
+        size = self._size_cache
+        if size is None:
+            size = 64 + estimate_payload_bytes(self.payload)
+            self._size_cache = size
+        return size
 
     @staticmethod
     def new_matchtag() -> int:

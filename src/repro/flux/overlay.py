@@ -9,7 +9,7 @@ aggregation latency).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -56,6 +56,15 @@ class TBON:
         self.latency_jitter = float(latency_jitter)
         self.bandwidth_bps = float(bandwidth_bps)
         self._rng = rng
+        # The topology is immutable, so routes, child lists, depths and
+        # subtree spans are computed once; every transmit prices its
+        # hop count, the fault layer walks the route, and the tree
+        # aggregation strategy walks subtrees per query — all of which
+        # made topology reconstruction a per-message cost.
+        self._route_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._children_cache: Dict[int, List[int]] = {}
+        self._depth_cache: Dict[int, int] = {}
+        self._subtree_cache: Dict[int, frozenset] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -68,19 +77,44 @@ class TBON:
         return (rank - 1) // self.fanout
 
     def children(self, rank: int) -> List[int]:
-        """Child ranks of ``rank``, in increasing order."""
+        """Child ranks of ``rank``, in increasing order (cached;
+        callers must not mutate the returned list)."""
+        cached = self._children_cache.get(rank)
+        if cached is not None:
+            return cached
         self._check(rank)
         first = rank * self.fanout + 1
-        return [r for r in range(first, first + self.fanout) if r < self.size]
+        kids = [r for r in range(first, first + self.fanout) if r < self.size]
+        self._children_cache[rank] = kids
+        return kids
 
     def depth(self, rank: int) -> int:
-        """Number of hops from ``rank`` up to the root."""
+        """Number of hops from ``rank`` up to the root (cached)."""
+        cached = self._depth_cache.get(rank)
+        if cached is not None:
+            return cached
         d = 0
         r = rank
         while r != 0:
             r = self.parent(r)  # type: ignore[assignment]
             d += 1
+        self._depth_cache[rank] = d
         return d
+
+    def subtree_ranks(self, root: int) -> frozenset:
+        """All ranks in the subtree rooted at ``root``, inclusive (cached)."""
+        cached = self._subtree_cache.get(root)
+        if cached is not None:
+            return cached
+        out = set()
+        stack = [root]
+        while stack:
+            r = stack.pop()
+            out.add(r)
+            stack.extend(self.children(r))
+        span = frozenset(out)
+        self._subtree_cache[root] = span
+        return span
 
     def max_depth(self) -> int:
         """Tree height (depth of the deepest rank)."""
@@ -98,8 +132,12 @@ class TBON:
         """Hop-by-hop path from ``src`` to ``dst`` (inclusive of both).
 
         Tree routing: ascend from both endpoints to their lowest common
-        ancestor, then descend.
+        ancestor, then descend. Cached per (src, dst); callers must not
+        mutate the returned list.
         """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         self._check(src)
         self._check(dst)
         up_src = list(self.ancestors(src))
@@ -110,7 +148,9 @@ class TBON:
         for j, r in enumerate(up_dst):
             if r in set_src:
                 i = set_src[r]
-                return up_src[: i + 1] + list(reversed(up_dst[:j]))
+                path = up_src[: i + 1] + list(reversed(up_dst[:j]))
+                self._route_cache[(src, dst)] = path
+                return path
         raise AssertionError("tree has a single root; LCA must exist")
 
     def graph(self) -> nx.Graph:
@@ -152,7 +192,27 @@ class TBON:
         serialise = (
             size_bytes * 8.0 / self.bandwidth_bps if size_bytes > 0 else 0.0
         )
-        return sum(self.hop_delay() + serialise for _ in range(hops))
+        base = self.hop_latency_s
+        total = 0.0
+        if self._rng is None or self.latency_jitter <= 0:
+            # Repeated addition (not hops * term) to stay bit-identical
+            # to the historical per-hop accumulation.
+            for _ in range(hops):
+                total += base + serialise
+            return total
+        # One vectorised draw consumes the generator stream exactly as
+        # ``hops`` scalar standard_normal() calls did (pinned by
+        # tests/test_sampling_equivalence.py); the sum stays
+        # left-to-right so jittered runs are byte-identical too.
+        draws = self._rng.standard_normal(hops)
+        jitter = self.latency_jitter
+        floor = base * 0.1
+        for i in range(hops):
+            delay = base * (1.0 + jitter * float(draws[i]))
+            if delay < floor:
+                delay = floor
+            total += delay + serialise
+        return total
 
     def _check(self, rank: int) -> None:
         if not (0 <= rank < self.size):

@@ -84,6 +84,10 @@ class PowerDomain:
         self._demand_w = spec.idle_w
         # Independent cap sources; effective cap is their min.
         self._caps: Dict[str, float] = {}
+        #: Owning node, set by Node construction. Every mutation that
+        #: can change observable power bumps the owner's ``power_rev``
+        #: so sampling caches know when their state went stale.
+        self._owner = None
 
     # ------------------------------------------------------------------
     # Demand
@@ -96,10 +100,14 @@ class PowerDomain:
     def set_demand(self, watts: float) -> None:
         """Set workload demand; clamped into [idle_w, max_w]."""
         self._demand_w = float(min(max(watts, self.spec.idle_w), self.spec.max_w))
+        if self._owner is not None:
+            self._owner.power_rev += 1
 
     def clear_demand(self) -> None:
         """Reset demand to the idle floor (workload departed)."""
         self._demand_w = self.spec.idle_w
+        if self._owner is not None:
+            self._owner.power_rev += 1
 
     # ------------------------------------------------------------------
     # Capping
@@ -114,10 +122,14 @@ class PowerDomain:
             raise ValueError(f"domain {self.spec.name} is not cappable")
         if watts is None:
             self._caps.pop(source, None)
+            if self._owner is not None:
+                self._owner.power_rev += 1
             return
         lo = self.spec.min_cap_w if self.spec.min_cap_w is not None else 0.0
         hi = self.spec.max_cap_w if self.spec.max_cap_w is not None else self.spec.max_w
         self._caps[source] = float(min(max(watts, lo), hi))
+        if self._owner is not None:
+            self._owner.power_rev += 1
 
     def get_cap(self, source: str) -> Optional[float]:
         return self._caps.get(source)
@@ -134,11 +146,21 @@ class PowerDomain:
     # ------------------------------------------------------------------
     @property
     def actual_w(self) -> float:
-        """Power currently drawn: demand limited by the effective cap."""
-        cap = self.effective_cap_w
+        """Power currently drawn: demand limited by the effective cap.
+
+        Hot path (sensor sampling hits every domain): the cap logic is
+        inlined rather than going through :attr:`effective_cap_w`, with
+        comparisons ordered to match ``min(p, max(cap, idle))`` exactly.
+        """
         p = self._demand_w
-        if cap is not None:
-            p = min(p, max(cap, self.spec.idle_w))
+        caps = self._caps
+        if caps:
+            limit = min(caps.values())
+            idle = self.spec.idle_w
+            if limit < idle:
+                limit = idle
+            if limit < p:
+                p = limit
         return p
 
     @property

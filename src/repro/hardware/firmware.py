@@ -91,6 +91,9 @@ class OPALFirmware:
         self.hard_min_w = hard_min_w
         self.psr = psr
         self._node_cap_w: Optional[float] = None
+        #: Owning node (set by Node construction); the node-level cap
+        #: changes observable power, so it bumps ``power_rev`` too.
+        self._owner = None
 
     @property
     def node_cap_w(self) -> Optional[float]:
@@ -124,6 +127,8 @@ class OPALFirmware:
                 f"[{self.soft_min_w}, {self.node_max_w}] W"
             )
         self._node_cap_w = float(watts)
+        if self._owner is not None:
+            self._owner.power_rev += 1
         derived = self.derived_gpu_cap_w
         for gpu in self._gpus:
             gpu.set_cap(self.CAP_SOURCE, derived)
@@ -131,6 +136,8 @@ class OPALFirmware:
 
     def clear_node_power_cap(self) -> None:
         self._node_cap_w = None
+        if self._owner is not None:
+            self._owner.power_rev += 1
         for gpu in self._gpus:
             gpu.set_cap(self.CAP_SOURCE, None)
 

@@ -99,6 +99,20 @@ class Node:
         self._by_kind: Dict[DomainKind, List[PowerDomain]] = {}
         for dom in self.domains.values():
             self._by_kind.setdefault(dom.spec.kind, []).append(dom)
+        #: Measurable domains in declaration order — the sampling hot
+        #: path iterates this instead of re-filtering ``domains`` on
+        #: every read. Domains are fixed after construction.
+        self.measurable_domains: List[PowerDomain] = [
+            d for d in self.domains.values() if d.spec.measurable
+        ]
+        #: All domains as a list, for the power-summing hot loops.
+        self._domain_list: List[PowerDomain] = list(self.domains.values())
+        #: Power-state revision: bumped by every demand/cap mutation on
+        #: this node (domains and OPAL report in). Sampling caches key
+        #: on it — equal revisions guarantee identical observable power.
+        self.power_rev = 0
+        for dom in self._domain_list:
+            dom._owner = self
 
         cpus = self._by_kind.get(DomainKind.CPU, [])
         gpus = self._by_kind.get(DomainKind.GPU, [])
@@ -117,6 +131,7 @@ class Node:
                 soft_min_w=spec.node_cap_min_soft_w,
                 hard_min_w=spec.node_cap_min_hard_w,
             )
+            self.opal._owner = self
             self.nvml = NVMLDriver(
                 gpu_domains=gpus, rng=rng, failure_rate=nvml_failure_rate
             )
@@ -168,7 +183,7 @@ class Node:
     # ------------------------------------------------------------------
     def raw_power_w(self) -> float:
         """Sum of every domain's drawn power, before node-cap clipping."""
-        return sum(d.actual_w for d in self.domains.values())
+        return sum([d.actual_w for d in self._domain_list])
 
     def total_power_w(self) -> float:
         """Node power after OPAL residual enforcement (if any).

@@ -11,6 +11,7 @@ exactly how the paper reports it (Section IV-A).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
@@ -81,29 +82,50 @@ class SensorSuite:
         return float(self._rng.normal(0.0, self.noise_sigma_w))
 
     def read(self, timestamp: float) -> SensorReading:
-        """Sample every measurable domain on the node."""
+        """Sample every measurable domain on the node.
+
+        Hot path: ``math.floor`` on floats matches ``np.floor`` bit for
+        bit (both are correctly-rounded IEEE-754 operations), and when
+        noise is enabled all of a node's draws come from one vectorized
+        ``Generator.normal`` call — the generator fills its stream
+        sequentially, so values equal the per-domain scalar draws (a
+        regression test pins this).
+        """
         node = self._node
         quantised = (
-            np.floor(timestamp / self.granularity_s) * self.granularity_s
+            math.floor(timestamp / self.granularity_s) * self.granularity_s
             if self.granularity_s > 0
             else timestamp
         )
+        measurable = node.measurable_domains
+        node_measured = node.spec.node_power_measurable
         domains: Dict[str, float] = {}
         measured_sum = 0.0
-        for dom in node.domains.values():
-            if not dom.spec.measurable:
-                continue
-            watts = max(0.0, dom.actual_w + self._noise())
-            domains[dom.spec.name] = watts
-            measured_sum += watts
-        if node.spec.node_power_measurable:
-            # Hardware node sensor sees everything, including uncore and
-            # any unmeasurable domains.
-            node_w = max(0.0, node.total_power_w() + self._noise())
-            node_measured = True
+        if self.noise_sigma_w > 0.0 and self._rng is not None:
+            # One draw per measurable domain plus one for the node
+            # sensor, in the order the scalar path consumed them.
+            noise = self._rng.normal(
+                0.0, self.noise_sigma_w, size=len(measurable) + (1 if node_measured else 0)
+            )
+            for i, dom in enumerate(measurable):
+                watts = max(0.0, dom.actual_w + float(noise[i]))
+                domains[dom.spec.name] = watts
+                measured_sum += watts
+            if node_measured:
+                # Hardware node sensor sees everything, including uncore
+                # and any unmeasurable domains.
+                node_w = max(0.0, node.total_power_w() + float(noise[-1]))
+            else:
+                node_w = measured_sum
         else:
-            node_w = measured_sum
-            node_measured = False
+            for dom in measurable:
+                watts = max(0.0, dom.actual_w)
+                domains[dom.spec.name] = watts
+                measured_sum += watts
+            if node_measured:
+                node_w = max(0.0, node.total_power_w())
+            else:
+                node_w = measured_sum
         return SensorReading(
             timestamp=float(quantised),
             hostname=node.hostname,

@@ -53,16 +53,20 @@ class CircularBuffer:
         self.total_appended = 0
 
     def append(self, timestamp: float, sample: Dict[str, Any]) -> None:
-        newest = self.newest_timestamp
-        if newest is not None and timestamp < newest:
-            raise ValueError(
-                f"timestamps must be nondecreasing ({timestamp} < {newest})"
-            )
-        if len(self._ts) < self.capacity:
-            self._ts.append(float(timestamp))
+        ts = self._ts
+        if ts:
+            # Inlined newest_timestamp: this runs once per node per
+            # sampling tick instance-wide.
+            newest = ts[self._head - 1]
+            if timestamp < newest:
+                raise ValueError(
+                    f"timestamps must be nondecreasing ({timestamp} < {newest})"
+                )
+        if len(ts) < self.capacity:
+            ts.append(timestamp)
             self._samples.append(sample)
         else:
-            self._ts[self._head] = float(timestamp)
+            ts[self._head] = timestamp
             self._samples[self._head] = sample
             self._head = (self._head + 1) % self.capacity
         self.total_appended += 1

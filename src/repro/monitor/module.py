@@ -40,6 +40,7 @@ class PowerMonitor:
     buffer_capacity: int = DEFAULT_CAPACITY
     strategy: str = "fanout"
     retry: Optional[RetryConfig] = field(default=None)
+    batch_sampling: bool = True
 
     def detach(self) -> None:
         """Unload the monitor everywhere (the overhead experiment's off case)."""
@@ -64,6 +65,7 @@ class PowerMonitor:
             broker,
             sample_interval_s=self.sample_interval_s,
             buffer_capacity=self.buffer_capacity,
+            batch_sampling=self.batch_sampling,
         )
         broker.load_module(agent)
         self.node_agents[rank] = agent
@@ -78,18 +80,23 @@ def attach_monitor(
     buffer_capacity: int = DEFAULT_CAPACITY,
     strategy: str = "fanout",
     retry: Optional[RetryConfig] = None,
+    batch_sampling: bool = True,
 ) -> PowerMonitor:
     """Load the flux-power-monitor modules across an instance.
 
     ``retry`` sets the per-node timeout/retry policy the aggregators
     use when a node agent stops answering (see docs/failures.md);
     None means the :class:`~repro.flux.module.RetryConfig` defaults.
+    ``batch_sampling`` selects the coalesced one-event-per-interval
+    sampling tick (default) versus one timer per node agent; outputs
+    are byte-identical (see docs/performance.md).
     """
     node_agents = instance.load_module_on_all(
         lambda broker: NodeAgentModule(
             broker,
             sample_interval_s=sample_interval_s,
             buffer_capacity=buffer_capacity,
+            batch_sampling=batch_sampling,
         )
     )
     if strategy == "tree":
@@ -109,4 +116,5 @@ def attach_monitor(
         buffer_capacity=buffer_capacity,
         strategy=strategy,
         retry=retry,
+        batch_sampling=batch_sampling,
     )

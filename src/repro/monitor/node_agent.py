@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from repro import variorum
 from repro.flux.broker import Broker
-from repro.flux.message import Message
+from repro.flux.message import CachedSizeDict, Message, estimate_payload_bytes
 from repro.flux.module import Module
 from repro.monitor.buffer import DEFAULT_CAPACITY, CircularBuffer
 from repro.monitor.overhead import sampling_overhead_fraction
+from repro.monitor.sampler import sampler_of
+from repro.variorum.backends import get_backend
 
 #: The paper's default sampling period.
 DEFAULT_SAMPLE_INTERVAL_S = 2.0
@@ -39,6 +41,7 @@ class NodeAgentModule(Module):
         broker: Broker,
         sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
         buffer_capacity: int = DEFAULT_CAPACITY,
+        batch_sampling: bool = True,
     ) -> None:
         if broker.node is None:
             raise ValueError("node agent requires a broker with hardware attached")
@@ -46,11 +49,36 @@ class NodeAgentModule(Module):
         self.sample_interval_s = float(sample_interval_s)
         self.buffer = CircularBuffer(buffer_capacity)
         self.samples_taken = 0
+        #: Batched mode registers with the instance-wide
+        #: :class:`~repro.monitor.sampler.BatchSampler` (one engine
+        #: event per interval for all agents); the legacy mode keeps a
+        #: per-agent timer. Outputs are byte-identical either way.
+        self.batch_sampling = bool(batch_sampling)
         #: Simulated time this agent started sampling; a query window
         #: opening earlier (e.g. after a crash/restart wiped the ring)
         #: is reported as partial even though the fresh buffer never
         #: wrapped.
         self._t_loaded = 0.0
+        # The per-sample accountant charge never changes; metric
+        # handles are resolved lazily on first use so series register
+        # at the same moment they always did.
+        self._charge_s = self.node_overhead_fraction * self.sample_interval_s
+        # The vendor backend is fixed for the node's lifetime; binding
+        # it here skips the API-level dispatch on every sample (the
+        # call itself is still variorum.get_node_power_json semantics).
+        self._backend = get_backend(broker.node.spec.vendor)
+        # The node's telemetry plan, likewise fixed; passing it into
+        # sample_cached skips the per-sample plan lookup.
+        self._plan = self._backend.plan_for(broker.node)
+        self._g_occupancy = None
+        self._g_dropped = None
+        self._c_samples = None
+        self._c_queries = None
+        # Wire-size of a query response with zero samples — the
+        # estimator prices every leaf type at a fixed width, so a full
+        # response is exactly this base plus n_samples times the node's
+        # constant per-sample size (pinned by the equivalence tests).
+        self._record_base = None
 
     @property
     def node_overhead_fraction(self) -> float:
@@ -69,34 +97,53 @@ class NodeAgentModule(Module):
         self.register_service(STATUS_TOPIC, self._handle_status)
         self.register_service(CLEAR_TOPIC, self._handle_clear)
         # First sample at load time, then on the fixed grid.
-        self.add_timer(self.sample_interval_s, self._sample, start_delay=0.0)
+        if self.batch_sampling:
+            sampler_of(self.sim).register(self)
+        else:
+            self.add_timer(self.sample_interval_s, self._sample, start_delay=0.0)
+
+    def on_unload(self) -> None:
+        if self.batch_sampling:
+            sampler_of(self.sim).unregister(self)
 
     # ------------------------------------------------------------------
     # Sampling loop
     # ------------------------------------------------------------------
     def _sample(self, _timer) -> None:
-        sample = variorum.get_node_power_json(self.broker.node, self.sim.now)
-        self.buffer.append(self.sim.now, sample)
+        # Legacy per-agent timer path: identical body to the batched
+        # tick, except each sample increments the shared counter itself.
+        if self._c_samples is None:
+            self._c_samples = self.broker.telemetry.metrics.counter(
+                "monitor_samples_total",
+                help="Variorum samples appended to node-agent ring buffers",
+            )
+        self._c_samples.inc()
+        self.sample_in_batch(self.sim.now)
+
+    def sample_in_batch(self, now: float) -> None:
+        """One sample, minus the shared-counter update the batch tick owns."""
+        buf = self.buffer
+        buf.append(
+            now, self._backend.sample_cached(self.broker.node, now, self._plan)
+        )
         self.samples_taken += 1
         tel = self.broker.telemetry
-        rank = {"rank": str(self.broker.rank)}
-        tel.metrics.counter(
-            "monitor_samples_total",
-            help="Variorum samples appended to node-agent ring buffers",
-        ).inc()
-        tel.metrics.gauge(
-            "monitor_buffer_occupancy", labels=rank,
-            help="retained samples in the node agent's circular buffer",
-        ).set(len(self.buffer))
-        tel.metrics.gauge(
-            "monitor_buffer_dropped", labels=rank,
-            help="samples lost to ring wrap on this node agent",
-        ).set(self.buffer.dropped)
+        if self._g_occupancy is None:
+            rank = {"rank": str(self.broker.rank)}
+            self._g_occupancy = tel.metrics.gauge(
+                "monitor_buffer_occupancy", labels=rank,
+                help="retained samples in the node agent's circular buffer",
+            )
+            self._g_dropped = tel.metrics.gauge(
+                "monitor_buffer_dropped", labels=rank,
+                help="samples lost to ring wrap on this node agent",
+            )
+        retained = len(buf)
+        self._g_occupancy.set(retained)
+        self._g_dropped.set(buf.total_appended - retained)
         # The per-sample collection cost — identical to the fraction
         # that slows co-located apps (node_overhead_fraction).
-        tel.accountant.charge(
-            "monitor", self.node_overhead_fraction * self.sample_interval_s
-        )
+        tel.accountant.charge("monitor", self._charge_s)
 
     # ------------------------------------------------------------------
     # Services
@@ -115,10 +162,12 @@ class NodeAgentModule(Module):
         if t_start < self._t_loaded:
             # This agent has no history before it (re)started sampling.
             complete = False
-        self.broker.telemetry.metrics.counter(
-            "monitor_queries_total",
-            help="range queries answered by node agents",
-        ).inc()
+        if self._c_queries is None:
+            self._c_queries = self.broker.telemetry.metrics.counter(
+                "monitor_queries_total",
+                help="range queries answered by node agents",
+            )
+        self._c_queries.inc()
         # Optional downsampling: long windows on big machines produce
         # multi-megabyte responses; a client that only needs the shape
         # asks for at most N samples and gets an even stride.
@@ -147,16 +196,33 @@ class NodeAgentModule(Module):
                         picked.append(samples[-1])
                     samples = picked
                 downsampled = True
-        broker.respond(
-            msg,
-            {
-                "hostname": self.broker.node.hostname,
-                "rank": broker.rank,
-                "samples": samples,
-                "complete": complete,
-                "downsampled": downsampled,
-            },
+        # CachedSizeDict: this record is write-once once it leaves here
+        # but re-priced at every aggregation level that forwards it.
+        # Its size is computed arithmetically (base + n * sample size)
+        # so the samples themselves are never walked by the estimator.
+        record = CachedSizeDict(
+            hostname=self.broker.node.hostname,
+            rank=broker.rank,
+            samples=samples,
+            complete=complete,
+            downsampled=downsampled,
         )
+        sample_size = variorum.sample_wire_bytes(self.broker.node)
+        if sample_size is not None:
+            if self._record_base is None:
+                self._record_base = estimate_payload_bytes(
+                    {
+                        "hostname": self.broker.node.hostname,
+                        "rank": broker.rank,
+                        "samples": [],
+                        "complete": complete,
+                        "downsampled": downsampled,
+                    }
+                )
+            record._size_cache = (
+                self._record_base + len(samples) * sample_size
+            )
+        broker.respond(msg, record)
 
     def _handle_clear(self, broker: Broker, msg: Message) -> None:
         """Administrative flush: drop the retained history.

@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.flux.broker import Broker
-from repro.flux.message import FluxRPCError, Message
+from repro.flux.message import (
+    CachedSizeDict,
+    FluxRPCError,
+    Message,
+    estimate_payload_bytes,
+)
 from repro.flux.module import Module, RetryConfig
 from repro.monitor.node_agent import QUERY_TOPIC
 from repro.simkernel import AllOf, SimEvent
@@ -57,6 +62,40 @@ def _subtree_retry(cfg: RetryConfig, overlay, child: int, subranks) -> RetryConf
         retries=0,
         backoff=cfg.backoff,
     )
+
+
+def _subtree_query(
+    sub: List[int], t0: float, t1: float, extra: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Build one subtree-leg query payload, pre-priced.
+
+    The estimator charges a fixed 8 bytes per numeric leaf, so the
+    payload's wire size is the size of the same payload with an empty
+    rank list plus 8 bytes per rank — computed arithmetically instead
+    of walking rank lists that collectively cover the whole subtree at
+    every level of the TBON.
+    """
+    payload = CachedSizeDict(ranks=sub, t_start=t0, t_end=t1, **extra)
+    probe = dict(payload)
+    probe["ranks"] = ()
+    payload._size_cache = estimate_payload_bytes(probe) + 8 * len(sub)
+    return payload
+
+
+def _merge_legs(results: List[List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """Flatten per-leg record lists in leg order, without copying records.
+
+    A lone leg's list is passed through as-is: response payloads are
+    write-once after they are handed to ``respond``, so an aggregator
+    can forward its only child's list up the tree instead of rebuilding
+    it at every level.
+    """
+    if len(results) == 1:
+        return results[0]
+    merged: List[Dict[str, Any]] = []
+    for leg in results:
+        merged.extend(leg)
+    return merged
 
 
 def _error_records(
@@ -186,7 +225,9 @@ class RootAgentModule(Module):
         self, msg: Message, ranks: List[int], t0: float, t1: float, max_samples=None
     ):
         t_begin = self.sim.now
-        query = {"t_start": t0, "t_end": t1}
+        # One shared dict for every leg; CachedSizeDict so the wire
+        # size is walked once, not once per node-leg message.
+        query = CachedSizeDict(t_start=t0, t_end=t1)
         if max_samples is not None:
             query["max_samples"] = max_samples
         # Send every request first (send order fixes the deterministic
@@ -198,7 +239,7 @@ class RootAgentModule(Module):
             for rank, fut in zip(ranks, futures)
         ]
         results = yield AllOf(self.sim, watchers)
-        nodes = [rec for legs in results for rec in legs]
+        nodes = _merge_legs(results)
         self._finish_aggregation(t_begin, len(ranks), nodes)
         self.broker.respond(msg, {"nodes": nodes})
 
@@ -215,18 +256,9 @@ class RootAgentModule(Module):
         for child in self.broker.overlay.children(0):
             subtree = _subtree_ranks(self.broker.overlay, child) & wanted
             if subtree:
+                sub = sorted(subtree)
                 legs.append(
-                    (
-                        "subtree",
-                        child,
-                        sorted(subtree),
-                        {
-                            "ranks": sorted(subtree),
-                            "t_start": t0,
-                            "t_end": t1,
-                            **extra,
-                        },
-                    )
+                    ("subtree", child, sub, _subtree_query(sub, t0, t1, extra))
                 )
         futures = [
             self.rpc(target, QUERY_TOPIC if kind == "node" else SUBTREE_TOPIC, payload)
@@ -241,7 +273,7 @@ class RootAgentModule(Module):
             for (kind, target, subranks, payload), fut in zip(legs, futures)
         ]
         results = yield AllOf(self.sim, watchers)
-        nodes = [rec for leg in results for rec in leg]
+        nodes = _merge_legs(results)
         self._finish_aggregation(t_begin, len(ranks), nodes)
         self.broker.respond(msg, {"nodes": nodes})
 
@@ -310,18 +342,9 @@ class SubtreeAggregatorModule(Module):
         for child in self.broker.overlay.children(self.broker.rank):
             subtree = _subtree_ranks(self.broker.overlay, child) & ranks
             if subtree:
+                sub = sorted(subtree)
                 legs.append(
-                    (
-                        "subtree",
-                        child,
-                        sorted(subtree),
-                        {
-                            "ranks": sorted(subtree),
-                            "t_start": t0,
-                            "t_end": t1,
-                            **extra,
-                        },
-                    )
+                    ("subtree", child, sub, _subtree_query(sub, t0, t1, extra))
                 )
         futures = [
             self.rpc(target, QUERY_TOPIC if kind == "node" else SUBTREE_TOPIC, payload)
@@ -336,16 +359,10 @@ class SubtreeAggregatorModule(Module):
             for (kind, target, subranks, payload), fut in zip(legs, futures)
         ]
         results = yield AllOf(self.sim, watchers)
-        nodes = [rec for leg in results for rec in leg]
+        nodes = _merge_legs(results)
         self.broker.respond(msg, {"nodes": nodes})
 
 
-def _subtree_ranks(overlay, root: int) -> set:
-    """All ranks in the subtree rooted at ``root`` (inclusive)."""
-    out = set()
-    stack = [root]
-    while stack:
-        r = stack.pop()
-        out.add(r)
-        stack.extend(overlay.children(r))
-    return out
+def _subtree_ranks(overlay, root: int):
+    """All ranks in the subtree rooted at ``root`` (inclusive, cached)."""
+    return overlay.subtree_ranks(root)

@@ -1,0 +1,131 @@
+"""Batched sampling: one engine event per interval for all node agents.
+
+The legacy layout gives every node agent its own periodic timer, so a
+792-node instance pushes 792 heap events through the engine every 2 s
+window just to run 792 independent, purely-local sample bodies. This
+coordinator coalesces them: agents sharing a tick grid register into
+one group, and a single periodic event walks the group each interval.
+
+Determinism invariants (docs/performance.md has the full argument):
+
+* **Grouping is exact, not approximate.** A group key is the pair
+  ``(interval, first_tick_time)``. Only agents whose legacy timers
+  would have produced bitwise-identical nominal grids (same float
+  accumulation ``first + period + period + ...``) ever share a group;
+  an agent restarted mid-interval gets its own group on its own grid,
+  exactly like its own timer.
+* **In-group order is registration order**, which is the sequence
+  order the agents' individual timers were created in — so same-tick
+  samples run in the same relative order as the per-node events did.
+* **Sample bodies are local.** They append to the node's ring buffer,
+  update per-rank gauges and charge the overhead accountant; they
+  never send messages, schedule events or draw cross-node RNG, so
+  fusing them into one callback cannot reorder anything observable.
+* **Telemetry is batched but value-identical**: the shared
+  ``monitor_samples_total`` counter takes one ``inc(n)`` per tick —
+  integer-valued float addition is exact, so the total equals n
+  per-sample ``inc(1)`` calls.
+
+A registration that arrives at an instant whose group tick has already
+fired this same instant (e.g. an agent reloaded by a same-time event
+scheduled after the tick) gets a one-off catch-up sample — the legacy
+timer would likewise have fired late, after the current event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.simkernel.engine import ScheduledEvent, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitor.node_agent import NodeAgentModule
+
+_ATTR = "_monitor_batch_sampler"
+
+
+def sampler_of(sim: Simulator) -> "BatchSampler":
+    """The per-simulator coordinator, created on first use."""
+    sampler = getattr(sim, _ATTR, None)
+    if sampler is None:
+        sampler = BatchSampler(sim)
+        setattr(sim, _ATTR, sampler)
+    return sampler
+
+
+class _SampleGroup:
+    """Agents sharing one tick grid, driven by one reused engine event."""
+
+    __slots__ = ("key", "agents", "event", "last_tick_t", "_sampler")
+
+    def __init__(
+        self,
+        sampler: "BatchSampler",
+        interval: float,
+        first_time: float,
+    ) -> None:
+        self.key = (interval, first_time)
+        self.agents: List["NodeAgentModule"] = []
+        self.last_tick_t: Optional[float] = None
+        self._sampler = sampler
+        self.event: ScheduledEvent = sampler.sim.schedule_periodic(
+            interval, self._tick, first_time=first_time
+        )
+
+    def _tick(self) -> None:
+        agents = self.agents
+        if not agents:
+            return
+        sampler = self._sampler
+        now = sampler.sim.now
+        self.last_tick_t = now
+        sampler.samples_counter(agents[0]).inc(len(agents))
+        for agent in agents:
+            agent.sample_in_batch(now)
+
+
+class BatchSampler:
+    """Registry of sample groups for one simulator."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._groups: Dict[Tuple[float, float], _SampleGroup] = {}
+        self._samples_counter = None
+
+    def samples_counter(self, agent: "NodeAgentModule"):
+        """The shared samples counter, resolved lazily so the metric
+        family registers at the same moment the per-agent path would."""
+        if self._samples_counter is None:
+            self._samples_counter = agent.broker.telemetry.metrics.counter(
+                "monitor_samples_total",
+                help="Variorum samples appended to node-agent ring buffers",
+            )
+        return self._samples_counter
+
+    def register(self, agent: "NodeAgentModule") -> None:
+        """Start sampling ``agent`` on its grid (first tick now)."""
+        key = (agent.sample_interval_s, self.sim.now)
+        group = self._groups.get(key)
+        if group is None:
+            group = _SampleGroup(self, agent.sample_interval_s, self.sim.now)
+            self._groups[key] = group
+        elif group.last_tick_t == self.sim.now:
+            # The group already ticked at this instant; the agent's own
+            # timer would still have fired (later in sequence order).
+            self.sim.schedule(0.0, self._catch_up, agent, group)
+        group.agents.append(agent)
+
+    def unregister(self, agent: "NodeAgentModule") -> None:
+        """Stop sampling ``agent``; empty groups cancel their event."""
+        for key, group in list(self._groups.items()):
+            if agent in group.agents:
+                group.agents.remove(agent)
+                if not group.agents:
+                    group.event.cancel()
+                    del self._groups[key]
+                return
+
+    def _catch_up(self, agent: "NodeAgentModule", group: _SampleGroup) -> None:
+        if agent in group.agents:
+            self.samples_counter(agent).inc()
+            agent.sample_in_batch(self.sim.now)

@@ -111,40 +111,76 @@ class SimEvent(Waitable):
             self._waiters.append(process)
 
 
+class _CompositeLeg:
+    """One branch of a composite wait (:class:`AllOf` / :class:`AnyOf`).
+
+    Duck-types the slice of the :class:`Process` interface the waitable
+    protocol touches (``_resume`` / ``_throw`` / ``_pending_event``)
+    without a generator frame, a done-event or a StopIteration cycle
+    per branch — a whole-machine query fans out hundreds of branches.
+    The schedule/subscribe call sequence is exactly the one the old
+    generator-based waiter produced (a 0-delay kick at construction,
+    then one subscription to the item), so same-time event ordering —
+    and therefore seeded runs — is bit-for-bit unchanged.
+    """
+
+    __slots__ = ("_composite", "_idx", "_item", "_pending_event")
+
+    def __init__(self, sim: Simulator, composite, idx: int, item: Waitable) -> None:
+        self._composite = composite
+        self._idx = idx
+        self._item = item
+        self._pending_event = sim.schedule(0.0, self._kick, None)
+
+    def _kick(self, _value: Any) -> None:
+        self._pending_event = None
+        self._item._subscribe(self._composite._sim, self)
+
+    def _resume(self, value: Any) -> None:
+        self._pending_event = None
+        self._composite._leg_done(self._idx, value)
+
+    def _throw(self, error: BaseException) -> None:
+        self._pending_event = None
+        self._composite._leg_failed(error)
+
+
 class AllOf(Waitable):
     """Wait for every waitable in a collection; yields a list of results."""
 
     def __init__(self, sim: Simulator, waitables: Iterable[Waitable]) -> None:
         self._sim = sim
         self._items = list(waitables)
+        self._results: List[Any] = []
+        self._remaining = 0
+        self._failed = False
+        self._process: Optional["Process"] = None
 
     def _subscribe(self, sim: Simulator, process: "Process") -> None:
-        results: List[Any] = [None] * len(self._items)
-        remaining = [len(self._items)]
-        failed = [False]
         if not self._items:
             process._pending_event = sim.schedule(0.0, process._resume, [])
             return
-
-        def make_waiter(idx: int, item: Waitable) -> Generator:
-            try:
-                res = yield item
-            except BaseException as exc:
-                # First failure wins: propagate into the waiting process
-                # (like asyncio.gather without return_exceptions).
-                if not failed[0]:
-                    failed[0] = True
-                    process._throw(exc)
-                return
-            if failed[0]:
-                return
-            results[idx] = res
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                process._resume(results)
-
+        self._results = [None] * len(self._items)
+        self._remaining = len(self._items)
+        self._failed = False
+        self._process = process
         for i, item in enumerate(self._items):
-            Process(sim, make_waiter(i, item), name=f"allof-{i}")
+            _CompositeLeg(sim, self, i, item)
+
+    def _leg_done(self, idx: int, value: Any) -> None:
+        if self._failed:
+            return
+        self._results[idx] = value
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._process._resume(self._results)
+
+    def _leg_failed(self, error: BaseException) -> None:
+        # First failure wins: propagate into the waiting process
+        # (like asyncio.gather without return_exceptions).
+        if not self._failed:
+            self._failed = True
+            self._process._throw(error)
 
 
 class AnyOf(Waitable):
@@ -155,25 +191,25 @@ class AnyOf(Waitable):
         self._items = list(waitables)
         if not self._items:
             raise ValueError("AnyOf requires at least one waitable")
+        self._fired = False
+        self._process: Optional["Process"] = None
 
     def _subscribe(self, sim: Simulator, process: "Process") -> None:
-        fired = [False]
-
-        def make_waiter(idx: int, item: Waitable) -> Generator:
-            try:
-                res = yield item
-            except BaseException as exc:
-                # A failure also "wins" the race: first outcome decides.
-                if not fired[0]:
-                    fired[0] = True
-                    process._throw(exc)
-                return
-            if not fired[0]:
-                fired[0] = True
-                process._resume((idx, res))
-
+        self._fired = False
+        self._process = process
         for i, item in enumerate(self._items):
-            Process(sim, make_waiter(i, item), name=f"anyof-{i}")
+            _CompositeLeg(sim, self, i, item)
+
+    def _leg_done(self, idx: int, value: Any) -> None:
+        if not self._fired:
+            self._fired = True
+            self._process._resume((idx, value))
+
+    def _leg_failed(self, error: BaseException) -> None:
+        # A failure also "wins" the race: first outcome decides.
+        if not self._fired:
+            self._fired = True
+            self._process._throw(error)
 
 
 class Process(Waitable):

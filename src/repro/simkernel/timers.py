@@ -52,7 +52,18 @@ class PeriodicTimer:
         self._next_nominal = sim.now + (
             self.period if start_delay is None else float(start_delay)
         )
-        self._pending: Optional[ScheduledEvent] = self._schedule_next(first=True)
+        if jitter_fn is None:
+            # Fast path: one reused engine event for the whole series.
+            # The engine re-arms from the nominal grid and draws a fresh
+            # sequence number before each callback, which is exactly the
+            # order the re-scheduling path below produces.
+            self._pending: Optional[ScheduledEvent] = sim.schedule_periodic(
+                self.period,
+                self._fire_fast,
+                first_time=self._next_nominal,
+            )
+        else:
+            self._pending = self._schedule_next(first=True)
 
     def _schedule_next(self, first: bool = False) -> Optional[ScheduledEvent]:
         if self._stopped:
@@ -61,6 +72,12 @@ class PeriodicTimer:
         if self._jitter_fn is not None:
             when = max(self._sim.now, when + float(self._jitter_fn()))
         return self._sim.schedule_at(max(when, self._sim.now), self._fire)
+
+    def _fire_fast(self) -> None:
+        # The engine has already re-armed the reused event.
+        self.ticks += 1
+        self._next_nominal += self.period
+        self.callback(self)
 
     def _fire(self) -> None:
         if self._stopped:

@@ -58,15 +58,15 @@ class Metric:
         self._registry = registry
         self.name = name
         self._key = key
+        #: Mirror of ``registry.enabled``, kept in sync by its setter —
+        #: a plain attribute read on every inc/set/observe instead of a
+        #: property hop through the registry.
+        self._on = registry.enabled
 
     @property
     def labels(self) -> LabelDict:
         """The series' labels as a plain dict."""
         return dict(self._key)
-
-    @property
-    def _on(self) -> bool:
-        return self._registry.enabled
 
 
 class Counter(Metric):
@@ -225,11 +225,25 @@ class MetricsRegistry:
     def __init__(self, clock: Optional[Callable[[], float]] = None,
                  enabled: bool = True) -> None:
         self.clock = clock or (lambda: 0.0)
-        self.enabled = enabled
+        self._enabled = bool(enabled)
         #: family name -> (kind, help, buckets-or-None)
         self._families: Dict[str, Tuple[str, str, Optional[Tuple[float, ...]]]] = {}
         #: (name, label key) -> Metric
         self._series: Dict[Tuple[str, _LabelKey], Metric] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """When False, every mutation is a no-op (telemetry off)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        self._enabled = value
+        # Each series mirrors the flag so its hot path is a plain
+        # attribute read; toggles are rare, series mutations are not.
+        for metric in self._series.values():
+            metric._on = value
 
     # ------------------------------------------------------------------
     # Registration / lookup

@@ -58,6 +58,9 @@ class OverheadAccountant:
         self.registry = registry
         self.enabled = enabled
         self._seconds: Dict[str, float] = {}
+        # charge() is on the per-sample hot path; cache the counter
+        # handle per category instead of a registry lookup per charge.
+        self._counters: Dict[str, object] = {}
 
     def charge(self, category: str, seconds: float) -> None:
         """Attribute ``seconds`` of simulated work to ``category``."""
@@ -67,11 +70,15 @@ class OverheadAccountant:
             raise ValueError(f"cannot charge negative time ({seconds})")
         self._seconds[category] = self._seconds.get(category, 0.0) + seconds
         if self.registry is not None:
-            self.registry.counter(
-                "overhead_seconds_total",
-                labels={"category": category},
-                help="simulated CPU seconds attributed to framework category",
-            ).inc(seconds)
+            counter = self._counters.get(category)
+            if counter is None:
+                counter = self.registry.counter(
+                    "overhead_seconds_total",
+                    labels={"category": category},
+                    help="simulated CPU seconds attributed to framework category",
+                )
+                self._counters[category] = counter
+            counter.inc(seconds)
 
     def seconds(self, category: str) -> float:
         """Total simulated seconds charged to ``category`` so far."""

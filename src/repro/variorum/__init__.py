@@ -23,6 +23,7 @@ from repro.variorum.api import (
     cap_each_gpu_power_limit,
     get_node_power_json,
     sample_bytes_estimate,
+    sample_wire_bytes,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "cap_best_effort_node_power_limit",
     "cap_each_gpu_power_limit",
     "sample_bytes_estimate",
+    "sample_wire_bytes",
 ]

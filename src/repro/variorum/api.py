@@ -27,7 +27,7 @@ def get_node_power_json(node: Node, timestamp: float) -> Dict[str, object]:
     :mod:`repro.variorum.backends`).
     """
     backend = get_backend(node.spec.vendor)
-    return backend.get_node_power_json(node, timestamp)
+    return backend.sample_cached(node, timestamp)
 
 
 def cap_best_effort_node_power_limit(node: Node, watts: float) -> Dict[str, object]:
@@ -57,6 +57,20 @@ def cap_each_gpu_power_limit(node: Node, watts: float) -> List[float]:
     """
     backend = get_backend(node.spec.vendor)
     return backend.cap_each_gpu_power_limit(node, float(watts))
+
+
+def sample_wire_bytes(node: Node) -> "int | None":
+    """Per-node constant wire-size estimate of one telemetry sample.
+
+    Every sample for a node has identical keys and leaf types, so its
+    :func:`repro.flux.message.estimate_payload_bytes` value is a
+    constant, captured from the first finished sample. ``None`` until
+    the node has been sampled at least once. The monitor uses this to
+    price query responses arithmetically instead of re-walking sample
+    dicts (``tests/test_sampling_equivalence.py`` pins the identity).
+    """
+    backend = get_backend(node.spec.vendor)
+    return backend.plan_for(node).sample_size
 
 
 def sample_bytes_estimate(sample: Dict[str, object]) -> int:

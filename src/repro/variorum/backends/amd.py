@@ -24,11 +24,9 @@ class AMDBackend(Backend):
     }
 
     def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
-        reading = node.sensors.read(timestamp)
-        sample = self.base_sample(node, reading)
-        self.add_domain_readings(sample, node, reading, self._KEY_STEMS)
+        sample = self.telemetry_sample(node, timestamp)
         sample["gcds_per_oam"] = node.spec.gpus_per_telemetry_domain
-        return sample
+        return self.finalize_sample(node, sample)
 
     def cap_best_effort_node_power_limit(
         self, node: Node, watts: float

@@ -22,19 +22,16 @@ class IBMBackend(Backend):
 
     def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
         reading = node.sensors.read(timestamp)
-        sample = self.base_sample(node, reading)
-        self.add_domain_readings(sample, node, reading, self._KEY_STEMS)
+        sample = self.telemetry_sample(node, timestamp, reading)
         # Per-socket GPU aggregates, as real Variorum reports on IBM
         # (two GPUs hang off each Power9 socket).
-        gpus = [
-            reading.domains_w[d.spec.name]
-            for d in node.by_kind(DomainKind.GPU)
-            if d.spec.name in reading.domains_w
-        ]
+        plan = self.plan_for(node)
+        dw = reading.domains_w
+        gpus = [dw[name] for name in plan.gpu_names if name in dw]
         half = (len(gpus) + 1) // 2
         sample["power_gpu_watts_socket_0"] = round(sum(gpus[:half]), 3)
         sample["power_gpu_watts_socket_1"] = round(sum(gpus[half:]), 3)
-        return sample
+        return self.finalize_sample(node, sample)
 
     def cap_best_effort_node_power_limit(
         self, node: Node, watts: float

@@ -19,10 +19,9 @@ class IntelBackend(Backend):
     }
 
     def get_node_power_json(self, node: Node, timestamp: float) -> Dict[str, object]:
-        reading = node.sensors.read(timestamp)
-        sample = self.base_sample(node, reading)
-        self.add_domain_readings(sample, node, reading, self._KEY_STEMS)
-        return sample
+        return self.finalize_sample(
+            node, self.telemetry_sample(node, timestamp)
+        )
 
     def cap_best_effort_node_power_limit(
         self, node: Node, watts: float

@@ -1,0 +1,203 @@
+"""Equivalence and pricing-identity pins for the batched hot path.
+
+Three families of invariants back the ISSUE-3 perf work:
+
+* **Sampling-mode equivalence** — the batched one-event-per-interval
+  tick and the legacy per-node timers must produce byte-identical job
+  CSVs and identical telemetry exports (counter-for-counter) on the
+  seeded 16-node scenarios, for both aggregation strategies, with and
+  without faults. The batched mode is pinned against the golden
+  fixtures by ``test_golden_determinism``; here the legacy mode is
+  pinned against the same fixtures, which makes the two modes equal to
+  each other by transitivity (and keeps this file at one run per
+  scenario instead of two).
+
+* **RNG stream identity** — vectorized draws (``Generator.normal`` /
+  ``standard_normal`` with a ``size``) fill the stream sequentially,
+  so they equal the scalar per-draw loop they replaced bit for bit.
+  The sensor suite and overlay path-delay model rely on this.
+
+* **Arithmetic wire-size pricing** — query responses are priced as
+  ``base + n_samples * per_node_sample_size`` instead of walking every
+  sample dict; subtree queries as ``base + 8 * n_ranks``. Both must
+  exactly equal what a full :func:`estimate_payload_bytes` walk of the
+  same object returns, and the per-node sample size must go stale
+  (template rebuilt) whenever a power mutation bumps ``power_rev``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import variorum
+from repro.flux.message import estimate_payload_bytes
+from repro.hardware.platforms.generic import make_generic_node
+from repro.hardware.platforms.lassen import make_lassen_node
+from repro.hardware.platforms.tioga import make_tioga_node
+from repro.monitor.root_agent import _subtree_query
+from repro.variorum.backends import get_backend
+
+from tests.golden_scenarios import SCENARIOS, fixture_paths, run_scenario
+
+
+# ---------------------------------------------------------------------------
+# Batched vs legacy sampling: byte-identical outputs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_legacy_timers_match_goldens(name):
+    """Per-node timers reproduce the goldens the batched tick matches."""
+    spec = SCENARIOS[name]
+    csv_blob, prom = run_scenario(
+        spec["strategy"], spec["faults"], batch_sampling=False
+    )
+    csv_path, prom_path = fixture_paths(name)
+    with open(csv_path) as fh:
+        assert csv_blob == fh.read(), f"legacy-timer CSV diverged on {name}"
+    with open(prom_path) as fh:
+        assert prom == fh.read(), f"legacy-timer metrics diverged on {name}"
+
+
+# ---------------------------------------------------------------------------
+# Vectorized RNG draws equal the scalar loop they replaced
+# ---------------------------------------------------------------------------
+
+def test_vector_normal_equals_scalar_draws():
+    """Generator.normal(size=n) consumes the stream like n scalar draws."""
+    vec_rng = np.random.default_rng(1234)
+    scal_rng = np.random.default_rng(1234)
+    vec = vec_rng.normal(0.0, 2.5, size=7)
+    scal = [scal_rng.normal(0.0, 2.5) for _ in range(7)]
+    assert [float(x) for x in vec] == [float(x) for x in scal]
+    # And the streams stay aligned for whatever draws next.
+    assert float(vec_rng.normal()) == float(scal_rng.normal())
+
+
+def test_vector_standard_normal_equals_scalar_draws():
+    """standard_normal(n) (overlay path delays) is also stream-identical."""
+    vec_rng = np.random.default_rng(99)
+    scal_rng = np.random.default_rng(99)
+    vec = vec_rng.standard_normal(5)
+    scal = [scal_rng.standard_normal() for _ in range(5)]
+    assert [float(x) for x in vec] == [float(x) for x in scal]
+
+
+def test_noisy_sensor_read_matches_manual_scalar_path():
+    """A noisy SensorSuite.read equals recomputing with scalar draws."""
+    node = make_lassen_node(
+        "n0", rng=np.random.default_rng(5), sensor_noise_sigma_w=1.5
+    )
+    ref_rng = np.random.default_rng(5)
+    reading = node.sensors.read(4.0)
+    # Replay the same draws scalar-by-scalar on an identical node.
+    ref = make_lassen_node("n0")
+    sigma = 1.5
+    for dom in ref.measurable_domains:
+        expect = max(0.0, dom.actual_w + float(ref_rng.normal(0.0, sigma)))
+        assert reading.domains_w[dom.spec.name] == expect
+    expect_node = max(0.0, ref.total_power_w() + float(ref_rng.normal(0.0, sigma)))
+    assert reading.node_w == expect_node
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic wire-size pricing == full estimator walk
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "make_node", [make_lassen_node, make_tioga_node, make_generic_node]
+)
+def test_sample_wire_bytes_equals_full_walk(make_node):
+    node = make_node("n0")
+    assert variorum.sample_wire_bytes(node) is None  # no sample yet
+    sample = variorum.get_node_power_json(node, 3.25)
+    size = variorum.sample_wire_bytes(node)
+    assert size == estimate_payload_bytes(dict(sample))
+    # Later samples (template fast path included) price identically.
+    backend = get_backend(node.spec.vendor)
+    later = backend.sample_cached(node, 5.0)
+    assert estimate_payload_bytes(dict(later)) == size
+
+
+def test_query_record_pricing_identity():
+    """base + n * sample_size == walking the full response record."""
+    node = make_lassen_node("n0")
+    backend = get_backend(node.spec.vendor)
+    samples = [backend.sample_cached(node, 2.0 * i) for i in range(6)]
+    record = {
+        "hostname": node.hostname,
+        "rank": 3,
+        "samples": samples,
+        "complete": True,
+        "downsampled": False,
+    }
+    base = estimate_payload_bytes({**record, "samples": []})
+    per_sample = variorum.sample_wire_bytes(node)
+    assert per_sample is not None
+    assert base + 6 * per_sample == estimate_payload_bytes(record)
+
+
+def test_subtree_query_pricing_identity():
+    """The pre-stamped subtree query size equals a fresh full walk."""
+    ranks = [3, 4, 5, 9, 12]
+    payload = _subtree_query(ranks, 0.0, 60.0, {"max_samples": 100})
+    assert payload._size_cache == estimate_payload_bytes(dict(payload))
+    bare = _subtree_query([7], 10.0, 20.0, {})
+    assert bare._size_cache == estimate_payload_bytes(dict(bare))
+
+
+# ---------------------------------------------------------------------------
+# Template fast path: correctness and invalidation
+# ---------------------------------------------------------------------------
+
+def test_sample_cached_equals_full_rebuild():
+    node = make_lassen_node("n0")
+    backend = get_backend(node.spec.vendor)
+    first = backend.sample_cached(node, 0.0)
+    hit = backend.sample_cached(node, 2.0)  # template hit
+    assert hit is not first  # fresh dict, write-once safety
+    assert hit == backend.get_node_power_json(node, 2.0)
+    # Off-grid timestamps quantise identically on both paths.
+    odd = backend.sample_cached(node, 7.0001234)
+    assert odd == backend.get_node_power_json(node, 7.0001234)
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda node: node.domains["gpu0"].set_demand(280.0),
+        lambda node: node.domains["cpu0"].set_cap("test", 120.0),
+        lambda node: node.domains["cpu0"].clear_demand(),
+        lambda node: node.opal.set_node_power_cap(1950.0),
+        lambda node: node.opal.clear_node_power_cap(),
+    ],
+)
+def test_power_mutations_invalidate_template(mutate):
+    node = make_lassen_node("n0")
+    backend = get_backend(node.spec.vendor)
+    backend.sample_cached(node, 0.0)  # prime the template
+    rev = node.power_rev
+    mutate(node)
+    assert node.power_rev > rev, "mutation must bump power_rev"
+    after = backend.sample_cached(node, 2.0)
+    assert after == backend.get_node_power_json(node, 2.0)
+
+
+def test_template_reflects_demand_change():
+    node = make_lassen_node("n0")
+    backend = get_backend(node.spec.vendor)
+    before = backend.sample_cached(node, 0.0)
+    node.domains["gpu0"].set_demand(280.0)
+    after = backend.sample_cached(node, 2.0)
+    assert after["power_gpu_watts_gpu_0"] != before["power_gpu_watts_gpu_0"]
+
+
+def test_noisy_sensors_never_use_template():
+    """Per-sample RNG draws force the full path (stream must advance)."""
+    node = make_lassen_node(
+        "n0", rng=np.random.default_rng(11), sensor_noise_sigma_w=2.0
+    )
+    backend = get_backend(node.spec.vendor)
+    a = backend.sample_cached(node, 0.0)
+    b = backend.sample_cached(node, 0.0)  # same rev, same timestamp
+    assert a["power_node_watts"] != b["power_node_watts"]

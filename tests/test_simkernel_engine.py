@@ -183,3 +183,145 @@ def test_args_passed_to_callback():
     sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, 2)
     sim.run()
     assert seen == [(1, 2)]
+
+
+# ----------------------------------------------------------------------
+# ISSUE 3: hot-path engine (O(1) pending, compaction, schedule_periodic,
+# exact max_events)
+# ----------------------------------------------------------------------
+def test_max_events_raises_after_exactly_n():
+    """The guard must refuse to execute event N+1, not event N+2."""
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=4)
+    assert sim.events_processed == 4  # exactly N ran before the raise
+
+
+def test_max_events_allows_exactly_n_events():
+    """A heap holding exactly N events drains cleanly under max_events=N."""
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(1.0, seen.append, i)
+    sim.run(max_events=5)
+    assert seen == list(range(5))
+
+
+def test_pending_counter_tracks_schedule_cancel_and_fire():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending() == 10
+    events[0].cancel()
+    events[0].cancel()  # double-cancel must not double-decrement
+    assert sim.pending() == 9
+    sim.run(until=5.0)  # fires events at t=2..5 (t=1 was cancelled)
+    assert sim.pending() == 5
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    ev.cancel()  # already fired; must be a no-op for the counter
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_heap_stays_bounded_under_cancel_churn():
+    """Regression for the cancelled-event heap leak: dead entries used to
+    stay on the heap forever; compaction must keep it bounded."""
+    sim = Simulator()
+    keep = sim.schedule(1e9, lambda: None)  # one live far-future event
+    for _ in range(50):
+        handles = [sim.schedule(1e8, lambda: None) for _ in range(1000)]
+        for handle in handles:
+            handle.cancel()
+    assert sim.pending() == 1
+    # 50k cancelled entries were pushed; the heap must not retain them.
+    assert len(sim._heap) < 2500
+    keep.cancel()
+
+
+def test_compaction_preserves_execution_order():
+    sim = Simulator()
+    seen = []
+    handles = []
+    for i in range(500):
+        handles.append(sim.schedule((i * 13 % 101) / 10.0, seen.append, i))
+    for handle in handles[::2]:
+        handle.cancel()  # cancel enough to trigger compaction
+    sim.run()
+    expected = [i for i in range(500) if i % 2 == 1]
+    expected.sort(key=lambda i: ((i * 13 % 101) / 10.0, i))
+    assert seen == expected
+
+
+def test_schedule_periodic_fires_on_nominal_grid():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule_periodic(2.0, lambda: seen.append(sim.now))
+    sim.run(until=10.0)
+    assert seen == [2.0, 4.0, 6.0, 8.0, 10.0]
+    ev.cancel()
+    sim.run(until=20.0)
+    assert seen == [2.0, 4.0, 6.0, 8.0, 10.0]
+    assert sim.pending() == 0
+
+
+def test_schedule_periodic_start_delay_and_first_time():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule_periodic(2.0, lambda: seen.append(sim.now), start_delay=0.5)
+    sim.run(until=5.0)
+    assert seen == [0.5, 2.5, 4.5]
+    ev.cancel()
+    seen.clear()
+    ev = sim.schedule_periodic(2.0, lambda: seen.append(sim.now), first_time=6.0)
+    sim.run(until=10.0)
+    assert seen == [6.0, 8.0, 10.0]
+    ev.cancel()
+
+
+def test_schedule_periodic_matches_oneshot_rescheduling_order():
+    """The reused-event fast path must interleave with other same-time
+    events exactly like a re-scheduling one-shot timer would."""
+
+    def trace(use_periodic):
+        sim = Simulator()
+        seen = []
+
+        if use_periodic:
+            handle = sim.schedule_periodic(1.0, lambda: seen.append(("p", sim.now)))
+        else:
+            def fire():
+                nonlocal pending
+                pending = sim.schedule(1.0, fire)  # re-arm before the work
+                seen.append(("p", sim.now))
+
+            pending = sim.schedule(1.0, fire)
+            handle = None
+        # A competing same-time event scheduled later each tick.
+        def rival():
+            seen.append(("r", sim.now))
+        for t in range(1, 6):
+            sim.schedule_at(float(t), rival)
+        sim.run(until=5.0)
+        if handle is not None:
+            handle.cancel()
+        return seen
+
+    assert trace(True) == trace(False)
+
+
+def test_schedule_periodic_rejects_bad_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(float("nan"), lambda: None)
