@@ -15,7 +15,12 @@ recorded in each profile's docstring.
 """
 
 from repro.apps.base import AppProfile, PhaseProfile, PlatformDemand
-from repro.apps.registry import get_profile, list_apps, register_profile
+from repro.apps.registry import (
+    get_profile,
+    list_apps,
+    register_profile,
+    unregister_profile,
+)
 from repro.apps.run import AppRun
 from repro.apps.workloads import make_random_queue, QueueJob
 
@@ -26,6 +31,7 @@ __all__ = [
     "get_profile",
     "list_apps",
     "register_profile",
+    "unregister_profile",
     "AppRun",
     "make_random_queue",
     "QueueJob",

@@ -46,3 +46,10 @@ def register_profile(name: str, factory: Callable[[], AppProfile]) -> None:
     """Register a custom application (user extensibility hook)."""
     _FACTORIES[name] = factory
     _CACHE.pop(name, None)
+
+
+def unregister_profile(name: str) -> None:
+    """Remove a registered application (tests must undo registrations
+    so the module-global registry stays order-independent)."""
+    _FACTORIES.pop(name, None)
+    _CACHE.pop(name, None)

@@ -14,6 +14,9 @@ Mirrors the user-facing tools of the paper's deployment:
 * ``repro chaos`` — the fault-injection campaign (graceful degradation).
 * ``repro bench`` — time the hot paths and write a ``BENCH_<name>.json``
   perf artifact (see docs/performance.md).
+* ``repro simtest`` — seeded scenario fuzzing under the runtime
+  invariant checkers, with failure shrinking and seed/artifact replay
+  (see docs/testing.md).
 * ``repro apps`` — list the calibrated application models.
 
 Usage::
@@ -210,6 +213,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simtest(args: argparse.Namespace) -> int:
+    """Seeded scenario fuzzing: batch runs, seed replay, artifact replay."""
+    from repro.simtest import (
+        Scenario,
+        default_checkers,
+        generate_scenario,
+        load_reproducer,
+        run_batch,
+        run_scenario,
+    )
+
+    if args.replay:
+        scenario = load_reproducer(args.replay)
+        result = run_scenario(scenario, checkers=default_checkers())
+        print(result.summary())
+        if not result.ok:
+            for v in result.violations[: args.max_violations]:
+                print(f"  [{v.invariant}] t={v.t:.3f}: {v.message}")
+        return 0 if result.ok else 1
+
+    if args.seed is not None:
+        result = run_scenario(
+            generate_scenario(args.seed), checkers=default_checkers()
+        )
+        print(result.summary())
+        if not result.ok:
+            for v in result.violations[: args.max_violations]:
+                print(f"  [{v.invariant}] t={v.t:.3f}: {v.message}")
+        if args.expect_digest and result.digest != args.expect_digest:
+            print(
+                f"digest mismatch: got {result.digest}, "
+                f"expected {args.expect_digest}",
+                file=sys.stderr,
+            )
+            return 2
+        return 0 if result.ok else 1
+
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+    report = run_batch(
+        seeds,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifacts,
+        progress=(
+            (lambda r: print(r.summary(), file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':<12} {'scaling':<7} {'launcher':<8} {'base s':>7}  inputs")
     for name in list_apps():
@@ -318,6 +373,48 @@ def build_parser() -> argparse.ArgumentParser:
         "(best-of-N; use the same N when comparing against a baseline)",
     )
     b.set_defaults(func=_cmd_bench)
+
+    st = sub.add_parser(
+        "simtest",
+        help="fuzz random scenarios under the invariant checkers",
+    )
+    st.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of scenarios to fuzz (default: 25)",
+    )
+    st.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first seed of the batch (default: 0)",
+    )
+    st.add_argument(
+        "--seed", type=int, default=None,
+        help="replay a single seed instead of running a batch",
+    )
+    st.add_argument(
+        "--expect-digest", default=None, metavar="SHA256",
+        help="with --seed: exit 2 unless the run digest matches",
+    )
+    st.add_argument(
+        "--replay", metavar="PATH",
+        help="replay a shrunk reproducer artifact (JSON)",
+    )
+    st.add_argument(
+        "--artifacts", metavar="DIR",
+        help="directory for shrunk reproducer artifacts (batch mode)",
+    )
+    st.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violations without shrinking them",
+    )
+    st.add_argument(
+        "--max-violations", type=int, default=5,
+        help="violations to print per failing scenario (default: 5)",
+    )
+    st.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print each scenario result as it completes",
+    )
+    st.set_defaults(func=_cmd_simtest)
 
     a = sub.add_parser("apps", help="list calibrated application models")
     a.set_defaults(func=_cmd_apps)

@@ -19,12 +19,13 @@ and also the hard backstop above the dynamic policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.flux.broker import Broker
 from repro.flux.message import Message
 from repro.flux.module import Module
 from repro.manager.job_level import JobLevelManager
+from repro.manager.policies.proportional import per_node_share
 from repro.telemetry import MANAGER_RECOMPUTE_COST_PER_JOB_S
 
 
@@ -81,6 +82,11 @@ class ClusterLevelManager(Module):
         self.job_level = JobLevelManager(broker)
         #: (time, total_active_nodes, per_node_share_w) — Fig 5 series.
         self.share_log: List[tuple] = []
+        #: Ranks the event stream says are down. The scheduler does not
+        #: track broker liveness, so a job can start on a rank whose
+        #: management plane is dead; booking it would pay a power share
+        #: to a node that can never install the cap.
+        self._down_ranks: Set[int] = set()
 
     def on_load(self) -> None:
         self.subscribe("job-state.", self._on_job_state)
@@ -93,7 +99,15 @@ class ClusterLevelManager(Module):
         state = msg.topic.split(".", 1)[1]
         jobid = msg.payload["jobid"]
         if state == "running":
-            self.job_level.job_started(jobid, msg.payload["ranks"])
+            ranks = [r for r in msg.payload["ranks"] if r not in self._down_ranks]
+            dropped = len(msg.payload["ranks"]) - len(ranks)
+            if dropped:
+                self.broker.telemetry.metrics.counter(
+                    "manager_dead_ranks_skipped_total",
+                    help="dead ranks excluded from new jobs' power shares",
+                ).inc(dropped)
+            if ranks:
+                self.job_level.job_started(jobid, ranks)
             self._recompute()
         elif state in ("completed", "cancelled"):
             self.job_level.job_ended(jobid)
@@ -108,9 +122,13 @@ class ClusterLevelManager(Module):
         the surviving nodes of every affected job absorb the reclaimed
         power (``P_n = P_G/(N_k + N_i)`` over the *live* node count).
         """
+        if msg.topic == "broker.up":
+            self._down_ranks.discard(int(msg.payload["rank"]))
+            return
         if msg.topic != "broker.down":
             return
         rank = int(msg.payload["rank"])
+        self._down_ranks.add(rank)
         affected = self.job_level.node_died(rank)
         tel = self.broker.telemetry
         tel.metrics.counter(
@@ -138,9 +156,7 @@ class ClusterLevelManager(Module):
         if self.config.account_idle_nodes:
             idle = max(0, self.broker.overlay.size - total_nodes)
             budget = max(0.0, budget - idle * self.config.idle_node_w)
-        if total_nodes * self.config.node_peak_w <= budget:
-            return self.config.node_peak_w
-        return budget / total_nodes
+        return per_node_share(budget, total_nodes, self.config.node_peak_w)
 
     def _recompute(self) -> None:
         if self.config.policy == "static":

@@ -35,6 +35,29 @@ DEFAULT_SAMPLE_BYTES = 455
 DEFAULT_CAPACITY = 100_000
 
 
+def downsample_evenly(samples: List[Any], max_samples: int) -> List[Any]:
+    """Pick at most ``max_samples`` entries at an even stride.
+
+    The last sample is always retained so a downsampled timeline still
+    reaches the end of the queried window (a plain ``samples[::stride]``
+    silently drops it whenever ``(len-1) % stride != 0``); the first
+    sample is always retained by construction. Used by the node agent
+    for long-window queries and property-tested in
+    ``tests/test_property_buffer_shares.py``.
+    """
+    if max_samples < 1:
+        raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+    if len(samples) <= max_samples:
+        return samples
+    if max_samples == 1:
+        return [samples[-1]]
+    stride = -(-(len(samples) - 1) // (max_samples - 1))
+    picked = samples[::stride]
+    if (len(samples) - 1) % stride != 0:
+        picked.append(samples[-1])
+    return picked
+
+
 class CircularBuffer:
     """A ring buffer of (timestamp, sample) pairs, oldest-first.
 

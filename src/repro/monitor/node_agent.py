@@ -18,7 +18,11 @@ from repro import variorum
 from repro.flux.broker import Broker
 from repro.flux.message import CachedSizeDict, Message, estimate_payload_bytes
 from repro.flux.module import Module
-from repro.monitor.buffer import DEFAULT_CAPACITY, CircularBuffer
+from repro.monitor.buffer import (
+    DEFAULT_CAPACITY,
+    CircularBuffer,
+    downsample_evenly,
+)
 from repro.monitor.overhead import sampling_overhead_fraction
 from repro.monitor.sampler import sampler_of
 from repro.variorum.backends import get_backend
@@ -183,18 +187,7 @@ class NodeAgentModule(Module):
                 broker.respond(msg, errnum=22, errmsg="max_samples must be >= 1")
                 return
             if len(samples) > max_samples:
-                # Even stride over the window, always retaining the last
-                # sample so the downsampled timeline still reaches t_end
-                # (a plain samples[::stride] silently drops it whenever
-                # (len-1) % stride != 0).
-                if max_samples == 1:
-                    samples = [samples[-1]]
-                else:
-                    stride = -(-(len(samples) - 1) // (max_samples - 1))
-                    picked = samples[::stride]
-                    if (len(samples) - 1) % stride != 0:
-                        picked.append(samples[-1])
-                    samples = picked
+                samples = downsample_evenly(samples, max_samples)
                 downsampled = True
         # CachedSizeDict: this record is write-once once it leaves here
         # but re-priced at every aggregation level that forwards it.

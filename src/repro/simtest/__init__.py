@@ -1,0 +1,68 @@
+"""repro.simtest — deterministic simulation testing.
+
+The paper claims the framework is *production-grade*: it must survive
+arbitrary job mixes, budget changes and node failures, not just the
+hand-written scenarios the rest of the suite pins. This package
+explores that state space automatically, in the style of the
+FoundationDB / TigerBeetle simulation-testing harnesses:
+
+* :mod:`~repro.simtest.scenario` — a seeded **scenario generator**
+  composing random topologies, job arrival mixes from the application
+  registry, budget schedules, policy assignments and fault plans. All
+  randomness comes from ``simkernel.rng`` substreams, so one integer
+  seed replays the whole scenario byte for byte.
+* :mod:`~repro.simtest.invariants` — pluggable **invariant checkers**
+  evaluated on a periodic in-simulation tick and at end of run: the
+  paper's implicit safety properties (budget never exceeded, equal
+  split exact, caps inside the device range, ring-buffer timestamps
+  monotonic, no orphaned shares after node death, telemetry counters
+  never decreasing) as machine-checked predicates.
+* :mod:`~repro.simtest.harness` — runs one scenario under the checkers
+  and produces a :class:`~repro.simtest.harness.SimtestResult` with a
+  replayable digest.
+* :mod:`~repro.simtest.shrink` — on violation, bisects the scenario
+  (fewer jobs → fewer faults → smaller cluster → shorter horizon) to a
+  minimal reproducer and emits it as a runnable JSON artifact.
+* :mod:`~repro.simtest.fuzzer` — the ``repro simtest --seeds N`` batch
+  driver; also behind the ``simtest`` pytest marker.
+
+See docs/testing.md for the workflow (including how to replay a seed).
+"""
+
+from __future__ import annotations
+
+from repro.simtest.scenario import (
+    GeneratorConfig,
+    JobEntry,
+    Scenario,
+    generate_scenario,
+)
+from repro.simtest.invariants import (
+    InvariantChecker,
+    Violation,
+    default_checkers,
+)
+from repro.simtest.harness import SimtestResult, run_scenario
+from repro.simtest.shrink import (
+    load_reproducer,
+    shrink_scenario,
+    write_reproducer,
+)
+from repro.simtest.fuzzer import BatchReport, run_batch
+
+__all__ = [
+    "Scenario",
+    "JobEntry",
+    "GeneratorConfig",
+    "generate_scenario",
+    "InvariantChecker",
+    "Violation",
+    "default_checkers",
+    "SimtestResult",
+    "run_scenario",
+    "shrink_scenario",
+    "write_reproducer",
+    "load_reproducer",
+    "BatchReport",
+    "run_batch",
+]

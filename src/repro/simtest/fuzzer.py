@@ -1,0 +1,98 @@
+"""Batch driver: N seeds in, violations (shrunk to reproducers) out.
+
+This is the engine behind ``repro simtest --seeds N`` and the
+``simtest`` pytest marker. Each seed is fully independent — its own
+scenario, its own cluster, its own checker instances — so a batch is
+just a loop, and any seed from a batch can be replayed alone with
+:func:`run_seed`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.simtest.harness import SimtestResult, run_scenario
+from repro.simtest.invariants import default_checkers
+from repro.simtest.scenario import GeneratorConfig, Scenario, generate_scenario
+from repro.simtest.shrink import ShrinkReport, shrink_scenario, write_reproducer
+
+
+def run_seed(
+    seed: int,
+    config: Optional[GeneratorConfig] = None,
+) -> SimtestResult:
+    """Generate and run the scenario for one seed."""
+    scenario = generate_scenario(seed, config)
+    return run_scenario(scenario, checkers=default_checkers())
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of a fuzz batch."""
+
+    seeds: List[int] = field(default_factory=list)
+    results: List[SimtestResult] = field(default_factory=list)
+    shrink_reports: List[ShrinkReport] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[SimtestResult]:
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        n_fail = len(self.failures)
+        lines = [
+            f"simtest: {len(self.results)} scenario(s), "
+            f"{len(self.results) - n_fail} ok, {n_fail} violating"
+        ]
+        for r in self.failures:
+            lines.append("  " + r.summary())
+        for path in self.artifacts:
+            lines.append(f"  reproducer: {path}")
+        return "\n".join(lines)
+
+
+def run_batch(
+    seeds: Sequence[int],
+    config: Optional[GeneratorConfig] = None,
+    shrink: bool = True,
+    artifact_dir: Optional[str] = None,
+    progress: Optional[Callable[[SimtestResult], None]] = None,
+) -> BatchReport:
+    """Run every seed; shrink failures and write reproducer artifacts.
+
+    ``progress`` (if given) is called with each :class:`SimtestResult`
+    as it completes — the CLI uses it for live per-seed output.
+    """
+    report = BatchReport()
+    for seed in seeds:
+        scenario = generate_scenario(seed, config)
+        result = run_scenario(scenario, checkers=default_checkers())
+        report.seeds.append(seed)
+        report.results.append(result)
+        if progress is not None:
+            progress(result)
+        if result.ok or not shrink:
+            continue
+        shrunk = shrink_scenario(scenario, result.violations[0])
+        report.shrink_reports.append(shrunk)
+        if artifact_dir is not None:
+            os.makedirs(artifact_dir, exist_ok=True)
+            path = os.path.join(
+                artifact_dir,
+                f"simtest-seed{seed}-{shrunk.violation.invariant}.json",
+            )
+            write_reproducer(path, shrunk, result)
+            report.artifacts.append(path)
+    return report
+
+
+def replay_scenario(scenario: Scenario) -> SimtestResult:
+    """Re-run a (possibly shrunk) scenario with the default checkers."""
+    return run_scenario(scenario, checkers=default_checkers())

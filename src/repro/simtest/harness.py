@@ -1,0 +1,272 @@
+"""Run one scenario under the invariant checkers.
+
+The harness builds a :class:`~repro.cluster.PowerManagedCluster` from a
+:class:`~repro.simtest.scenario.Scenario`, schedules its job arrivals
+and budget retunes, and interleaves a periodic *check tick* with the
+simulation: every ``check_interval_s`` simulated seconds each checker
+inspects the live cluster. After the last job completes (plus a drain
+window) the per-job telemetry is fetched and the end-of-run checkers
+get a final look.
+
+The result carries a **digest**: a SHA-256 over a canonical summary of
+the run (job timings, energy metrics, injected faults, headline
+counters). Re-running the same seed must reproduce the digest byte for
+byte — that is the replayability contract ``repro simtest`` verifies
+with ``--replay-check`` and the tests pin.
+
+Check ticks are scheduled as ordinary simulator events, but checkers
+are pure observers (no messages, no RNG draws, no model mutation), so
+they can only *observe* a divergence, never cause one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import PowerManagedCluster
+from repro.flux.jobspec import Jobspec
+from repro.manager.cluster_manager import ManagerConfig
+from repro.monitor.client import JobPowerData
+from repro.simtest.invariants import InvariantChecker, Violation, default_checkers
+from repro.simtest.scenario import Scenario
+
+#: How often the invariant tick runs (simulated seconds). Matches the
+#: monitor's default sampling period so every sampling epoch is seen.
+DEFAULT_CHECK_INTERVAL_S = 2.0
+
+#: Hard ceilings that turn a hung scenario into a reported violation
+#: instead of an unbounded run.
+DEFAULT_TIMEOUT_S = 500_000.0
+DEFAULT_MAX_EVENTS = 5_000_000
+
+#: Counters whose totals feed the digest (stable, deterministic ones).
+DIGEST_COUNTERS = (
+    "monitor_samples_total",
+    "monitor_aggregations_total",
+    "manager_share_recomputes_total",
+    "manager_node_limit_updates_total",
+    "faults_injected_total",
+    "tbon_messages_dropped_total",
+)
+
+
+class SimtestContext:
+    """What checkers see: the cluster plus harness bookkeeping."""
+
+    def __init__(self, cluster: PowerManagedCluster, scenario: Scenario) -> None:
+        self.cluster = cluster
+        self.scenario = scenario
+        self.tick_index = 0
+        #: jobid -> fetched telemetry, populated before end-of-run checks.
+        self.job_telemetry: Dict[int, JobPowerData] = {}
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+
+@dataclass
+class SimtestResult:
+    """Outcome of one scenario run."""
+
+    scenario: Scenario
+    violations: List[Violation] = field(default_factory=list)
+    digest: str = ""
+    makespan_s: Optional[float] = None
+    n_ticks: int = 0
+    events_processed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"OK   {self.scenario.describe()} "
+                f"digest={self.digest[:12]} ticks={self.n_ticks}"
+            )
+        v = self.violations[0]
+        return (
+            f"FAIL {self.scenario.describe()} "
+            f"[{v.invariant}] t={v.t:.3f}: {v.message}"
+            + (f" (+{len(self.violations) - 1} more)" if len(self.violations) > 1 else "")
+        )
+
+
+def _canonical(obj: Any) -> Any:
+    """Round floats for a stable cross-run JSON digest."""
+    if isinstance(obj, float):
+        return round(obj, 9)
+    if isinstance(obj, dict):
+        return {k: _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def run_scenario(
+    scenario: Scenario,
+    checkers: Optional[List[InvariantChecker]] = None,
+    check_interval_s: float = DEFAULT_CHECK_INTERVAL_S,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    stop_on_first: bool = False,
+) -> SimtestResult:
+    """Execute ``scenario`` under the invariant checkers.
+
+    ``stop_on_first`` ends the run at the first violating tick — the
+    shrinker uses it to keep reproduction cheap; batch runs keep going
+    so one report shows every property the scenario breaks.
+    """
+    if checkers is None:
+        checkers = default_checkers()
+
+    manager_config = None
+    if scenario.policy:
+        manager_config = ManagerConfig(
+            global_cap_w=scenario.global_cap_w,
+            policy=scenario.policy,
+            static_node_cap_w=scenario.static_node_cap_w,
+            account_idle_nodes=scenario.account_idle_nodes,
+        )
+    cluster = PowerManagedCluster(
+        platform=scenario.platform,
+        n_nodes=scenario.n_nodes,
+        seed=scenario.seed,
+        fanout=scenario.fanout,
+        manager_config=manager_config,
+        monitor_strategy=scenario.monitor_strategy,
+        fault_plan=scenario.fault_plan(),
+    )
+    ctx = SimtestContext(cluster, scenario)
+    result = SimtestResult(scenario=scenario)
+    sim = cluster.sim
+
+    # Job arrivals -------------------------------------------------------
+    for entry in scenario.jobs:
+        spec = Jobspec(
+            app=entry.app,
+            nnodes=min(entry.nnodes, scenario.n_nodes),
+            params={"work_scale": entry.work_scale},
+        )
+        if entry.submit_t <= 0.0:
+            cluster.submit(spec)
+        else:
+            cluster.submit_at(spec, entry.submit_t)
+
+    # Budget schedule ----------------------------------------------------
+    def _retune(new_cap_w: float) -> None:
+        root = cluster.manager.cluster
+        root.config = replace(root.config, global_cap_w=new_cap_w)
+        root._recompute()
+
+    if scenario.budget_schedule and cluster.manager is not None:
+        for t, cap in scenario.budget_schedule:
+            sim.schedule_at(t, _retune, cap)
+
+    # Invariant tick -----------------------------------------------------
+    halted = False
+
+    def _tick() -> None:
+        nonlocal halted
+        for checker in checkers:
+            found = checker.check(ctx)
+            if found:
+                result.violations.extend(found)
+                if stop_on_first:
+                    halted = True
+        ctx.tick_index += 1
+        result.n_ticks += 1
+
+    tick_event = sim.schedule_periodic(check_interval_s, _tick, start_delay=0.0)
+
+    # Run ----------------------------------------------------------------
+    deadline = sim.now + timeout_s
+    count = 0
+    jm = cluster.instance.jobmanager
+    timed_out = False
+    n_expected = len(scenario.jobs)
+    # all_complete() is vacuously true before deferred submissions fire,
+    # so also wait until every scenario job has actually been submitted.
+    while len(jm.jobs) < n_expected or not jm.all_complete():
+        if halted:
+            break
+        if not sim.step():
+            result.violations.append(
+                Violation(
+                    invariant="engine", t=sim.now,
+                    message="event heap drained with jobs still active",
+                )
+            )
+            timed_out = True
+            break
+        count += 1
+        if count > max_events or sim.now > deadline:
+            result.violations.append(
+                Violation(
+                    invariant="liveness", t=sim.now,
+                    message=(
+                        f"jobs still active after "
+                        f"{count} events / t={sim.now:.0f}s"
+                    ),
+                    details={"events": count},
+                )
+            )
+            timed_out = True
+            break
+    if not halted and not timed_out:
+        cluster.run_for(scenario.drain_s)
+    tick_event.cancel()
+
+    # End-of-run checks --------------------------------------------------
+    if not halted and not timed_out:
+        for jobid, run in cluster.instance.app_runs.items():
+            if not run.finished:
+                continue
+            try:
+                ctx.job_telemetry[jobid] = cluster.telemetry(jobid)
+            except Exception as exc:  # noqa: BLE001 - a failed fetch IS a finding
+                result.violations.append(
+                    Violation(
+                        invariant="telemetry_fetch", t=sim.now,
+                        message=f"telemetry fetch for job {jobid} failed: {exc}",
+                        details={"jobid": jobid, "error": str(exc)},
+                    )
+                )
+        for checker in checkers:
+            result.violations.extend(checker.check(ctx))
+            result.violations.extend(checker.at_end(ctx))
+
+    # Digest -------------------------------------------------------------
+    result.makespan_s = cluster.makespan_s()
+    result.events_processed = sim.events_processed
+    summary: Dict[str, Any] = {
+        "seed": scenario.seed,
+        "scenario": scenario.to_dict(),
+        "makespan_s": result.makespan_s,
+        "t_end": sim.now,
+        "jobs": {},
+        "faults": list(cluster.faults.injected),
+        "counters": {},
+        "violations": [v.to_dict() for v in result.violations],
+    }
+    for jobid, m in sorted(cluster.all_metrics().items()):
+        summary["jobs"][str(jobid)] = {
+            "runtime_s": m.runtime_s,
+            "avg_node_power_w": m.avg_node_power_w,
+            "avg_node_energy_kj": m.avg_node_energy_kj,
+        }
+    metrics = cluster.telemetry_hub.metrics
+    for name in DIGEST_COUNTERS:
+        total = sum(s.value for s in metrics.series_for(name))
+        summary["counters"][name] = total
+    blob = json.dumps(_canonical(summary), sort_keys=True).encode()
+    result.digest = hashlib.sha256(blob).hexdigest()
+    return result

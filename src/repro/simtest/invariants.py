@@ -1,0 +1,438 @@
+"""Runtime invariant checkers.
+
+Each checker is a pure observer over a running
+:class:`~repro.cluster.PowerManagedCluster`: it reads manager / monitor
+/ telemetry state on every harness tick (and once at end of run) and
+reports :class:`Violation` records. Checkers never mutate model state,
+draw randomness or send messages, so attaching them cannot change what
+the simulation does — only whether we notice it misbehaving.
+
+The invariants encode the paper's implicit safety properties
+(PAPER.md §III-B / §IV):
+
+* ``budget``      — Σ job power limits never exceeds the cluster budget;
+* ``share_split`` — a job's equal split is exact: node_limit × n_ranks
+  == job_limit, and no share is negative;
+* ``cap_range``   — every installed device cap lies inside the
+  platform's capping range (e.g. the 100–300 W GPU window);
+* ``buffer``      — ring-buffer timestamps are monotonic and occupancy
+  bookkeeping is consistent;
+* ``orphan_share``— a dead node's share does not survive ``node_died``
+  (checked with a persistence grace, since the ``broker.down`` event
+  takes one broadcast latency to reach the manager);
+* ``counters``    — telemetry counters never decrease;
+* ``engine``      — simulated time is monotonic and the event heap's
+  live count stays sane;
+* ``telemetry_rows`` (end of run) — client CSV rows are well-formed:
+  component powers are non-negative and sum to at most the node power,
+  and per-host timestamps are sorted and inside the job window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simtest.harness import SimtestContext
+
+#: Relative tolerance for float share arithmetic.
+REL_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach observed during a run."""
+
+    invariant: str
+    t: float
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "t": self.t,
+            "message": self.message,
+            "details": self.details,
+        }
+
+
+class InvariantChecker:
+    """Base class: override :meth:`check` (per tick) and/or :meth:`at_end`."""
+
+    #: Stable identifier; violations carry it and the shrinker matches on it.
+    name = "invariant"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        return []
+
+    def at_end(self, ctx: "SimtestContext") -> List[Violation]:
+        return []
+
+    # Helper ------------------------------------------------------------
+    def violation(self, ctx: "SimtestContext", message: str, **details: Any) -> Violation:
+        return Violation(
+            invariant=self.name, t=ctx.sim.now, message=message, details=details
+        )
+
+
+class ShareSplitChecker(InvariantChecker):
+    """Equal split is exact and shares are never negative."""
+
+    name = "share_split"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        manager = ctx.cluster.manager
+        if manager is None:
+            return out
+        for jobid, state in manager.cluster.job_level.jobs.items():
+            limit = state.job_limit_w
+            if limit is None:
+                continue
+            if limit < 0:
+                out.append(
+                    self.violation(
+                        ctx, f"job {jobid} has negative power limit {limit}",
+                        jobid=jobid, job_limit_w=limit,
+                    )
+                )
+                continue
+            node_limit = state.node_limit_w
+            if node_limit is None or node_limit < 0:
+                out.append(
+                    self.violation(
+                        ctx, f"job {jobid} has negative node share {node_limit}",
+                        jobid=jobid, node_limit_w=node_limit,
+                    )
+                )
+                continue
+            recombined = node_limit * len(state.ranks)
+            if abs(recombined - limit) > REL_EPS * max(1.0, abs(limit)):
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"job {jobid}: node share x ranks = {recombined:.6f} W "
+                        f"!= job limit {limit:.6f} W",
+                        jobid=jobid,
+                        n_ranks=len(state.ranks),
+                        node_limit_w=node_limit,
+                        job_limit_w=limit,
+                    )
+                )
+        return out
+
+
+class BudgetChecker(InvariantChecker):
+    """Σ job limits ≤ cluster budget (minus any idle-node reserve)."""
+
+    name = "budget"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        manager = ctx.cluster.manager
+        if manager is None:
+            return []
+        root = manager.cluster
+        cfg = root.config
+        if cfg.global_cap_w is None or cfg.policy == "static":
+            return []
+        total = 0.0
+        any_limit = False
+        for state in root.job_level.jobs.values():
+            if state.job_limit_w is not None:
+                any_limit = True
+                total += state.job_limit_w
+        if not any_limit:
+            return []
+        budget = cfg.global_cap_w
+        if cfg.account_idle_nodes:
+            idle = max(0, root.broker.overlay.size - root.job_level.active_node_count())
+            budget = max(0.0, budget - idle * cfg.idle_node_w)
+        if total > budget * (1.0 + REL_EPS) + REL_EPS:
+            return [
+                self.violation(
+                    ctx,
+                    f"sum of job limits {total:.3f} W exceeds budget {budget:.3f} W",
+                    sum_job_limits_w=total,
+                    budget_w=budget,
+                    global_cap_w=cfg.global_cap_w,
+                    jobs={
+                        str(j): s.job_limit_w for j, s in root.job_level.jobs.items()
+                    },
+                )
+            ]
+        return []
+
+
+class CapRangeChecker(InvariantChecker):
+    """Installed device caps stay inside the platform capping range."""
+
+    name = "cap_range"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        manager = ctx.cluster.manager
+        if manager is None:
+            return out
+        for nm in manager.node_managers:
+            broker = nm.broker
+            if nm.name not in broker.modules or broker.modules[nm.name] is not nm:
+                continue  # crashed / replaced manager: nothing installed
+            lo, hi = nm.gpu_cap_range
+            for i, cap in enumerate(nm._last_gpu_caps):
+                if cap is None:
+                    continue
+                if cap < lo - REL_EPS or cap > hi + REL_EPS:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"rank {broker.rank} gpu{i} cap {cap:.2f} W outside "
+                            f"[{lo:.0f}, {hi:.0f}] W",
+                            rank=broker.rank, gpu=i, cap_w=cap, lo_w=lo, hi_w=hi,
+                        )
+                    )
+            slo, shi = nm.socket_cap_range
+            for i, cap in enumerate(nm._last_socket_caps):
+                if cap is None:
+                    continue
+                if cap < slo - REL_EPS or cap > shi + REL_EPS:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"rank {broker.rank} socket{i} cap {cap:.2f} W outside "
+                            f"[{slo:.0f}, {shi:.0f}] W",
+                            rank=broker.rank, socket=i, cap_w=cap, lo_w=slo, hi_w=shi,
+                        )
+                    )
+            if nm.node_limit_w is not None and nm.node_limit_w <= 0:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"rank {broker.rank} holds non-positive node limit "
+                        f"{nm.node_limit_w}",
+                        rank=broker.rank, node_limit_w=nm.node_limit_w,
+                    )
+                )
+        return out
+
+
+class BufferChecker(InvariantChecker):
+    """Ring buffers: monotonic timestamps, consistent occupancy math."""
+
+    name = "buffer"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        monitor = ctx.cluster.monitor
+        if monitor is None:
+            return out
+        for agent in monitor.node_agents:
+            broker = agent.broker
+            if agent.name not in broker.modules or broker.modules[agent.name] is not agent:
+                continue
+            buf = agent.buffer
+            n = len(buf)
+            if n > buf.capacity:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"rank {broker.rank} buffer holds {n} > capacity "
+                        f"{buf.capacity}",
+                        rank=broker.rank, len=n, capacity=buf.capacity,
+                    )
+                )
+            if buf.total_appended < n or buf.dropped < 0:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"rank {broker.rank} buffer accounting inconsistent "
+                        f"(appended={buf.total_appended}, retained={n})",
+                        rank=broker.rank, appended=buf.total_appended, retained=n,
+                    )
+                )
+            last = -math.inf
+            for ts, _sample in buf.snapshot():
+                if ts < last:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"rank {broker.rank} buffer timestamps not "
+                            f"monotonic ({ts} after {last})",
+                            rank=broker.rank, ts=ts, prev=last,
+                        )
+                    )
+                    break
+                last = ts
+        return out
+
+
+class OrphanShareChecker(InvariantChecker):
+    """Dead ranks must leave every job's share within one settle tick.
+
+    The crash → ``broker.down`` event → ``node_died`` chain crosses the
+    TBON (milliseconds of simulated latency), so a dead rank may
+    legitimately appear in job state for an instant. A rank that is
+    still booked on the *second* consecutive tick has genuinely leaked.
+    """
+
+    name = "orphan_share"
+
+    def __init__(self) -> None:
+        self._suspect: Dict[int, int] = {}  # rank -> first-seen tick index
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        manager = ctx.cluster.manager
+        if manager is None:
+            return []
+        down = ctx.cluster.instance.down_ranks
+        booked: Dict[int, List[int]] = {}
+        for jobid, state in manager.cluster.job_level.jobs.items():
+            for rank in state.ranks:
+                if rank in down:
+                    booked.setdefault(rank, []).append(jobid)
+        out: List[Violation] = []
+        for rank, jobids in booked.items():
+            first = self._suspect.setdefault(rank, ctx.tick_index)
+            if ctx.tick_index > first:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"dead rank {rank} still holds a share in jobs "
+                        f"{jobids} one settle tick after going down",
+                        rank=rank, jobs=jobids,
+                    )
+                )
+        for rank in list(self._suspect):
+            if rank not in booked:
+                del self._suspect[rank]
+        return out
+
+
+class MonotonicCountersChecker(InvariantChecker):
+    """Telemetry counters never decrease between ticks."""
+
+    name = "counters"
+
+    def __init__(self) -> None:
+        self._last: Dict[Any, float] = {}
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        metrics = ctx.cluster.telemetry_hub.metrics
+        for name in metrics.names():
+            for series in metrics.series_for(name):
+                if series.kind != "counter":
+                    continue
+                key = (name, tuple(sorted(series.labels.items())))
+                value = series.value
+                prev = self._last.get(key)
+                if prev is not None and value < prev:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"counter {name}{series.labels} decreased "
+                            f"{prev} -> {value}",
+                            counter=name, labels=series.labels,
+                            prev=prev, value=value,
+                        )
+                    )
+                self._last[key] = value
+        return out
+
+
+class EngineChecker(InvariantChecker):
+    """Simulated time is monotonic; engine bookkeeping stays sane."""
+
+    name = "engine"
+
+    def __init__(self) -> None:
+        self._last_now: Optional[float] = None
+        self._last_processed = 0
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        sim = ctx.sim
+        if self._last_now is not None and sim.now < self._last_now:
+            out.append(
+                self.violation(
+                    ctx, f"time went backwards: {self._last_now} -> {sim.now}",
+                    prev=self._last_now, now=sim.now,
+                )
+            )
+        if sim.events_processed < self._last_processed:
+            out.append(
+                self.violation(
+                    ctx, "events_processed decreased",
+                    prev=self._last_processed, now=sim.events_processed,
+                )
+            )
+        if sim.pending() < 0:
+            out.append(
+                self.violation(ctx, f"negative pending() = {sim.pending()}")
+            )
+        self._last_now = sim.now
+        self._last_processed = sim.events_processed
+        return out
+
+
+class TelemetryRowsChecker(InvariantChecker):
+    """End of run: fetched job CSVs are physically sensible."""
+
+    name = "telemetry_rows"
+
+    #: The variorum backends round every domain field to 3 decimals
+    #: independently, so Σ components can exceed the rounded node power
+    #: by a few mW. Real conservation bugs are watts, not milliwatts.
+    QUANT_EPS_W = 0.05
+
+    def at_end(self, ctx: "SimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        for jobid, data in ctx.job_telemetry.items():
+            last_ts: Dict[str, float] = {}
+            for row in data.rows:
+                host = row["hostname"]
+                comps = row["cpu_w"] + row["mem_w"] + row["gpu_w"]
+                if min(row["cpu_w"], row["mem_w"], row["gpu_w"], row["node_w"]) < 0:
+                    out.append(
+                        self.violation(
+                            ctx, f"job {jobid} {host}: negative power reading",
+                            jobid=jobid, host=host, row=dict(row),
+                        )
+                    )
+                elif comps > row["node_w"] * (1.0 + 1e-6) + self.QUANT_EPS_W:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"job {jobid} {host}: components {comps:.3f} W exceed "
+                            f"node power {row['node_w']:.3f} W",
+                            jobid=jobid, host=host, components_w=comps,
+                            node_w=row["node_w"],
+                        )
+                    )
+                prev = last_ts.get(host, -math.inf)
+                if row["timestamp"] < prev:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"job {jobid} {host}: timestamps out of order",
+                            jobid=jobid, host=host, ts=row["timestamp"], prev=prev,
+                        )
+                    )
+                last_ts[host] = row["timestamp"]
+        return out
+
+
+def default_checkers() -> List[InvariantChecker]:
+    """A fresh set of every built-in checker (stateful ones included)."""
+    return [
+        ShareSplitChecker(),
+        BudgetChecker(),
+        CapRangeChecker(),
+        BufferChecker(),
+        OrphanShareChecker(),
+        MonotonicCountersChecker(),
+        EngineChecker(),
+        TelemetryRowsChecker(),
+    ]

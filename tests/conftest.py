@@ -1,11 +1,31 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Set ``REPRO_TEST_SHUFFLE=<seed>`` to run the collected tests in a
+seeded random order — the order-independence check ``tools/verify.sh``
+runs. Any failure that appears only under a shuffle is a test leaking
+module-level state (see docs/testing.md).
+"""
 
 from __future__ import annotations
+
+import os
+import random
 
 import pytest
 
 from repro.flux.instance import FluxInstance
 from repro.simkernel import Simulator
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = os.environ.get("REPRO_TEST_SHUFFLE")
+    if not seed:
+        return
+    rng = random.Random(int(seed))
+    rng.shuffle(items)
+    config.pluginmanager.get_plugin("terminalreporter").write_line(
+        f"REPRO_TEST_SHUFFLE={seed}: running {len(items)} tests in shuffled order"
+    )
 
 
 @pytest.fixture

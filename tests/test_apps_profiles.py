@@ -2,15 +2,27 @@
 
 import pytest
 
-from repro.apps.registry import get_profile, list_apps, register_profile
+from repro.apps.registry import (
+    get_profile,
+    list_apps,
+    register_profile,
+    unregister_profile,
+)
 from repro.apps.base import AppProfile, PlatformDemand
 
 
 PAPER_APPS = ["gemm", "laghos", "lammps", "nqueens", "quicksilver"]
+BUILTIN_APPS = PAPER_APPS + ["kripke", "sw4lite"]
 
 
 def test_registry_lists_all_five_apps():
     assert set(PAPER_APPS) <= set(list_apps())
+
+
+def test_registry_holds_exactly_the_builtins():
+    # Canary for order independence: a test that registers a custom
+    # profile and leaks it makes this fail under REPRO_TEST_SHUFFLE.
+    assert list_apps() == sorted(BUILTIN_APPS)
 
 
 def test_registry_unknown_app():
@@ -38,7 +50,11 @@ def test_register_custom_profile():
         )
 
     register_profile("custom", factory)
-    assert get_profile("custom").name == "custom"
+    try:
+        assert get_profile("custom").name == "custom"
+    finally:
+        unregister_profile("custom")
+    assert "custom" not in list_apps()
 
 
 # ---------------------------------------------------------------------------

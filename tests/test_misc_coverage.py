@@ -87,7 +87,7 @@ def test_instance_rejects_mismatched_event_budget():
 def test_starved_app_waits_and_resumes():
     """A fully-starved job makes no progress but recovers when caps lift."""
     from repro.apps.base import AppProfile, PlatformDemand
-    from repro.apps.registry import register_profile
+    from repro.apps.registry import register_profile, unregister_profile
     from repro.apps.run import AppRun
     from repro.flux.jobspec import JobRecord
     from repro.hardware.platforms.lassen import make_lassen_node
@@ -111,16 +111,19 @@ def test_starved_app_waits_and_resumes():
     )
     from repro.apps.registry import get_profile
 
-    sim = Simulator()
-    node = make_lassen_node("n0")
-    node.nvml.set_all(100.0)  # dyn grant 50/250 -> response 0.2 floor-ish
-    record = JobRecord(jobid=1, spec=Jobspec(app="stallable", nnodes=1))
-    run = AppRun(sim, record, [node], get_profile("stallable"))
-    sim.run(until=100.0)
-    assert not run.finished
-    node.nvml.clear_all()
-    sim.run(until=400.0)
-    assert run.finished
+    try:
+        sim = Simulator()
+        node = make_lassen_node("n0")
+        node.nvml.set_all(100.0)  # dyn grant 50/250 -> response 0.2 floor-ish
+        record = JobRecord(jobid=1, spec=Jobspec(app="stallable", nnodes=1))
+        run = AppRun(sim, record, [node], get_profile("stallable"))
+        sim.run(until=100.0)
+        assert not run.finished
+        node.nvml.clear_all()
+        sim.run(until=400.0)
+        assert run.finished
+    finally:
+        unregister_profile("stallable")
 
 
 # ---------------------------------------------------------------------------

@@ -2,12 +2,24 @@
 
 import pytest
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
 from repro.flux.instance import FluxInstance
 from repro.flux.jobspec import Jobspec
 from repro.flux.message import FluxRPCError
+from repro.flux.module import RetryConfig
 from repro.monitor.module import attach_monitor
 from repro.monitor.node_agent import NodeAgentModule
 from repro.monitor.root_agent import GET_JOB_POWER_TOPIC, RootAgentModule
+
+
+def _degraded_total(instance):
+    return sum(
+        s.value
+        for s in instance.telemetry.metrics.series_for(
+            "monitor_degraded_aggregations_total"
+        )
+    )
 
 
 def test_root_agent_requires_rank0(lassen4):
@@ -101,3 +113,107 @@ def test_flush_then_new_samples_flagged_correctly(lassen4):
     lassen4.run_for(1.0)
     assert old.value["complete"] is False
     assert new.value["complete"] is True
+
+
+# ---------------------------------------------------------------------------
+# Crash-driven degradation: retry exhaustion, errnum, restart mid-query
+# ---------------------------------------------------------------------------
+
+def test_retry_exhaustion_yields_exact_csv_marker_row(lassen4):
+    """A crashed node's host appears as the explicit 8-field marker row."""
+    mon = attach_monitor(
+        lassen4, retry=RetryConfig(timeout_s=0.5, retries=1, backoff=1.0)
+    )
+    rec = lassen4.submit(Jobspec(app="laghos", nnodes=2))
+    lassen4.run_until_complete()
+    ranks = lassen4.kvs.get(f"jobs.{rec.jobid}")["ranks"]
+    dead = max(ranks)
+    assert dead != 0  # rank 0 hosts the root agent; crash a leaf
+    FaultInjector(
+        lassen4,
+        FaultPlan(events=[FaultEvent(t=lassen4.sim.now + 0.1, kind="crash", rank=dead)]),
+    )
+    lassen4.run_for(0.5)
+
+    data = mon.client.fetch(rec.jobid)
+    host = lassen4.brokers[dead].node.hostname
+    assert host in data.node_error
+    assert data.node_complete[host] is False
+    assert data.samples_for(host) == []
+
+    lines = data.to_csv().splitlines()
+    marker = f"{rec.jobid},{host},,,,,,partial"
+    assert marker in lines
+    assert marker.count(",") == 7  # all 8 CSV fields present, values empty
+    # The surviving node still contributes ordinary complete rows.
+    alive_host = lassen4.brokers[min(ranks)].node.hostname
+    assert any(
+        line.startswith(f"{rec.jobid},{alive_host},") and line.endswith("complete")
+        for line in lines
+    )
+
+
+def test_crashed_rank_degrades_with_etimedout(lassen4):
+    """Retry exhaustion against a dead broker propagates errnum 110."""
+    attach_monitor(
+        lassen4, retry=RetryConfig(timeout_s=0.5, retries=1, backoff=1.0)
+    )
+    lassen4.run_for(5.0)
+    FaultInjector(
+        lassen4,
+        FaultPlan(events=[FaultEvent(t=lassen4.sim.now + 0.1, kind="crash", rank=2)]),
+    )
+    lassen4.run_for(0.5)
+    before = _degraded_total(lassen4)
+
+    fut = lassen4.brokers[0].rpc(
+        0, GET_JOB_POWER_TOPIC, {"ranks": [1, 2], "t_start": 0.0, "t_end": 5.0}
+    )
+    lassen4.run_for(10.0)
+    by_rank = {r["rank"]: r for r in fut.value["nodes"]}
+    assert by_rank[2]["errnum"] == 110  # POSIX ETIMEDOUT from RPCTimeoutError
+    assert by_rank[2]["complete"] is False
+    assert by_rank[2]["samples"] == []
+    assert "no response from rank 2" in by_rank[2]["error"]
+    # The live rank is unaffected by its neighbour's death.
+    assert by_rank[1]["complete"] is True
+    assert by_rank[1]["samples"]
+    assert _degraded_total(lassen4) == before + 1
+
+
+def test_restart_during_query_recovers_without_error_record(lassen4):
+    """A broker restarting inside the retry window answers a later attempt.
+
+    The root agent's first attempt times out against the dead broker;
+    the restart (with a fresh node agent reloaded, as the cluster facade
+    does) lands before the retry budget is exhausted, so the query
+    degrades to *partial data* — not an error record, and not a
+    degraded-aggregation count.
+    """
+    mon = attach_monitor(lassen4)  # default retry: 5 s timeout, 2 retries
+    lassen4.run_for(10.0)
+    t0 = lassen4.sim.now
+    dead = 1
+    FaultInjector(
+        lassen4,
+        FaultPlan(
+            events=[FaultEvent(t=t0 + 0.5, kind="crash", rank=dead, duration_s=4.0)]
+        ),
+        on_restart=lambda broker: mon.reload_agent(broker.rank),
+    )
+    lassen4.run_for(1.0)  # mid-outage: broker down, restart pending
+    assert not lassen4.brokers[dead].up
+    before = _degraded_total(lassen4)
+
+    fut = lassen4.brokers[0].rpc(
+        0, GET_JOB_POWER_TOPIC, {"ranks": [dead], "t_start": 0.0, "t_end": t0}
+    )
+    lassen4.run_for(30.0)
+    rec = fut.value["nodes"][0]
+    assert lassen4.brokers[dead].up  # restart happened during the query
+    assert not rec.get("error")
+    # The reloaded agent's ring buffer is empty: pre-crash history died
+    # with the broker, so the pre-outage window comes back partial.
+    assert rec["samples"] == []
+    assert rec["complete"] is False
+    assert _degraded_total(lassen4) == before

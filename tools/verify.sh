@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Pre-merge verification flow (see docs/testing.md).
+#
+# Stages, each independently runnable via STAGES="..." (space-separated):
+#   tier1    - the full test suite, fail-fast
+#   shuffle  - the same suite in a seeded shuffled order (state-leak canary)
+#   cov      - tier-1 under pytest-cov with a fail-under gate; skipped with a
+#              notice when pytest-cov is not importable (it is an optional
+#              dev dependency, not baked into the container image)
+#   simtest  - a seeded scenario-fuzzing smoke batch (25 seeds)
+#
+# Knobs (environment):
+#   REPRO_COV_MIN        coverage fail-under percentage   (default 80)
+#   REPRO_SHUFFLE_SEED   shuffle seed                     (default 1)
+#   REPRO_SIMTEST_SEEDS  smoke-batch size                 (default 25)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+STAGES="${STAGES:-tier1 shuffle cov simtest}"
+REPRO_COV_MIN="${REPRO_COV_MIN:-80}"
+REPRO_SHUFFLE_SEED="${REPRO_SHUFFLE_SEED:-1}"
+REPRO_SIMTEST_SEEDS="${REPRO_SIMTEST_SEEDS:-25}"
+
+banner() { printf '\n==> %s\n' "$*"; }
+
+for stage in $STAGES; do
+    case "$stage" in
+        tier1)
+            banner "tier-1: full suite"
+            python -m pytest -x -q
+            ;;
+        shuffle)
+            banner "shuffled order (seed $REPRO_SHUFFLE_SEED): state-leak canary"
+            REPRO_TEST_SHUFFLE="$REPRO_SHUFFLE_SEED" python -m pytest -x -q
+            ;;
+        cov)
+            if python -c 'import pytest_cov' 2>/dev/null; then
+                banner "coverage gate: fail under ${REPRO_COV_MIN}%"
+                python -m pytest -x -q \
+                    --cov=repro --cov-report=term-missing:skip-covered \
+                    --cov-fail-under="$REPRO_COV_MIN"
+            else
+                banner "coverage gate: SKIPPED (pytest-cov not installed;" \
+                    "pip install -e .[dev] to enable)"
+            fi
+            ;;
+        simtest)
+            banner "simtest smoke batch: $REPRO_SIMTEST_SEEDS seeds"
+            python -m repro.cli simtest --seeds "$REPRO_SIMTEST_SEEDS"
+            ;;
+        *)
+            echo "unknown stage: $stage" >&2
+            exit 2
+            ;;
+    esac
+done
+
+banner "verify: all stages passed"
