@@ -17,6 +17,9 @@ Mirrors the user-facing tools of the paper's deployment:
 * ``repro simtest`` — seeded scenario fuzzing under the runtime
   invariant checkers, with failure shrinking and seed/artifact replay
   (see docs/testing.md).
+* ``repro federate`` — the site tier: a scripted two-cluster federation
+  demo (``--demo``), or seeded *federated* scenario fuzzing under the
+  site-level invariant checkers (see docs/federation.md).
 * ``repro apps`` — list the calibrated application models.
 
 Usage::
@@ -213,6 +216,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _digest_matches(digest: str, expected: str) -> bool:
+    """True if *expected* is the full digest or a >=12-char prefix of it.
+
+    Result summaries print a 12-char digest prefix; accepting that
+    prefix back keeps ``--expect-digest`` usable straight from the
+    printed output. Shorter strings must match exactly.
+    """
+    if digest == expected:
+        return True
+    return len(expected) >= 12 and digest.startswith(expected)
+
+
 def _cmd_simtest(args: argparse.Namespace) -> int:
     """Seeded scenario fuzzing: batch runs, seed replay, artifact replay."""
     from repro.simtest import (
@@ -241,7 +256,9 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
         if not result.ok:
             for v in result.violations[: args.max_violations]:
                 print(f"  [{v.invariant}] t={v.t:.3f}: {v.message}")
-        if args.expect_digest and result.digest != args.expect_digest:
+        if args.expect_digest and not _digest_matches(
+            result.digest, args.expect_digest
+        ):
             print(
                 f"digest mismatch: got {result.digest}, "
                 f"expected {args.expect_digest}",
@@ -254,6 +271,72 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
     report = run_batch(
         seeds,
         shrink=not args.no_shrink,
+        artifact_dir=args.artifacts,
+        progress=(
+            (lambda r: print(r.summary(), file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_federate(args: argparse.Namespace) -> int:
+    """Site-tier demo campaign and federated scenario fuzzing."""
+    if args.demo:
+        from repro.experiments.federation_campaign import run_federation_campaign
+
+        result = run_federation_campaign(seed=args.seed if args.seed is not None else 1)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(result.timeline_csv())
+            print(f"wrote timeline to {args.output}", file=sys.stderr)
+        else:
+            sys.stdout.write(result.timeline_csv())
+        for line in result.table_rows():
+            print(line, file=sys.stderr)
+        return 0
+
+    from repro.simtest.federation import (
+        generate_federated_scenario,
+        load_federated_reproducer,
+        run_federated_batch,
+        run_federated_scenario,
+    )
+    from repro.simtest.invariants import site_checkers
+
+    if args.replay:
+        scenario = load_federated_reproducer(args.replay)
+        result = run_federated_scenario(scenario, checkers=site_checkers())
+        print(result.summary())
+        if not result.ok:
+            for v in result.violations[: args.max_violations]:
+                print(f"  [{v.invariant}] t={v.t:.3f}: {v.message}")
+        return 0 if result.ok else 1
+
+    if args.seed is not None:
+        result = run_federated_scenario(
+            generate_federated_scenario(args.seed), checkers=site_checkers()
+        )
+        print(result.summary())
+        if not result.ok:
+            for v in result.violations[: args.max_violations]:
+                print(f"  [{v.invariant}] t={v.t:.3f}: {v.message}")
+        if args.expect_digest and not _digest_matches(
+            result.digest, args.expect_digest
+        ):
+            print(
+                f"digest mismatch: got {result.digest}, "
+                f"expected {args.expect_digest}",
+                file=sys.stderr,
+            )
+            return 2
+        return 0 if result.ok else 1
+
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+    report = run_federated_batch(
+        seeds,
         artifact_dir=args.artifacts,
         progress=(
             (lambda r: print(r.summary(), file=sys.stderr))
@@ -392,7 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     st.add_argument(
         "--expect-digest", default=None, metavar="SHA256",
-        help="with --seed: exit 2 unless the run digest matches",
+        help="with --seed: exit 2 unless the run digest matches "
+        "(full sha256 or the printed >=12-char prefix)",
     )
     st.add_argument(
         "--replay", metavar="PATH",
@@ -415,6 +499,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each scenario result as it completes",
     )
     st.set_defaults(func=_cmd_simtest)
+
+    f = sub.add_parser(
+        "federate",
+        help="site-tier federation: demo campaign or federated fuzzing",
+    )
+    f.add_argument(
+        "--demo", action="store_true",
+        help="run the scripted two-cluster campaign and print its timeline CSV",
+    )
+    f.add_argument(
+        "--output", "-o",
+        help="with --demo: timeline CSV output path (default: stdout)",
+    )
+    f.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of federated scenarios to fuzz (default: 25)",
+    )
+    f.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first seed of the batch (default: 0)",
+    )
+    f.add_argument(
+        "--seed", type=int, default=None,
+        help="replay a single federated seed (or pick the --demo seed)",
+    )
+    f.add_argument(
+        "--expect-digest", default=None, metavar="SHA256",
+        help="with --seed: exit 2 unless the run digest matches "
+        "(full sha256 or the printed >=12-char prefix)",
+    )
+    f.add_argument(
+        "--replay", metavar="PATH",
+        help="replay a federated reproducer artifact (JSON)",
+    )
+    f.add_argument(
+        "--artifacts", metavar="DIR",
+        help="directory for reproducer artifacts (batch mode)",
+    )
+    f.add_argument(
+        "--max-violations", type=int, default=5,
+        help="violations to print per failing scenario (default: 5)",
+    )
+    f.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print each scenario result as it completes",
+    )
+    f.set_defaults(func=_cmd_federate)
 
     a = sub.add_parser("apps", help="list calibrated application models")
     a.set_defaults(func=_cmd_apps)

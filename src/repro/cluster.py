@@ -68,6 +68,13 @@ class PowerManagedCluster:
     monitor_retry:
         Per-node timeout/retry policy for telemetry aggregation
         (:class:`~repro.flux.module.RetryConfig`); None uses defaults.
+    sim:
+        An existing :class:`~repro.simkernel.Simulator` to build on —
+        several clusters sharing one engine is how a federated site
+        (:mod:`repro.federation`) runs; None creates a private engine.
+    hostname_prefix:
+        Override the platform name in generated hostnames (keeps
+        sibling clusters of one platform distinguishable in CSVs).
     """
 
     def __init__(
@@ -93,12 +100,16 @@ class PowerManagedCluster:
         monitor_retry: Optional[RetryConfig] = None,
         monitor_strategy: str = "fanout",
         monitor_batch_sampling: bool = True,
+        sim=None,
+        hostname_prefix: Optional[str] = None,
     ) -> None:
         self.instance = FluxInstance(
             platform=platform,
             n_nodes=n_nodes,
             seed=seed,
             fanout=fanout,
+            sim=sim,
+            hostname_prefix=hostname_prefix,
             enable_jitter=enable_jitter,
             nvml_failure_rate=nvml_failure_rate,
             sensor_noise_sigma_w=sensor_noise_sigma_w,

@@ -1,0 +1,161 @@
+"""Cross-cluster federation campaign (site-tier demo experiment).
+
+One deterministic run of a two-cluster federated site — a Lassen-like
+and a Tioga-like cluster under one site budget — exercising every
+site-manager behaviour on a fixed script:
+
+* demand-weighted epoch rebalancing while both clusters ramp their job
+  mixes up and down;
+* a whole-cluster outage on the Tioga-like cluster (every crashable
+  rank crashes at t=30, restarts at t=55): the site reclaims its whole
+  share in one recompute and restores it on recovery;
+* a mid-run site budget retune (t=70);
+* a per-cluster share floor (lassen-a) and ceiling (tioga-b) that stay
+  respected throughout.
+
+The output is the site's rebalance timeline as a deterministic CSV —
+one row per rebalance, one share column per cluster — which the golden
+byte-identity test (``tests/golden_federation.py``) pins together with
+the Prometheus export of the ``federation_*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.federation import ClusterSpec, FederatedSite, SiteConfig
+from repro.flux.jobspec import Jobspec
+
+#: The scripted outage window on the Tioga-like cluster (seconds).
+OUTAGE_T, OUTAGE_DURATION_S = 30.0, 25.0
+#: Site budget retune: (t, new budget W).
+SITE_RETUNE = (70.0, 16_000.0)
+
+
+def _counter_total(metrics, name: str) -> float:
+    return sum(s.value for s in metrics.series_for(name))
+
+
+@dataclass
+class FederationCampaignResult:
+    """Timeline + headline numbers of one federation campaign run."""
+
+    seed: int
+    site_budget_w: float
+    cluster_names: Tuple[str, ...] = ()
+    #: One row per rebalance: (t, reason, live names, name → share W).
+    timeline: List[Tuple[float, str, Tuple[str, ...], Dict[str, float]]] = field(
+        default_factory=list
+    )
+    #: cluster name → jobid → (runtime_s, avg_node_power_w).
+    jobs: Dict[str, Dict[int, Tuple[float, float]]] = field(default_factory=dict)
+    makespan_s: float = 0.0
+    rebalances: float = 0.0
+    outages: float = 0.0
+    recoveries: float = 0.0
+    retunes: float = 0.0
+    prometheus: str = ""
+
+    def timeline_csv(self) -> str:
+        """The cross-cluster timeline, deterministically formatted."""
+        cols = ",".join(f"{name}_share_w" for name in self.cluster_names)
+        lines = [f"t_s,reason,live,{cols}"]
+        for t, reason, live, shares in self.timeline:
+            shares_txt = ",".join(
+                f"{shares.get(name, 0.0):.3f}" for name in self.cluster_names
+            )
+            lines.append(f"{t:.3f},{reason},{'|'.join(live)},{shares_txt}")
+        return "\n".join(lines) + "\n"
+
+    def table_rows(self) -> List[str]:
+        rows = [
+            f"{'cluster':<10} {'jobs':>4} {'mean runtime s':>14} {'mean W/node':>12}",
+        ]
+        for name in self.cluster_names:
+            metrics = self.jobs.get(name, {})
+            n = len(metrics)
+            mean_rt = sum(m[0] for m in metrics.values()) / n if n else 0.0
+            mean_w = sum(m[1] for m in metrics.values()) / n if n else 0.0
+            rows.append(f"{name:<10} {n:>4} {mean_rt:>14.1f} {mean_w:>12.1f}")
+        rows.append("")
+        rows.append(
+            f"rebalances={self.rebalances:.0f} outages={self.outages:.0f} "
+            f"recoveries={self.recoveries:.0f} retunes={self.retunes:.0f} "
+            f"makespan={self.makespan_s:.1f}s"
+        )
+        return rows
+
+
+def run_federation_campaign(seed: int = 1) -> FederationCampaignResult:
+    """Run the scripted two-cluster campaign; fully deterministic."""
+    config = SiteConfig(
+        site_budget_w=20_000.0,
+        rebalance_epoch_s=10.0,
+        clusters=(
+            ClusterSpec(
+                name="lassen-a",
+                platform="lassen",
+                n_nodes=6,
+                static_node_cap_w=1950.0,
+                min_share_w=4_000.0,
+            ),
+            ClusterSpec(
+                name="tioga-b",
+                platform="tioga",
+                n_nodes=4,
+                max_share_w=14_000.0,
+            ),
+        ),
+    )
+    # Whole-cluster outage: every crashable rank of tioga-b goes down
+    # together and restarts together (rank 0 hosts the root services).
+    outage_plan = FaultPlan(
+        events=[
+            FaultEvent(t=OUTAGE_T, kind="crash", rank=rank,
+                       duration_s=OUTAGE_DURATION_S)
+            for rank in range(1, 4)
+        ]
+    )
+    site = FederatedSite(config, seed=seed, fault_plans={"tioga-b": outage_plan})
+    site.schedule_retune(*SITE_RETUNE)
+
+    site.submit("lassen-a", Jobspec(app="gemm", nnodes=4,
+                                    params={"work_scale": 2.0}))
+    site.submit_at("lassen-a", Jobspec(app="quicksilver", nnodes=2,
+                                       params={"work_scale": 1.5}), 5.0)
+    site.submit_at("tioga-b", Jobspec(app="lammps", nnodes=3,
+                                      params={"work_scale": 1.5}), 2.0)
+    site.submit_at("tioga-b", Jobspec(app="nqueens", nnodes=2,
+                                      params={"work_scale": 1.0}), 8.0)
+
+    site.run_until_complete()
+    site.run_for(4.0)
+
+    result = FederationCampaignResult(
+        seed=seed,
+        site_budget_w=config.site_budget_w,
+        cluster_names=tuple(sorted(site.clusters)),
+    )
+    for t, reason, shares, live in site.budget_log:
+        result.timeline.append((t, reason, live, dict(shares)))
+    for name in result.cluster_names:
+        cluster = site.clusters[name]
+        result.jobs[name] = {
+            jobid: (m.runtime_s, m.avg_node_power_w)
+            for jobid, m in sorted(cluster.all_metrics().items())
+        }
+    makespans = [
+        site.clusters[n].makespan_s() for n in result.cluster_names
+    ]
+    result.makespan_s = max(m for m in makespans if m is not None)
+    metrics = site.telemetry.metrics
+    result.rebalances = _counter_total(metrics, "federation_rebalances_total")
+    result.outages = _counter_total(metrics, "federation_cluster_outages_total")
+    result.recoveries = _counter_total(
+        metrics, "federation_cluster_recoveries_total"
+    )
+    result.retunes = _counter_total(metrics, "federation_site_retunes_total")
+    result.prometheus = metrics.to_prometheus()
+    return result

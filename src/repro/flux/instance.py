@@ -74,11 +74,16 @@ class FluxInstance:
         sim: Optional[Simulator] = None,
         scheduler_factory: Optional[Callable[[int], Scheduler]] = None,
         telemetry_enabled: bool = True,
+        hostname_prefix: Optional[str] = None,
     ) -> None:
         """``nodes``/``sim`` may be supplied to bootstrap this instance
         over existing hardware inside a running simulation — the
         user-level (nested) instance case; see
-        :mod:`repro.flux.user_instance`."""
+        :mod:`repro.flux.user_instance`. ``hostname_prefix`` overrides
+        the platform name in generated hostnames, so several sibling
+        instances of one platform (a federated site) stay
+        distinguishable in telemetry CSVs; None keeps the historical
+        ``<platform><rank>`` naming byte-identical."""
         self.platform = platform
         self.app_dt = float(app_dt)
         self.sim = sim if sim is not None else Simulator()
@@ -94,11 +99,12 @@ class FluxInstance:
             self.nodes = list(nodes)
             self.n_nodes = len(self.nodes)
         else:
+            name_stem = hostname_prefix if hostname_prefix is not None else platform
             self.n_nodes = int(n_nodes)
             self.nodes = [
                 make_node(
                     platform,
-                    f"{platform}{i:03d}",
+                    f"{name_stem}{i:03d}",
                     rng=self.streams.get(f"node/{i}"),
                     nvml_failure_rate=nvml_failure_rate,
                     sensor_noise_sigma_w=sensor_noise_sigma_w,

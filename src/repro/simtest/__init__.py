@@ -41,6 +41,7 @@ from repro.simtest.invariants import (
     InvariantChecker,
     Violation,
     default_checkers,
+    site_checkers,
 )
 from repro.simtest.harness import SimtestResult, run_scenario
 from repro.simtest.shrink import (
@@ -65,4 +66,5 @@ __all__ = [
     "load_reproducer",
     "BatchReport",
     "run_batch",
+    "site_checkers",
 ]

@@ -1,0 +1,45 @@
+"""repro.simtest.federation — the site-tier simulation-test harness.
+
+Extends :mod:`repro.simtest` one level up the hierarchy: seeded
+federated scenarios (2–4 clusters, mixed platforms, per-cluster fault
+campaigns and whole-cluster outages), the harness running them under
+both the new site-level checkers (``site_budget``, ``floor_ceiling``)
+and one fresh set of every single-cluster checker per member cluster,
+and the ``repro federate`` batch driver. See docs/federation.md.
+"""
+
+from __future__ import annotations
+
+from repro.simtest.federation.scenario import (
+    ClusterScenario,
+    FederatedGeneratorConfig,
+    FederatedScenario,
+    generate_federated_scenario,
+)
+from repro.simtest.federation.harness import (
+    FederatedSimtestContext,
+    FederatedSimtestResult,
+    run_federated_scenario,
+)
+from repro.simtest.federation.fuzzer import (
+    FederatedBatchReport,
+    load_federated_reproducer,
+    replay_federated_scenario,
+    run_federated_batch,
+    run_federated_seed,
+)
+
+__all__ = [
+    "ClusterScenario",
+    "FederatedGeneratorConfig",
+    "FederatedScenario",
+    "generate_federated_scenario",
+    "FederatedSimtestContext",
+    "FederatedSimtestResult",
+    "run_federated_scenario",
+    "FederatedBatchReport",
+    "run_federated_batch",
+    "run_federated_seed",
+    "replay_federated_scenario",
+    "load_federated_reproducer",
+]

@@ -1,0 +1,116 @@
+"""Batch driver for the federated simtest tier.
+
+The engine behind ``repro federate --seeds N`` and the ``federation``
+pytest marker. Seeds are fully independent (own scenario, own site, own
+checker instances). A violating seed's scenario is written out verbatim
+as a JSON reproducer artifact — federated scenarios are already small
+(2–4 clusters), so replaying the artifact with
+:func:`replay_federated_scenario` is cheap without a shrink pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.simtest.federation.harness import (
+    FederatedSimtestResult,
+    run_federated_scenario,
+)
+from repro.simtest.federation.scenario import (
+    FederatedGeneratorConfig,
+    FederatedScenario,
+    generate_federated_scenario,
+)
+from repro.simtest.invariants import site_checkers
+
+
+def run_federated_seed(
+    seed: int,
+    config: Optional[FederatedGeneratorConfig] = None,
+) -> FederatedSimtestResult:
+    """Generate and run the federated scenario for one seed."""
+    scenario = generate_federated_scenario(seed, config)
+    return run_federated_scenario(scenario, checkers=site_checkers())
+
+
+@dataclass
+class FederatedBatchReport:
+    """Aggregate outcome of a federated fuzz batch."""
+
+    seeds: List[int] = field(default_factory=list)
+    results: List[FederatedSimtestResult] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[FederatedSimtestResult]:
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        n_fail = len(self.failures)
+        lines = [
+            f"federate: {len(self.results)} scenario(s), "
+            f"{len(self.results) - n_fail} ok, {n_fail} violating"
+        ]
+        for r in self.failures:
+            lines.append("  " + r.summary())
+        for path in self.artifacts:
+            lines.append(f"  reproducer: {path}")
+        return "\n".join(lines)
+
+
+def run_federated_batch(
+    seeds: Sequence[int],
+    config: Optional[FederatedGeneratorConfig] = None,
+    artifact_dir: Optional[str] = None,
+    progress: Optional[Callable[[FederatedSimtestResult], None]] = None,
+) -> FederatedBatchReport:
+    """Run every seed; write scenario reproducers for failures."""
+    report = FederatedBatchReport()
+    for seed in seeds:
+        scenario = generate_federated_scenario(seed, config)
+        result = run_federated_scenario(scenario, checkers=site_checkers())
+        report.seeds.append(seed)
+        report.results.append(result)
+        if progress is not None:
+            progress(result)
+        if result.ok:
+            continue
+        if artifact_dir is not None:
+            os.makedirs(artifact_dir, exist_ok=True)
+            path = os.path.join(
+                artifact_dir,
+                f"federate-seed{seed}-{result.violations[0].invariant}.json",
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "scenario": scenario.to_dict(),
+                        "violations": [v.to_dict() for v in result.violations],
+                        "digest": result.digest,
+                    },
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+            report.artifacts.append(path)
+    return report
+
+
+def replay_federated_scenario(scenario: FederatedScenario) -> FederatedSimtestResult:
+    """Re-run a reproducer scenario with the default site checkers."""
+    return run_federated_scenario(scenario, checkers=site_checkers())
+
+
+def load_federated_reproducer(path: str) -> FederatedScenario:
+    """Load the scenario out of a reproducer artifact written by
+    :func:`run_federated_batch`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return FederatedScenario.from_dict(payload["scenario"])

@@ -26,6 +26,15 @@ The invariants encode the paper's implicit safety properties
 * ``telemetry_rows`` (end of run) — client CSV rows are well-formed:
   component powers are non-negative and sum to at most the node power,
   and per-host timestamps are sorted and inside the job window.
+
+Two additional checkers cover the federation (site) tier and run over a
+:class:`~repro.simtest.federation.harness.FederatedSimtestContext`:
+
+* ``site_budget``   — Σ budgets installed in live clusters never
+  exceeds the site budget, and each rebalance conserves it exactly
+  (to the binding ceiling total);
+* ``floor_ceiling`` — no live cluster is ever capped below its min
+  share floor or granted above its max ceiling.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simtest.harness import SimtestContext
+    from repro.simtest.federation.harness import FederatedSimtestContext
 
 #: Relative tolerance for float share arithmetic.
 REL_EPS = 1e-9
@@ -422,6 +432,106 @@ class TelemetryRowsChecker(InvariantChecker):
                     )
                 last_ts[host] = row["timestamp"]
         return out
+
+
+class SiteBudgetChecker(InvariantChecker):
+    """Site budget conservation (the federation tier's core safety).
+
+    At every tick, the budgets *installed* in live clusters' managers
+    must sum to at most the site budget; and the site manager's own
+    rebalance snapshot must sum exactly (REL_EPS) to
+    :func:`~repro.federation.rebalance.site_allocation_total_w` — the
+    site budget, or the binding total of the live ceilings. Installed
+    configs are read back from each cluster manager rather than trusted
+    from the site's bookkeeping, so a drifted install is a finding.
+    """
+
+    name = "site_budget"
+
+    def check(self, ctx: "FederatedSimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        site = ctx.site
+        installed = 0.0
+        for name in site.live_clusters:
+            manager = site.clusters[name].manager
+            if manager is None:
+                continue
+            cap = manager.cluster.config.global_cap_w
+            if cap is not None:
+                installed += cap
+        budget = site.site_budget_w
+        if installed > budget * (1.0 + REL_EPS) + REL_EPS:
+            out.append(
+                self.violation(
+                    ctx,
+                    f"installed cluster budgets {installed:.3f} W exceed "
+                    f"site budget {budget:.3f} W",
+                    installed_w=installed, site_budget_w=budget,
+                    shares=dict(site.assigned_shares),
+                )
+            )
+        assigned = sum(site.assigned_shares.values())
+        expected = site.expected_total_w
+        if abs(assigned - expected) > REL_EPS * max(1.0, abs(expected)):
+            out.append(
+                self.violation(
+                    ctx,
+                    f"rebalance at t={site.last_rebalance_t:.3f} assigned "
+                    f"{assigned:.6f} W, expected exactly {expected:.6f} W",
+                    assigned_w=assigned, expected_w=expected,
+                    shares=dict(site.assigned_shares),
+                )
+            )
+        return out
+
+
+class ClusterFloorChecker(InvariantChecker):
+    """Floor/ceiling respect: no live cluster outside ``[min, max]``.
+
+    Reads the installed ``global_cap_w`` back from each live cluster's
+    manager and compares against that cluster's spec. Down clusters are
+    exempt (their share is reclaimed to zero by design).
+    """
+
+    name = "floor_ceiling"
+
+    def check(self, ctx: "FederatedSimtestContext") -> List[Violation]:
+        out: List[Violation] = []
+        site = ctx.site
+        for name in site.live_clusters:
+            spec = site.specs[name]
+            manager = site.clusters[name].manager
+            if manager is None:
+                continue
+            cap = manager.cluster.config.global_cap_w
+            if cap is None:
+                continue  # first rebalance not yet applied
+            lo = spec.min_share_w
+            if cap < lo * (1.0 - REL_EPS) - REL_EPS:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"cluster {name} capped at {cap:.3f} W below its "
+                        f"floor {lo:.3f} W",
+                        cluster=name, cap_w=cap, floor_w=lo,
+                    )
+                )
+            hi = spec.max_share_w
+            if hi is not None and cap > hi * (1.0 + REL_EPS) + REL_EPS:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"cluster {name} granted {cap:.3f} W above its "
+                        f"ceiling {hi:.3f} W",
+                        cluster=name, cap_w=cap, ceiling_w=hi,
+                    )
+                )
+        return out
+
+
+def site_checkers() -> List[InvariantChecker]:
+    """Fresh instances of the federation-tier (site-level) checkers."""
+    return [SiteBudgetChecker(), ClusterFloorChecker()]
 
 
 def default_checkers() -> List[InvariantChecker]:

@@ -1,0 +1,59 @@
+"""Seeded federated run for the byte-identity golden test (ISSUE 5).
+
+Same contract as ``tests/golden_scenarios.py``: the fixtures under
+``tests/golden/`` pin the federation campaign's cross-cluster timeline
+CSV and the Prometheus export of the site's telemetry byte for byte.
+Any engine, manager or federation change that shifts a rebalance, a
+share value or a metric must show up as a diff here. Regenerate (only
+when an *intentional* behaviour change lands) with::
+
+    PYTHONPATH=src:tests python tests/golden_federation.py --write
+
+The scenario is the scripted two-cluster campaign from
+``repro.experiments.federation_campaign`` (seed 1): a 6-node Lassen-like
+cluster with a 4 kW share floor and a 4-node Tioga-like cluster with a
+14 kW ceiling under a 20 kW site budget, a whole-cluster outage at
+t=30 → 55, and a site retune to 16 kW at t=70.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+from repro.experiments.federation_campaign import run_federation_campaign
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+NAME = "federation_campaign"
+
+
+def run_golden() -> Tuple[str, str]:
+    """Run the campaign; return ``(timeline_csv, prometheus_text)``."""
+    result = run_federation_campaign(seed=1)
+    return result.timeline_csv(), result.prometheus
+
+
+def fixture_paths() -> Tuple[str, str]:
+    return (
+        os.path.join(GOLDEN_DIR, f"{NAME}.csv"),
+        os.path.join(GOLDEN_DIR, f"{NAME}.prom"),
+    )
+
+
+def write_fixtures() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    csv_blob, prom = run_golden()
+    csv_path, prom_path = fixture_paths()
+    with open(csv_path, "w") as fh:
+        fh.write(csv_blob)
+    with open(prom_path, "w") as fh:
+        fh.write(prom)
+    print(f"wrote {csv_path} ({len(csv_blob)} B), {prom_path} ({len(prom)} B)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        raise SystemExit("refusing to overwrite goldens without --write")
+    write_fixtures()

@@ -1,0 +1,21 @@
+"""Byte-identity golden test for the federation tier (ISSUE 5).
+
+The fixtures in ``tests/golden/federation_campaign.{csv,prom}`` pin the
+scripted two-cluster campaign — epoch rebalances, the whole-cluster
+outage/recovery, the site retune, every ``federation_*`` metric — byte
+for byte. See ``tests/golden_federation.py`` for the scenario and the
+regeneration command.
+"""
+
+from __future__ import annotations
+
+from tests.golden_federation import fixture_paths, run_golden
+
+
+def test_federation_golden_byte_identity():
+    csv_blob, prom = run_golden()
+    csv_path, prom_path = fixture_paths()
+    with open(csv_path) as fh:
+        assert csv_blob == fh.read(), "timeline CSV diverged from golden"
+    with open(prom_path) as fh:
+        assert prom == fh.read(), "metrics export diverged from golden"

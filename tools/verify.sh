@@ -8,20 +8,23 @@
 #              notice when pytest-cov is not importable (it is an optional
 #              dev dependency, not baked into the container image)
 #   simtest  - a seeded scenario-fuzzing smoke batch (25 seeds)
+#   federate - a federated (site-tier) scenario-fuzzing smoke batch (10 seeds)
 #
 # Knobs (environment):
-#   REPRO_COV_MIN        coverage fail-under percentage   (default 80)
-#   REPRO_SHUFFLE_SEED   shuffle seed                     (default 1)
-#   REPRO_SIMTEST_SEEDS  smoke-batch size                 (default 25)
+#   REPRO_COV_MIN         coverage fail-under percentage   (default 80)
+#   REPRO_SHUFFLE_SEED    shuffle seed                     (default 1)
+#   REPRO_SIMTEST_SEEDS   smoke-batch size                 (default 25)
+#   REPRO_FEDERATE_SEEDS  federated smoke-batch size       (default 10)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="${STAGES:-tier1 shuffle cov simtest}"
+STAGES="${STAGES:-tier1 shuffle cov simtest federate}"
 REPRO_COV_MIN="${REPRO_COV_MIN:-80}"
 REPRO_SHUFFLE_SEED="${REPRO_SHUFFLE_SEED:-1}"
 REPRO_SIMTEST_SEEDS="${REPRO_SIMTEST_SEEDS:-25}"
+REPRO_FEDERATE_SEEDS="${REPRO_FEDERATE_SEEDS:-10}"
 
 banner() { printf '\n==> %s\n' "$*"; }
 
@@ -49,6 +52,10 @@ for stage in $STAGES; do
         simtest)
             banner "simtest smoke batch: $REPRO_SIMTEST_SEEDS seeds"
             python -m repro.cli simtest --seeds "$REPRO_SIMTEST_SEEDS"
+            ;;
+        federate)
+            banner "federated simtest smoke batch: $REPRO_FEDERATE_SEEDS seeds"
+            python -m repro.cli federate --seeds "$REPRO_FEDERATE_SEEDS"
             ;;
         *)
             echo "unknown stage: $stage" >&2
