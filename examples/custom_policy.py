@@ -4,7 +4,9 @@
 The paper's framework lets each user pick or write the power policy for
 their own Flux instance. This example implements a simple *history-
 based* policy — cap each GPU slightly above its recent peak draw,
-reclaiming headroom that the workload never uses — and compares it with
+reclaiming headroom that the workload never uses — deploys it behind
+the NRM-style ``PolicySafetyWrapper`` (the recommended way to ship any
+dynamic controller; see docs/policies.md), and compares it with
 proportional sharing on a mixed workload.
 
 Run: ``python examples/custom_policy.py``
@@ -14,6 +16,7 @@ from collections import deque
 from typing import Optional
 
 from repro import Jobspec, ManagerConfig, PowerManagedCluster
+from repro.manager.policies import PolicySafetyWrapper
 from repro.manager.policies.base import PowerPolicy
 
 
@@ -58,6 +61,18 @@ class HistoryHeadroomPolicy(PowerPolicy):
                 self.manager.set_gpu_cap(i, cap)
 
 
+def guarded_history_headroom() -> PolicySafetyWrapper:
+    """Factory: the custom policy behind the NRM-style guardrails.
+
+    The wrapper attaches the inner policy to a guarded proxy of the node
+    manager, so even a buggy cap computation cannot leave the device box
+    or starve a GPU more than ``slowdown``× below its fair share. A
+    generous ``slowdown`` suits this policy — squeezing idle GPUs is its
+    whole point.
+    """
+    return PolicySafetyWrapper(HistoryHeadroomPolicy(), damper=0.05, slowdown=3.0)
+
+
 def run(policy_name: str, policy_factory=None):
     cluster = PowerManagedCluster(
         platform="lassen",
@@ -98,11 +113,11 @@ def run(policy_name: str, policy_factory=None):
 
 def main() -> None:
     base_e, base_t = run("proportional")
-    custom_e, custom_t = run("history-headroom", HistoryHeadroomPolicy)
-    print(f"{'policy':<20} {'total energy kJ':>16} {'runtimes s':>20}")
-    print(f"{'proportional':<20} {base_e:>16.0f} {str([round(t) for t in base_t]):>20}")
+    custom_e, custom_t = run("safe-history-headroom", guarded_history_headroom)
+    print(f"{'policy':<22} {'total energy kJ':>16} {'runtimes s':>20}")
+    print(f"{'proportional':<22} {base_e:>16.0f} {str([round(t) for t in base_t]):>20}")
     print(
-        f"{'history-headroom':<20} {custom_e:>16.0f} "
+        f"{'safe-history-headroom':<22} {custom_e:>16.0f} "
         f"{str([round(t) for t in custom_t]):>20}"
     )
     print(f"\nenergy delta: {(custom_e - base_e) / base_e * 100:+.2f}%")

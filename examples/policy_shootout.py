@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Scripted policy head-to-head: every registered policy, one workload.
+
+The campaign behind ``python -m repro.cli policies --compare`` is an
+ordinary library call, so it can be scripted: pick a subset of
+policies, sweep seeds, post-process the rows. This example runs the
+quick campaign on the full registry, prints the markdown table from
+docs/policies.md, then narrows to the dynamic controllers and shows how
+their wrapper counters (guard clamps / damper exits) respond to seed
+variation — the cheap way to sanity-check a re-tuned policy before
+committing new golden fixtures.
+
+Run: ``python examples/policy_shootout.py``
+"""
+
+from repro.experiments.table4_policies import (
+    HEAD_TO_HEAD_POLICIES,
+    run_policy_head_to_head,
+)
+
+
+def main() -> None:
+    # 1. The full zoo on the documented seed — byte-identical to the
+    #    committed fixture tests/golden/policy_head_to_head.csv.
+    result = run_policy_head_to_head(seed=1, quick=True)
+    print(f"head-to-head, seed 1, {len(HEAD_TO_HEAD_POLICIES)} policies\n")
+    print(result.to_markdown())
+
+    # 2. Focus on the wrapped dynamic controllers across a few seeds:
+    #    outcomes move with the workload realisation, wrapper activity
+    #    should stay the same order of magnitude.
+    dynamic = ("pi", "ecoshift", "checkpoint")
+    print("\nwrapper activity across seeds (policy: clamps/damper/slowdown)")
+    for seed in (1, 2, 3):
+        rows = run_policy_head_to_head(seed=seed, quick=True, policies=dynamic).runs
+        cells = ", ".join(
+            f"{r.policy}: {r.guard_clamps}/{r.damper_exits}/{r.slowdown_exits}"
+            for r in rows
+        )
+        print(f"  seed {seed}: {cells}")
+
+
+if __name__ == "__main__":
+    main()

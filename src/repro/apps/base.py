@@ -94,6 +94,85 @@ class PhaseProfile:
 
 
 @dataclass(frozen=True)
+class CheckpointProfile:
+    """Periodic defensive-checkpoint windows, tied to progress.
+
+    Models the power signature measured in "Application Checkpoint and
+    Power Study on Large Scale Systems" (PAPERS.md): at a fixed cadence
+    the application stops computing and drains state to the parallel
+    file system. During the window accelerator draw collapses (the
+    kernels are idle) while CPU/IO draw *rises* above the compute-phase
+    level — the inverse of a compute phase dip.
+
+    Like :class:`PhaseProfile`, positions advance with *computation
+    progress*, not wall time, so a capped (slowed) application
+    checkpoints later in wall-clock terms. ``duration_s`` however is
+    I/O-bound wall-equivalent work and does not shrink under capping.
+
+    Attributes
+    ----------
+    interval_s:
+        Progress seconds between checkpoint window *starts* (the OLCF
+        study's defensive cadence; 0 disables checkpointing).
+    duration_s:
+        Length of each window in progress seconds.
+    gpu_drop:
+        Fraction of dynamic GPU/memory demand shed inside a window
+        (1.0 = accelerators fall to their idle floor).
+    cpu_boost:
+        Multiplier (>= 1) on dynamic CPU demand inside a window — the
+        I/O and serialization burst. Demand is still clamped to the
+        domain's ``max_w`` by the hardware model.
+    """
+
+    interval_s: float = 0.0
+    duration_s: float = 0.0
+    gpu_drop: float = 0.9
+    cpu_boost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s < 0 or self.duration_s < 0:
+            raise ValueError("checkpoint interval/duration must be >= 0")
+        if self.interval_s and self.duration_s >= self.interval_s:
+            raise ValueError("duration_s must be shorter than interval_s")
+        if not (0.0 <= self.gpu_drop <= 1.0):
+            raise ValueError("gpu_drop must be in [0, 1]")
+        if self.cpu_boost < 1.0:
+            raise ValueError("cpu_boost must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval_s > 0.0 and self.duration_s > 0.0
+
+    def in_window(self, progress_s: float) -> bool:
+        """True when a progress point falls inside a checkpoint window.
+
+        Windows *end* on interval boundaries (compute runs first, then
+        the state reached is drained), mirroring the study's "compute
+        then dump" cadence.
+        """
+        if not self.enabled:
+            return False
+        pos = progress_s % self.interval_s
+        return pos >= self.interval_s - self.duration_s
+
+    def demand_factor(self, progress_s: float) -> tuple:
+        """(gpu_factor, cpu_factor) multipliers at a progress point."""
+        if not self.in_window(progress_s):
+            return (1.0, 1.0)
+        return (1.0 - self.gpu_drop, self.cpu_boost)
+
+    def mean_factor(self) -> tuple:
+        """Time-averaged (gpu, cpu) demand multipliers."""
+        if not self.enabled:
+            return (1.0, 1.0)
+        frac = self.duration_s / self.interval_s
+        g = (1.0 - frac) + frac * (1.0 - self.gpu_drop)
+        c = (1.0 - frac) + frac * self.cpu_boost
+        return (g, c)
+
+
+@dataclass(frozen=True)
 class AppProfile:
     """Full model of one application.
 
@@ -125,6 +204,12 @@ class AppProfile:
         ``g(x) = 1 - beta * (1 - x)**gamma``.
     phases:
         Default phase behaviour (platform demand may override).
+    checkpoint:
+        Optional periodic checkpoint windows (``None`` = the
+        application never checkpoints; all Table I apps). The
+        checkpoint-aware power policy reads this *through the apps
+        registry* to anticipate windows — see
+        ``repro.manager.policies.checkpoint``.
     demand:
         Platform name → :class:`PlatformDemand`.
     inputs:
@@ -144,6 +229,7 @@ class AppProfile:
     beta_cpu: float = 0.8
     gamma_cpu: float = 1.6
     phases: PhaseProfile = field(default_factory=PhaseProfile)
+    checkpoint: Optional[CheckpointProfile] = None
     strong_runtime_exp: float = 0.74
     strong_power_exp: float = 0.25
     inputs: str = ""
@@ -219,6 +305,10 @@ class AppProfile:
         d = self.platform_demand(platform)
         ph = self.phase_profile(platform)
         gf, cf = ph.mean_factor()
+        if self.checkpoint is not None:
+            ckg, ckc = self.checkpoint.mean_factor()
+            gf *= ckg
+            cf *= ckc
         scale = self.power_scale(n_nodes)
         dyn = (
             n_sockets * d.cpu_dyn_w * cf

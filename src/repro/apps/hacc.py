@@ -1,0 +1,60 @@
+"""HACC: the checkpointing cosmology proxy.
+
+Not part of the source paper's Table I mix — added for the policy-zoo
+work, modelled on "Application Checkpoint and Power Study on Large
+Scale Systems" (PAPERS.md), which measured HACC's defensive-checkpoint
+power signature at scale: long, nearly flat GPU-heavy compute phases
+punctuated by periodic checkpoint windows in which accelerator draw
+collapses to near idle while CPU/IO draw bursts above its compute
+level (state serialization + parallel file system writes).
+
+The profile is *qualitatively* calibrated (the study publishes power
+traces, not Lassen/Tioga wattages): compute phases are flat — so FPP's
+period detector sees nothing to exploit between checkpoints — and all
+of the exploitable structure lives in the
+:class:`~repro.apps.base.CheckpointProfile`, which the checkpoint-aware
+policy reads through the apps registry.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppProfile, CheckpointProfile, PlatformDemand
+
+HACC_INPUTS = "512^3 particles, defensive checkpoints every ~30 s compute"
+
+#: The registry-visible checkpoint schedule (progress seconds).
+HACC_CHECKPOINT = CheckpointProfile(
+    interval_s=30.0,
+    duration_s=6.0,
+    gpu_drop=0.85,
+    cpu_boost=1.5,
+)
+
+
+def hacc_profile() -> AppProfile:
+    return AppProfile(
+        name="hacc",
+        scaling="weak",
+        launcher="mpi",
+        base_runtime_s=150.0,
+        ref_nodes=4,
+        gpu_frac=0.60,
+        cpu_frac=0.25,
+        beta_gpu=0.9,
+        gamma_gpu=1.9,
+        checkpoint=HACC_CHECKPOINT,
+        demand={
+            "lassen": PlatformDemand(
+                cpu_dyn_w=100.0, mem_dyn_w=50.0, gpu_dyn_w=190.0
+            ),
+            "tioga": PlatformDemand(
+                cpu_dyn_w=110.0, mem_dyn_w=45.0, gpu_dyn_w=170.0,
+                runtime_scale=0.9,
+            ),
+            "generic": PlatformDemand(
+                cpu_dyn_w=120.0, mem_dyn_w=40.0, gpu_dyn_w=150.0,
+                runtime_scale=1.2,
+            ),
+        },
+        inputs=HACC_INPUTS,
+    )

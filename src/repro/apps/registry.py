@@ -7,6 +7,7 @@ from typing import Callable, Dict, List
 from repro.apps.base import AppProfile
 from repro.apps.extras import kripke_profile, sw4lite_profile
 from repro.apps.gemm import gemm_profile
+from repro.apps.hacc import hacc_profile
 from repro.apps.laghos import laghos_profile
 from repro.apps.lammps import lammps_profile
 from repro.apps.nqueens import nqueens_profile
@@ -21,6 +22,8 @@ _FACTORIES: Dict[str, Callable[[], AppProfile]] = {
     # Section V: the applications that did not survive Tioga.
     "sw4lite": sw4lite_profile,
     "kripke": kripke_profile,
+    # Policy-zoo addition: the checkpointing cosmology proxy.
+    "hacc": hacc_profile,
 }
 
 _CACHE: Dict[str, AppProfile] = {}

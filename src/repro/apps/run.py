@@ -108,6 +108,7 @@ class AppRun:
         self.current_rate = 0.0
 
         self._phase = profile.phase_profile(self.platform)
+        self._checkpoint = profile.checkpoint
         self._demand = profile.platform_demand(self.platform)
         self._power_scale = profile.power_scale(len(nodes))
         self.process = Process(sim, self._main(), name=f"app-{record.spec.label}")
@@ -117,6 +118,14 @@ class AppRun:
     # ------------------------------------------------------------------
     def _apply_demand(self) -> None:
         gpu_f, cpu_f = self._phase.demand_factor(self.progress_s)
+        if self._checkpoint is not None:
+            # Checkpoint windows compose multiplicatively with phase
+            # modulation: GPUs idle out, CPUs burst on I/O (apps
+            # without a checkpoint profile skip this entirely, keeping
+            # the golden byte-identity fixtures untouched).
+            ck_g, ck_c = self._checkpoint.demand_factor(self.progress_s)
+            gpu_f *= ck_g
+            cpu_f *= ck_c
         d = self._demand
         s = self._power_scale
         for node in self.nodes:

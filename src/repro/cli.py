@@ -8,7 +8,9 @@ Mirrors the user-facing tools of the paper's deployment:
   own observability data: metric snapshot (text/Prometheus/JSON), the
   paper-style overhead report, recent trace events, and optionally a
   ``chrome://tracing`` file (see docs/observability.md).
-* ``repro policies`` — regenerate the Table IV policy comparison.
+* ``repro policies`` — regenerate the Table IV policy comparison, list
+  the registered policies (``--list``), or run the policy-zoo
+  head-to-head campaign (``--compare``; see docs/policies.md).
 * ``repro static-caps`` — regenerate the Table III static-cap sweep.
 * ``repro queue`` — the Section IV-E job-queue campaign.
 * ``repro chaos`` — the fault-injection campaign (graceful degradation).
@@ -110,6 +112,38 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 
 
 def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.manager.policies import POLICY_FACTORIES
+
+    if args.list:
+        print(f"{'name':<14} {'class':<24} wrapped")
+        for name in sorted(POLICY_FACTORIES):
+            policy = POLICY_FACTORIES[name]()
+            wrapped = policy.name.startswith("safe-")
+            cls = (
+                type(policy.inner).__name__  # type: ignore[attr-defined]
+                if wrapped
+                else type(policy).__name__
+            )
+            print(f"{name:<14} {cls:<24} {'yes' if wrapped else 'no'}")
+        return 0
+
+    if args.compare:
+        from repro.experiments.table4_policies import run_policy_head_to_head
+
+        result = run_policy_head_to_head(
+            seed=args.seed,
+            quick=not args.full,
+            policies=args.only.split(",") if args.only else None,
+        )
+        text = result.to_markdown() if args.markdown else result.to_csv()
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            print(f"wrote {len(result.runs)} rows to {args.output}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        return 0
+
     from repro.experiments.table4_policies import run_table4
 
     result = run_table4(seed=args.seed)
@@ -403,8 +437,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a chrome://tracing JSON file")
     o.set_defaults(func=_cmd_observe)
 
-    p = sub.add_parser("policies", help="regenerate the Table IV comparison")
+    p = sub.add_parser(
+        "policies",
+        help="Table IV comparison, policy listing, or the zoo head-to-head",
+    )
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--list", action="store_true",
+        help="list registered policies (name, class, safety-wrapped?)",
+    )
+    p.add_argument(
+        "--compare", action="store_true",
+        help="run the head-to-head campaign: every registered policy on "
+        "the same seeded workload (quick mode unless --full)",
+    )
+    p.add_argument(
+        "--full", action="store_true",
+        help="with --compare: Table IV problem sizes instead of quick mode",
+    )
+    p.add_argument(
+        "--only", default="",
+        help="with --compare: comma-separated subset of policies to run",
+    )
+    p.add_argument(
+        "--markdown", action="store_true",
+        help="with --compare: emit a markdown table instead of CSV",
+    )
+    p.add_argument(
+        "--output", "-o",
+        help="with --compare: write the table here (default: stdout)",
+    )
     p.set_defaults(func=_cmd_policies)
 
     s = sub.add_parser("static-caps", help="regenerate the Table III sweep")

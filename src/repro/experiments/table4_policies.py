@@ -12,6 +12,13 @@ on 2 nodes (10x problem), under five policies:
 * ``proportional`` — flux-power-manager proportional sharing over the
   9.6 kW budget, with the 1950 W OPAL backstop.
 * ``fpp`` — proportional sharing plus the per-GPU FFT policy.
+
+The second half of the module generalises Table IV into the policy-zoo
+**head-to-head**: every registered node policy (including the
+safety-wrapped ``pi`` / ``ecoshift`` / ``checkpoint`` zoo) runs the
+same seeded workload and the campaign emits a deterministic CSV /
+markdown comparison table (``repro policies --compare``; documented in
+docs/policies.md).
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.cluster import PowerManagedCluster
 from repro.experiments import calibration as cal
 from repro.flux.jobspec import Jobspec
 from repro.manager.cluster_manager import ManagerConfig
+from repro.manager.policies import POLICY_FACTORIES
 
 #: Scenario name -> ManagerConfig kwargs.
 SCENARIOS: Dict[str, dict] = {
@@ -162,4 +170,226 @@ def run_table4(seed: int = 1, scenarios: Optional[List[str]] = None) -> Table4Re
     names = scenarios or list(SCENARIOS)
     return Table4Result(
         scenarios={name: run_policy_scenario(name, seed=seed) for name in names}
+    )
+
+
+# ======================================================================
+# Policy-zoo head-to-head (Table IV generalised to every policy)
+# ======================================================================
+#
+# The Table IV scenarios above compare the paper's deployment *modes*
+# (unconstrained / static caps / proportional / FPP). The head-to-head
+# below compares the *policies themselves*: every name in the registry
+# runs the same seeded workload on the same budget-constrained cluster,
+# and the campaign emits one deterministic comparison row per policy
+# (CSV + markdown — the table checked into docs/policies.md, and the
+# byte-identity fixture behind ``tools/verify.sh``'s ``policies``
+# stage).
+
+#: Canonical head-to-head order: baselines first, then the paper's
+#: dynamic policies, then the zoo. ``tests/test_policy_zoo.py`` pins
+#: this against the registry so a new policy cannot silently skip the
+#: campaign.
+HEAD_TO_HEAD_POLICIES: Tuple[str, ...] = (
+    "static",
+    "proportional",
+    "fpp",
+    "fpp-socket",
+    "history",
+    "pi",
+    "ecoshift",
+    "checkpoint",
+)
+
+
+@dataclass(frozen=True)
+class HeadToHeadJob:
+    """One workload entry, submitted identically under every policy."""
+
+    app: str
+    nnodes: int
+    work_scale: float = 1.0
+
+
+#: Quick workload: small enough for the verify stage and CI, mixed
+#: enough to differentiate the policies — a flat GPU-heavy app (GEMM),
+#: a periodic app (Quicksilver, FPP's showcase) and the checkpointing
+#: HACC proxy (the checkpoint policy's showcase).
+QUICK_WORKLOAD: Tuple[HeadToHeadJob, ...] = (
+    HeadToHeadJob("gemm", nnodes=3, work_scale=0.5),
+    HeadToHeadJob("hacc", nnodes=3, work_scale=1.0),
+    HeadToHeadJob("quicksilver", nnodes=2, work_scale=2.0),
+)
+
+#: Full workload: the Table IV problem sizes plus HACC.
+FULL_WORKLOAD: Tuple[HeadToHeadJob, ...] = (
+    HeadToHeadJob("gemm", nnodes=6, work_scale=cal.GEMM_WORK_SCALE),
+    HeadToHeadJob("hacc", nnodes=4, work_scale=2.0),
+    HeadToHeadJob(
+        "quicksilver", nnodes=2, work_scale=cal.QUICKSILVER_WORK_SCALE
+    ),
+)
+
+
+@dataclass
+class PolicyRunResult:
+    """One head-to-head row: a policy's outcome on the shared workload."""
+
+    policy: str
+    makespan_s: float
+    combined_energy_kj: float
+    avg_cluster_power_w: float
+    max_cluster_power_w: float
+    job_runtimes_s: Dict[str, float]
+    #: Safety-wrapper activity summed over node managers (0 for
+    #: unwrapped policies).
+    guard_clamps: int
+    damper_exits: int
+    slowdown_exits: int
+
+
+@dataclass
+class HeadToHeadResult:
+    """The full campaign: one :class:`PolicyRunResult` per policy."""
+
+    seed: int
+    quick: bool
+    workload: Tuple[HeadToHeadJob, ...]
+    runs: List[PolicyRunResult]
+
+    def _job_columns(self) -> List[str]:
+        return [f"{job.app}_s" for job in self.workload]
+
+    def _columns(self) -> List[str]:
+        return (
+            ["policy", "makespan_s", "energy_kj", "avg_w", "max_w"]
+            + self._job_columns()
+            + ["guard_clamps", "damper_exits", "slowdown_exits"]
+        )
+
+    def _row(self, r: PolicyRunResult) -> List[str]:
+        cells = [
+            r.policy,
+            f"{r.makespan_s:.3f}",
+            f"{r.combined_energy_kj:.3f}",
+            f"{r.avg_cluster_power_w:.3f}",
+            f"{r.max_cluster_power_w:.3f}",
+        ]
+        cells += [f"{r.job_runtimes_s[c]:.3f}" for c in self._job_columns()]
+        cells += [str(r.guard_clamps), str(r.damper_exits), str(r.slowdown_exits)]
+        return cells
+
+    def to_csv(self) -> str:
+        """Byte-stable CSV (fixed column order, fixed float precision)."""
+        lines = [",".join(self._columns())]
+        for r in self.runs:
+            lines.append(",".join(self._row(r)))
+        return "\n".join(lines) + "\n"
+
+    def to_markdown(self) -> str:
+        """The same table as GitHub-flavoured markdown."""
+        cols = self._columns()
+        lines = [
+            "| " + " | ".join(cols) + " |",
+            "|" + "|".join("---" for _ in cols) + "|",
+        ]
+        for r in self.runs:
+            lines.append("| " + " | ".join(self._row(r)) + " |")
+        return "\n".join(lines) + "\n"
+
+
+def _wrapper_stats(manager) -> Tuple[int, int, int]:
+    """Sum safety-wrapper counters across a deployment's node managers."""
+    clamps = damper = slowdown = 0
+    for nm in manager.node_managers:
+        d = nm.policy.describe()
+        if "damperexits" not in d:
+            continue  # not a wrapped policy
+        clamps += sum(d.get("clamps", {}).values())
+        damper += d["damperexits"]
+        slowdown += d.get("slowdownexits", 0)
+    return clamps, damper, slowdown
+
+
+def run_policy_head_to_head_one(
+    policy: str,
+    seed: int = 1,
+    quick: bool = True,
+    workload: Optional[Tuple[HeadToHeadJob, ...]] = None,
+) -> PolicyRunResult:
+    """Run the shared workload under one policy."""
+    jobs = workload or (QUICK_WORKLOAD if quick else FULL_WORKLOAD)
+    n_nodes = max(8, sum(j.nnodes for j in jobs))
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=n_nodes,
+        seed=seed,
+        manager_config=ManagerConfig(
+            global_cap_w=1200.0 * n_nodes,
+            policy=policy,
+            static_node_cap_w=1950.0,
+        ),
+    )
+    records = [
+        cluster.submit(
+            Jobspec(
+                app=j.app, nnodes=j.nnodes, params={"work_scale": j.work_scale}
+            )
+        )
+        for j in jobs
+    ]
+    cluster.run_until_complete(timeout_s=1_000_000)
+
+    metrics = {
+        f"{j.app}_s": cluster.metrics(rec.jobid)
+        for j, rec in zip(jobs, records)
+    }
+    trace = cluster.trace
+    assert trace is not None
+    makespan = cluster.makespan_s() or 0.0
+    assert cluster.manager is not None
+    clamps, damper, slowdown = _wrapper_stats(cluster.manager)
+    return PolicyRunResult(
+        policy=policy,
+        makespan_s=makespan,
+        combined_energy_kj=combined_energy_kj(metrics.values()),
+        avg_cluster_power_w=trace.avg_cluster_power_w(
+            t_start=0.0, t_end=makespan
+        ),
+        max_cluster_power_w=trace.max_cluster_power_w(),
+        job_runtimes_s={k: m.runtime_s for k, m in metrics.items()},
+        guard_clamps=clamps,
+        damper_exits=damper,
+        slowdown_exits=slowdown,
+    )
+
+
+def run_policy_head_to_head(
+    seed: int = 1,
+    quick: bool = True,
+    policies: Optional[List[str]] = None,
+) -> HeadToHeadResult:
+    """Run every policy on the same seeded workload.
+
+    Deterministic end to end: same seed → byte-identical
+    :meth:`HeadToHeadResult.to_csv` (each policy runs in its own
+    freshly-seeded cluster, so runs are independent and ordered).
+    """
+    names = list(policies) if policies is not None else list(HEAD_TO_HEAD_POLICIES)
+    unknown = [n for n in names if n not in POLICY_FACTORIES]
+    if unknown:
+        raise ValueError(
+            f"unknown policies {unknown}; choices: {sorted(POLICY_FACTORIES)}"
+        )
+    workload = QUICK_WORKLOAD if quick else FULL_WORKLOAD
+    return HeadToHeadResult(
+        seed=seed,
+        quick=quick,
+        workload=workload,
+        runs=[
+            run_policy_head_to_head_one(
+                name, seed=seed, quick=quick, workload=workload
+            )
+            for name in names
+        ],
     )

@@ -41,7 +41,11 @@ class ManagerConfig:
         Theoretical per-node peak (3050 W on Lassen) — the allocation
         when the budget allows it.
     policy:
-        ``"static"``, ``"proportional"`` or ``"fpp"`` (node policy).
+        Node-policy name resolved against
+        :data:`repro.manager.policies.POLICY_FACTORIES`: the paper's
+        ``"static"``, ``"proportional"`` and ``"fpp"``, plus
+        ``"fpp-socket"``, ``"history"`` and the safety-wrapped zoo
+        policies ``"pi"``, ``"ecoshift"`` and ``"checkpoint"``.
     static_node_cap_w:
         OPAL node cap installed on every node at load time (IBM's
         mechanism; also the backstop for the dynamic policies, 1950 W

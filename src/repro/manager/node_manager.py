@@ -9,8 +9,16 @@ Present on every node. Responsibilities:
 * track node and per-GPU power in a periodic sampling loop (a separate
   thread in the real module), maintaining a running estimate of non-GPU
   power used to derive GPU budgets,
-* host the pluggable dynamic policy (static / proportional / FPP) and
-  forward limits and samples to it.
+* host the pluggable dynamic policy (static / proportional / FPP / the
+  policy zoo) and forward limits, samples and ``job-state.*`` events to
+  it.
+
+Units at this interface are uniform: every power quantity is **watts**
+— node limits (whole node), device caps (one GPU / one socket), and
+the ``non_*_power_w`` estimates (whole node minus the named device
+class). The safety wrapper's ``damper`` (fraction of a device's
+capping span) and ``slowdown`` (dimensionless ratio >= 1) are the only
+non-watt control knobs; see :mod:`repro.manager.policies.safety`.
 """
 
 from __future__ import annotations
@@ -67,6 +75,7 @@ class NodeManagerModule(Module):
         self._non_cpu_est_w: Optional[float] = None
         self._recent_non_gpu = deque(maxlen=PEAK_WINDOW)
         self._recent_non_cpu = deque(maxlen=PEAK_WINDOW)
+        self._recent_mem = deque(maxlen=PEAK_WINDOW)
         self._recent = deque(maxlen=64)
         self._last_gpu_caps: List[Optional[float]] = []
         self._last_socket_caps: List[Optional[float]] = []
@@ -92,6 +101,10 @@ class NodeManagerModule(Module):
                 self.cap_request_failures += 1
         self._last_gpu_caps = [None] * self.gpu_count
         self._last_socket_caps = [None] * self.socket_count
+        # State-aware policies (checkpoint) learn which application is
+        # arriving from the job manager's existing job-state events —
+        # no new message traffic, just a subscription.
+        self.subscribe("job-state.", self._on_job_state)
         self.add_timer(self.sample_interval_s, self._track, start_delay=0.0)
         self.policy.attach(self)
 
@@ -163,7 +176,11 @@ class NodeManagerModule(Module):
     # Cap dials
     # ------------------------------------------------------------------
     def set_gpu_cap(self, index: int, watts: float) -> None:
-        """Set one GPU's cap through the platform driver (NVML/ROCm)."""
+        """Set one GPU's cap (watts) through the platform driver.
+
+        Clamped into the device capping range; idempotent (repeat
+        writes of the installed value are not re-issued to NVML/ROCm).
+        """
         node = self.broker.node
         lo, hi = self.gpu_cap_range
         watts = min(max(watts, lo), hi)
@@ -199,7 +216,7 @@ class NodeManagerModule(Module):
     # Socket-level dials (FPP's device-agnostic extension path)
     # ------------------------------------------------------------------
     def non_cpu_power_w(self) -> float:
-        """Conservative (recent-peak) non-CPU power estimate."""
+        """Conservative (recent-peak) non-CPU power estimate (watts)."""
         if self._recent_non_cpu:
             return max(self._recent_non_cpu)
         node = self.broker.node
@@ -207,6 +224,20 @@ class NodeManagerModule(Module):
             d.spec.idle_w for d in node.cpu_domains
         )
         return idle_non_cpu + 30.0
+
+    def mem_power_w(self) -> float:
+        """Conservative (recent-peak) memory-domain power estimate.
+
+        Memory domains are the node's *uncappable* draw: a policy that
+        splits the node limit across the cappable CPU and GPU domains
+        (EcoShift) must reserve this much off the top. Watts; falls
+        back to the memory idle floor plus a small activity margin
+        before any measurement arrives.
+        """
+        if self._recent_mem:
+            return max(self._recent_mem)
+        node = self.broker.node
+        return sum(d.spec.idle_w for d in node.memory_domains) + 20.0
 
     def derive_socket_share(self, node_limit_w: float) -> float:
         """Uniform per-socket cap that fits the node limit."""
@@ -218,7 +249,8 @@ class NodeManagerModule(Module):
         return float(min(max(per_socket, lo), hi))
 
     def set_socket_cap(self, index: int, watts: float) -> None:
-        """Set one CPU socket's cap through the platform driver."""
+        """Set one CPU socket's cap (watts); clamped and idempotent
+        like :meth:`set_gpu_cap`."""
         node = self.broker.node
         lo, hi = self.socket_cap_range
         watts = min(max(watts, lo), hi)
@@ -274,6 +306,9 @@ class NodeManagerModule(Module):
         if node_w > node.idle_power_w() + 5.0:
             non_gpu = node_w - sum(gpu_w)
             self._recent_non_gpu.append(non_gpu)
+            self._recent_mem.append(
+                sum(d.actual_w for d in node.memory_domains)
+            )
             if self._non_gpu_est_w is None:
                 self._non_gpu_est_w = non_gpu
             else:
@@ -332,6 +367,7 @@ class NodeManagerModule(Module):
             self.current_jobid = jobid
             self._recent_non_gpu.clear()
             self._recent_non_cpu.clear()
+            self._recent_mem.clear()
             reset = getattr(self.policy, "reset_job_state", None)
             if reset is not None:
                 reset()
@@ -344,11 +380,20 @@ class NodeManagerModule(Module):
         self.node_limit_w = None
         self._recent_non_gpu.clear()
         self._recent_non_cpu.clear()
+        self._recent_mem.clear()
         self.clear_gpu_caps()
         self.policy.detach()
         self.policy = self.policy_factory()
         self.policy.attach(self)
         broker.respond(msg, {"rank": broker.rank})
+
+    def _on_job_state(self, msg: Message) -> None:
+        """Forward job-state events that involve this node to the policy."""
+        ranks = msg.payload.get("ranks") or []
+        if self.broker.rank not in ranks:
+            return
+        _, _, state = msg.topic.partition(".")
+        self.policy.on_job_state(state, msg.payload)
 
     def _handle_status(self, broker: Broker, msg: Message) -> None:
         broker.respond(

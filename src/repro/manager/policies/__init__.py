@@ -1,8 +1,10 @@
-"""Node-level dynamic power policies.
+"""Node-level dynamic power policies (the policy zoo).
 
 A policy plugs into the :class:`~repro.manager.node_manager.NodeManagerModule`
 and decides how a node's power limit translates into device caps over
-time. The paper evaluates:
+time. The paper evaluates the first three; the rest grew out of its
+"other progress metrics" discussion (Section III-B). See
+docs/policies.md for the cookbook.
 
 * :class:`StaticPolicy` — no dynamic behaviour; the cluster manager's
   static node cap (IBM OPAL) is the whole story.
@@ -10,6 +12,19 @@ time. The paper evaluates:
   manager assigns, by deriving uniform per-GPU caps from the share.
 * :class:`FPPPolicy` — Algorithm 1: per-GPU FFT period tracking with
   probe/adjust/converge cap control on a 90 s cadence.
+* :class:`HistoryPolicy` — cap each GPU a margin above its recent peak.
+* :class:`PIPolicy` — feedback: a PI loop on measured node power error
+  drives the total GPU budget (anti-windup, pure ``pi_step`` core).
+* :class:`EcoShiftPolicy` — re-split the node limit across CPU and GPU
+  domains by measured demand (pure ``split_node_budget`` water-fill).
+* :class:`CheckpointAwarePolicy` — coordinate caps with application
+  checkpoint windows signalled through the apps registry.
+
+The three zoo policies are registered **wrapped** in the NRM-style
+:class:`PolicySafetyWrapper` (damper / slowdown / budget guardrails) —
+a controller bug cannot push a node outside its cap box. The paper's
+original policies register unwrapped, exactly as before, so existing
+experiments and golden fixtures are untouched.
 """
 
 from repro.manager.policies.base import PowerPolicy
@@ -18,6 +33,35 @@ from repro.manager.policies.proportional import ProportionalPolicy
 from repro.manager.policies.fpp import FPPParams, FPPPolicy, FPPGpuController
 from repro.manager.policies.fpp_socket import FPPSocketPolicy, SOCKET_FPP_PARAMS
 from repro.manager.policies.history import HistoryPolicy
+from repro.manager.policies.pi import PIParams, PIPolicy, pi_step
+from repro.manager.policies.ecoshift import EcoShiftPolicy, split_node_budget
+from repro.manager.policies.checkpoint import CheckpointAwarePolicy
+from repro.manager.policies.safety import (
+    GuardDecision,
+    PolicySafetyWrapper,
+    guard_cap,
+)
+
+
+def _wrapped_pi() -> PolicySafetyWrapper:
+    # Damper 2 % of the GPU span: PI corrections are small by design
+    # (residual error around the share); NRM's 10 % would eat them.
+    return PolicySafetyWrapper(PIPolicy(), damper=0.02, slowdown=1.5)
+
+
+def _wrapped_ecoshift() -> PolicySafetyWrapper:
+    # EcoShift deliberately moves budget away from an idle domain, so
+    # its slowdown allowance must permit deep per-domain cuts.
+    return PolicySafetyWrapper(EcoShiftPolicy(), damper=0.05, slowdown=2.5)
+
+
+def _wrapped_checkpoint() -> PolicySafetyWrapper:
+    # Checkpoint windows collapse GPU draw to a small fraction of the
+    # share; the floor still bounds how far the squeeze can go.
+    return PolicySafetyWrapper(
+        CheckpointAwarePolicy(), damper=0.02, slowdown=4.0
+    )
+
 
 POLICY_FACTORIES = {
     "static": StaticPolicy,
@@ -25,6 +69,10 @@ POLICY_FACTORIES = {
     "fpp": FPPPolicy,
     "fpp-socket": FPPSocketPolicy,
     "history": HistoryPolicy,
+    # The policy zoo: always deployed behind the safety wrapper.
+    "pi": _wrapped_pi,
+    "ecoshift": _wrapped_ecoshift,
+    "checkpoint": _wrapped_checkpoint,
 }
 
 __all__ = [
@@ -37,5 +85,14 @@ __all__ = [
     "FPPSocketPolicy",
     "SOCKET_FPP_PARAMS",
     "HistoryPolicy",
+    "PIPolicy",
+    "PIParams",
+    "pi_step",
+    "EcoShiftPolicy",
+    "split_node_budget",
+    "CheckpointAwarePolicy",
+    "PolicySafetyWrapper",
+    "GuardDecision",
+    "guard_cap",
     "POLICY_FACTORIES",
 ]

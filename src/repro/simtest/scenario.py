@@ -29,7 +29,16 @@ from repro.simkernel.rng import RandomStreams
 #: Apps safe on every generated platform. ``sw4lite`` is CUDA-only (it
 #: raises on Tioga by design — the paper's Section V porting story) so
 #: it is only eligible on lassen.
-PORTABLE_APPS: Tuple[str, ...] = ("gemm", "lammps", "laghos", "nqueens", "quicksilver")
+PORTABLE_APPS: Tuple[str, ...] = (
+    "gemm",
+    "lammps",
+    "laghos",
+    "nqueens",
+    "quicksilver",
+    # Policy-zoo addition: the checkpointing proxy, so generated
+    # scenarios exercise the checkpoint-aware policy's window logic.
+    "hacc",
+)
 LASSEN_ONLY_APPS: Tuple[str, ...] = ("sw4lite",)
 
 #: Per-node budget span (W) the generator draws the global cap from.
@@ -189,7 +198,17 @@ class GeneratorConfig:
     max_work_scale: float = 2.0
     max_submit_spread_s: float = 30.0
     platforms: Tuple[str, ...] = ("lassen", "tioga")
-    policies: Tuple[str, ...] = ("static", "proportional", "fpp")
+    policies: Tuple[str, ...] = (
+        "static",
+        "proportional",
+        "fpp",
+        # The safety-wrapped policy zoo — fuzzing them under the
+        # invariant checkers is how the wrapper's guarantees stay
+        # honest (see docs/policies.md).
+        "pi",
+        "ecoshift",
+        "checkpoint",
+    )
     strategies: Tuple[str, ...] = ("fanout", "tree")
     fanouts: Tuple[int, ...] = (2, 3, 4)
     #: Probability the cluster gets a finite power budget at all.

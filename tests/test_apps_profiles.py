@@ -12,7 +12,7 @@ from repro.apps.base import AppProfile, PlatformDemand
 
 
 PAPER_APPS = ["gemm", "laghos", "lammps", "nqueens", "quicksilver"]
-BUILTIN_APPS = PAPER_APPS + ["kripke", "sw4lite"]
+BUILTIN_APPS = PAPER_APPS + ["kripke", "sw4lite", "hacc"]
 
 
 def test_registry_lists_all_five_apps():

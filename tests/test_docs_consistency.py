@@ -41,6 +41,8 @@ def test_static_scan_finds_the_instrumentation():
     assert "flux_rpc_requests_total" in names
     assert "monitor_samples_total" in names
     assert "fpp_control_ticks_total" in names
+    assert "policy_guard_clamps_total" in names
+    assert "policy_checkpoint_windows_total" in names
     assert len(names) >= 30
 
 
@@ -68,6 +70,28 @@ def test_every_runtime_metric_is_documented():
     missing = {
         n for n in cluster.telemetry_hub.metrics.names() if f"`{n}`" not in doc
     }
+    assert not missing, f"runtime metrics missing from docs: {sorted(missing)}"
+
+
+def test_every_policy_zoo_runtime_metric_is_documented():
+    # The zoo policies emit their own `policy_*` family (guard clamps,
+    # damper/slowdown exits, control updates, checkpoint windows); a
+    # checkpointing HACC run under the wrapped checkpoint policy lights
+    # up all of them at once.
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=3,
+        manager_config=ManagerConfig(
+            global_cap_w=4800.0, policy="checkpoint", static_node_cap_w=1950.0
+        ),
+    )
+    cluster.submit(Jobspec(app="hacc", nnodes=4, params={"work_scale": 1.5}))
+    cluster.run_until_complete()
+    emitted = cluster.telemetry_hub.metrics.names()
+    assert any(n.startswith("policy_") for n in emitted)
+    doc = OBSERVABILITY_DOC.read_text()
+    missing = {n for n in emitted if f"`{n}`" not in doc}
     assert not missing, f"runtime metrics missing from docs: {sorted(missing)}"
 
 

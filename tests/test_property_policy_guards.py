@@ -1,0 +1,206 @@
+"""Property tests for the policy zoo's pure control arithmetic.
+
+Three pure functions carry the safety story of docs/policies.md, and
+each has a no-escape contract a simulator run can only spot-check:
+
+* :func:`repro.manager.policies.safety.guard_cap` — a guarded write is
+  always inside the device box ``[lo, hi]``; the budget ceiling binds
+  unless the floor/box override it; a damper skip never installs a cap;
+* :func:`repro.manager.policies.pi.pi_step` — the commanded budget
+  never leaves the output box and the stored integral stays bounded by
+  the anti-windup clamp, for *any* gains (including mis-tuned ones);
+* :func:`repro.manager.policies.ecoshift.split_node_budget` — every
+  allocation respects its domain box and the split conserves the
+  budget: ``sum(alloc) == clamp(budget, sum(lo), sum(hi))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.manager.policies.ecoshift import split_node_budget
+from repro.manager.policies.pi import pi_step
+from repro.manager.policies.safety import guard_cap
+
+settings.register_profile("repro", derandomize=True, max_examples=200)
+settings.load_profile("repro")
+
+EPS = 1e-6
+
+watts = st.floats(-500.0, 3000.0)
+spans = st.tuples(st.floats(0.0, 500.0), st.floats(0.0, 500.0)).map(
+    lambda p: (min(p), min(p) + abs(p[1] - p[0]))
+)
+
+
+# ----------------------------------------------------------------------
+# guard_cap
+# ----------------------------------------------------------------------
+@given(
+    proposed=watts,
+    last=st.none() | watts,
+    box=spans,
+    ceiling=st.none() | watts,
+    floor=st.none() | watts,
+    damper=st.floats(0.0, 100.0),
+)
+def test_guard_cap_result_always_inside_box(
+    proposed, last, box, ceiling, floor, damper
+):
+    lo, hi = box
+    d = guard_cap(
+        proposed, last, lo, hi, ceiling_w=ceiling, floor_w=floor, damper_w=damper
+    )
+    if d.cap_w is None:
+        assert d.clamps == ("damper",)
+    else:
+        assert lo - EPS <= d.cap_w <= hi + EPS
+
+
+@given(proposed=watts, box=spans, ceiling=watts)
+def test_guard_cap_budget_ceiling_binds_inside_box(proposed, box, ceiling):
+    """With no floor, the result never exceeds max(lo, min(ceiling, hi))."""
+    lo, hi = box
+    d = guard_cap(proposed, None, lo, hi, ceiling_w=ceiling)
+    assert d.cap_w is not None  # no damper configured
+    assert d.cap_w <= max(lo, min(ceiling, hi)) + EPS
+
+
+@given(proposed=watts, box=spans, floor=watts)
+def test_guard_cap_floor_binds_inside_box(proposed, box, floor):
+    lo, hi = box
+    d = guard_cap(proposed, None, lo, hi, floor_w=floor)
+    assert d.cap_w is not None
+    assert d.cap_w >= min(hi, max(lo, floor)) - EPS
+
+
+@given(proposed=watts, last=watts, box=spans, damper=st.floats(0.001, 100.0))
+def test_guard_cap_damper_skips_exactly_the_small_moves(
+    proposed, last, box, damper
+):
+    lo, hi = box
+    boxed = min(max(proposed, lo), hi)
+    d = guard_cap(proposed, last, lo, hi, damper_w=damper)
+    if abs(boxed - last) < damper:
+        assert d.cap_w is None and d.clamps == ("damper",)
+    else:
+        assert d.cap_w == pytest.approx(boxed)
+
+
+def test_guard_cap_rejects_inverted_box():
+    with pytest.raises(ValueError):
+        guard_cap(100.0, None, 200.0, 100.0)
+
+
+def test_guard_cap_floor_wins_over_ceiling_on_conflict():
+    # Misconfigured ceiling below the floor: progress protection wins,
+    # and the box still bounds the result.
+    d = guard_cap(150.0, None, 100.0, 300.0, ceiling_w=120.0, floor_w=180.0)
+    assert d.cap_w == pytest.approx(180.0)
+    assert d.clamps == ("budget", "slowdown")
+
+
+# ----------------------------------------------------------------------
+# pi_step
+# ----------------------------------------------------------------------
+gains = st.floats(0.0, 50.0)
+
+
+@given(
+    error=st.floats(-2000.0, 2000.0),
+    integral=st.floats(-10_000.0, 10_000.0),
+    dt=st.floats(0.0, 60.0),
+    kp=gains,
+    ki=gains,
+    base=st.floats(0.0, 2000.0),
+    box=spans,
+    clamp=st.floats(0.0, 5000.0),
+)
+def test_pi_step_output_never_leaves_the_box(
+    error, integral, dt, kp, ki, base, box, clamp
+):
+    lo, hi = box
+    out, new_integral = pi_step(error, integral, dt, kp, ki, base, lo, hi, clamp)
+    assert lo - EPS <= out <= hi + EPS
+    # Anti-windup: the stored integral never grows past the clamp
+    # (pre-existing excess may persist, but it cannot increase).
+    assert abs(new_integral) <= max(abs(integral), clamp) + EPS
+    assert math.isfinite(out) and math.isfinite(new_integral)
+
+
+@given(
+    error=st.floats(-2000.0, 2000.0),
+    dt=st.floats(0.0, 60.0),
+    base=st.floats(0.0, 2000.0),
+    box=spans,
+)
+def test_pi_step_zero_gains_degenerate_to_boxed_base(error, dt, base, box):
+    lo, hi = box
+    out, new_integral = pi_step(error, 0.0, dt, 0.0, 0.0, base, lo, hi, 4000.0)
+    assert out == pytest.approx(min(max(base, lo), hi))
+
+
+def test_pi_step_conditional_integration_freezes_in_saturation():
+    # Large positive error, output saturated high: the integral must
+    # not keep winding up.
+    _, i1 = pi_step(1000.0, 0.0, 6.0, 0.4, 0.02, 500.0, 0.0, 600.0, 4000.0)
+    assert i1 == 0.0
+
+
+def test_pi_step_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        pi_step(0.0, 0.0, 1.0, 0.1, 0.1, 0.0, 10.0, 5.0, 100.0)
+    with pytest.raises(ValueError):
+        pi_step(0.0, 0.0, -1.0, 0.1, 0.1, 0.0, 0.0, 5.0, 100.0)
+
+
+# ----------------------------------------------------------------------
+# split_node_budget
+# ----------------------------------------------------------------------
+@st.composite
+def split_inputs(draw):
+    n = draw(st.integers(1, 5))
+    boxes = [draw(spans) for _ in range(n)]
+    demands = draw(st.lists(st.floats(0.0, 2000.0), min_size=n, max_size=n))
+    budget = draw(st.floats(0.0, 5000.0))
+    return budget, boxes, demands
+
+
+@given(inputs=split_inputs())
+def test_split_conserves_budget_and_respects_boxes(inputs):
+    budget, boxes, demands = inputs
+    alloc = split_node_budget(budget, boxes, demands)
+    assert len(alloc) == len(boxes)
+    for a, (lo, hi) in zip(alloc, boxes):
+        assert lo - EPS <= a <= hi + EPS
+    feasible_total = min(max(budget, sum(lo for lo, _ in boxes)),
+                         sum(hi for _, hi in boxes))
+    assert sum(alloc) == pytest.approx(feasible_total, abs=1e-4)
+
+
+@given(inputs=split_inputs())
+def test_split_is_deterministic(inputs):
+    budget, boxes, demands = inputs
+    assert split_node_budget(budget, boxes, demands) == split_node_budget(
+        budget, boxes, demands
+    )
+
+
+def test_split_rejects_malformed_inputs():
+    with pytest.raises(ValueError):
+        split_node_budget(100.0, [(0.0, 50.0)], [10.0, 20.0])
+    with pytest.raises(ValueError):
+        split_node_budget(100.0, [(50.0, 10.0)], [10.0])
+
+
+def test_split_prefers_demand_over_headroom():
+    # One hungry and one idle domain under a budget that covers demand:
+    # the hungry domain gets its demand, surplus spreads by headroom.
+    alloc = split_node_budget(
+        300.0, [(50.0, 250.0), (50.0, 250.0)], [200.0, 0.0]
+    )
+    assert alloc[0] > alloc[1]
+    assert alloc[0] >= 200.0 - EPS

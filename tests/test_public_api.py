@@ -58,4 +58,7 @@ def test_policy_registry_matches_exports():
         "fpp",
         "fpp-socket",
         "history",
+        "pi",
+        "ecoshift",
+        "checkpoint",
     }

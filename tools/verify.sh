@@ -9,6 +9,8 @@
 #              dev dependency, not baked into the container image)
 #   simtest  - a seeded scenario-fuzzing smoke batch (25 seeds)
 #   federate - a federated (site-tier) scenario-fuzzing smoke batch (10 seeds)
+#   policies - the quick policy head-to-head, byte-diffed against the
+#              committed fixture tests/golden/policy_head_to_head.csv
 #
 # Knobs (environment):
 #   REPRO_COV_MIN         coverage fail-under percentage   (default 80)
@@ -20,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="${STAGES:-tier1 shuffle cov simtest federate}"
+STAGES="${STAGES:-tier1 shuffle cov simtest federate policies}"
 REPRO_COV_MIN="${REPRO_COV_MIN:-80}"
 REPRO_SHUFFLE_SEED="${REPRO_SHUFFLE_SEED:-1}"
 REPRO_SIMTEST_SEEDS="${REPRO_SIMTEST_SEEDS:-25}"
@@ -56,6 +58,20 @@ for stage in $STAGES; do
         federate)
             banner "federated simtest smoke batch: $REPRO_FEDERATE_SEEDS seeds"
             python -m repro.cli federate --seeds "$REPRO_FEDERATE_SEEDS"
+            ;;
+        policies)
+            banner "policy head-to-head vs golden fixture"
+            tmpcsv="$(mktemp)"
+            trap 'rm -f "$tmpcsv"' EXIT
+            python -m repro.cli policies --compare --seed 1 -o "$tmpcsv"
+            diff -u tests/golden/policy_head_to_head.csv "$tmpcsv" || {
+                echo "policy head-to-head diverged from the golden fixture;" >&2
+                echo "regenerate (if intentional) with:" >&2
+                echo "  python -m repro.cli policies --compare --seed 1 \\" >&2
+                echo "      -o tests/golden/policy_head_to_head.csv" >&2
+                exit 1
+            }
+            rm -f "$tmpcsv"
             ;;
         *)
             echo "unknown stage: $stage" >&2
