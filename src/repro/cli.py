@@ -22,6 +22,10 @@ Mirrors the user-facing tools of the paper's deployment:
 * ``repro federate`` — the site tier: a scripted two-cluster federation
   demo (``--demo``), or seeded *federated* scenario fuzzing under the
   site-level invariant checkers (see docs/federation.md).
+* ``repro lifecycle`` — crash-recovery tooling: snapshot/restore a
+  seeded run's manager state, diff artifacts, fuzz crash-at-random-tick
+  restore equivalence, and lint the snapshot schema version (see
+  docs/lifecycle.md).
 * ``repro apps`` — list the calibrated application models.
 
 Usage::
@@ -382,6 +386,123 @@ def _cmd_federate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Crash-recovery tooling: snapshot, restore, diff, fuzz, lint."""
+    from repro.lifecycle.recovery import (
+        crash_restore_setup,
+        fuzz_recovery,
+        run_scenario_with_recovery,
+    )
+    from repro.lifecycle.snapshot import (
+        diff_snapshots,
+        load_snapshot,
+        restore_cluster,
+        save_snapshot,
+        schema_lint,
+        snapshot_cluster,
+        wipe_cluster_state,
+    )
+    from repro.simtest import generate_scenario, run_scenario
+    from repro.simtest.scenario import GeneratorConfig, Scenario
+
+    if args.schema_lint:
+        problems = schema_lint()
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print("schema lint: " + ("FAIL" if problems else "OK"))
+        return 1 if problems else 0
+
+    if args.diff:
+        a, b = (load_snapshot(path) for path in args.diff)
+        diffs = diff_snapshots(a, b)
+        for line in diffs:
+            print(line)
+        print(f"{len(diffs)} difference(s)")
+        return 1 if diffs else 0
+
+    def _pinned_scenario(seed: int) -> Scenario:
+        # The verify stage's reference workload: a 16-node generated
+        # scenario, so CI exercises a fixed topology while jobs/faults
+        # still vary with the seed.
+        return generate_scenario(
+            seed, GeneratorConfig(min_nodes=args.nodes, max_nodes=args.nodes)
+        )
+
+    if args.snapshot:
+        scenario = _pinned_scenario(args.seed)
+        base = run_scenario(scenario)
+        makespan = base.makespan_s if base.makespan_s else 1.0
+        crash_t = round(args.at * makespan, 3)
+        snapshots: list = []
+
+        def _setup(cluster, sim):
+            sim.schedule_at(
+                crash_t,
+                lambda: snapshots.append(snapshot_cluster(cluster, scenario)),
+            )
+
+        run_scenario(scenario, setup=_setup)
+        save_snapshot(snapshots[0], args.snapshot)
+        print(
+            f"wrote {args.snapshot}: {scenario.describe()} at t={crash_t}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.restore:
+        snap = load_snapshot(args.restore)
+        if not snap.get("scenario"):
+            print(
+                f"{args.restore} embeds no scenario; cannot rebuild the run",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = Scenario.from_dict(snap["scenario"])
+        base = run_scenario(scenario)
+        crash_t = float(snap["t"])
+
+        def _setup(cluster, sim):
+            def _recover():
+                wipe_cluster_state(cluster)
+                restore_cluster(cluster, snap)
+
+            sim.schedule_at(crash_t, _recover)
+
+        recovered = run_scenario(scenario, setup=_setup)
+        match = base.digest == recovered.digest
+        print(f"base      {base.digest}")
+        print(f"recovered {recovered.digest}")
+        print("restore equivalence: " + ("OK" if match else "FAIL"))
+        return 0 if match and recovered.ok else 1
+
+    if args.fuzz:
+        seeds = range(args.seed_start, args.seed_start + args.fuzz)
+        batch = fuzz_recovery(
+            seeds,
+            progress=(
+                (lambda r: print(r.summary(), file=sys.stderr))
+                if args.verbose
+                else None
+            ),
+        )
+        print(batch.summary())
+        return 0 if batch.ok else 1
+
+    # Default (--check): one seeded crash → wipe → restore → continue
+    # equivalence run, snapshotting mid-run via the fuzz setup hook.
+    result = run_scenario_with_recovery(
+        _pinned_scenario(args.seed), crash_fraction=args.at
+    )
+    print(result.summary())
+    if not result.equivalent:
+        print(
+            f"digest split: base {result.base_digest} != "
+            f"recovered {result.recovered_digest}",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':<12} {'scaling':<7} {'launcher':<8} {'base s':>7}  inputs")
     for name in list_apps():
@@ -608,6 +729,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each scenario result as it completes",
     )
     f.set_defaults(func=_cmd_federate)
+
+    lc = sub.add_parser(
+        "lifecycle",
+        help="crash-recovery: snapshot/restore/diff artifacts, fuzz "
+        "restore equivalence, lint the snapshot schema",
+    )
+    lc.add_argument(
+        "--seed", type=int, default=1,
+        help="scenario seed for --check/--snapshot (default: 1)",
+    )
+    lc.add_argument(
+        "--nodes", type=int, default=16,
+        help="pinned cluster size for --check/--snapshot (default: 16)",
+    )
+    lc.add_argument(
+        "--at", type=float, default=0.5, metavar="FRACTION",
+        help="crash instant as a fraction of the uninterrupted makespan "
+        "(default: 0.5)",
+    )
+    lc.add_argument(
+        "--snapshot", metavar="PATH",
+        help="run the seeded scenario and write its mid-run artifact",
+    )
+    lc.add_argument(
+        "--restore", metavar="PATH",
+        help="replay an artifact's run, wipe+restore at its instant, and "
+        "verify digest equivalence",
+    )
+    lc.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"),
+        help="print dotted-path differences between two artifacts",
+    )
+    lc.add_argument(
+        "--fuzz", type=int, default=None, metavar="N",
+        help="crash-restore equivalence over N generated scenarios",
+    )
+    lc.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first seed of a --fuzz batch (default: 0)",
+    )
+    lc.add_argument(
+        "--schema-lint", action="store_true",
+        help="verify SCHEMA_FIELDS changes came with a version bump",
+    )
+    lc.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print each fuzz result as it completes",
+    )
+    lc.set_defaults(func=_cmd_lifecycle)
 
     a = sub.add_parser("apps", help="list calibrated application models")
     a.set_defaults(func=_cmd_apps)

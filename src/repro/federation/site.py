@@ -41,6 +41,7 @@ from repro.cluster import PowerManagedCluster
 from repro.faults import FaultPlan
 from repro.flux.jobspec import JobRecord, Jobspec
 from repro.flux.message import Message
+from repro.lifecycle.machine import AVAILABLE, DEGRADED, LifecycleRegistry
 from repro.manager.cluster_manager import ManagerConfig
 from repro.federation.rebalance import (
     cluster_demand_w,
@@ -178,6 +179,15 @@ class FederatedSite:
             self._cluster_down[spec.name] = False
             self._watch_cluster(spec.name)
 
+        #: Cluster-grain lifecycle, mirroring the node-grain registry
+        #: inside each cluster manager (enroll → available here; a
+        #: whole-cluster outage degrades, recovery restores).
+        self.lifecycle = LifecycleRegistry(
+            sorted(self.clusters), "cluster", self.telemetry
+        )
+        for name in self.lifecycle.entities():
+            self.lifecycle.ensure(name, AVAILABLE, reason="enroll", t=self.sim.now)
+
         #: name → last share installed by a rebalance (0.0 while down).
         self.assigned_shares: Dict[str, float] = {}
         #: What the last split must sum to (budget, or the binding
@@ -224,6 +234,9 @@ class FederatedSite:
         self._cluster_down[name] = down
         tel = self.telemetry
         kind = "outage" if down else "recovery"
+        self.lifecycle.transition(
+            name, DEGRADED if down else AVAILABLE, reason=kind, t=self.sim.now
+        )
         tel.metrics.counter(
             f"federation_cluster_{'outages' if down else 'recoveries'}_total",
             labels={"cluster": name},
@@ -394,6 +407,76 @@ class FederatedSite:
                     f"jobs still active at t={self.sim.now:.0f}s (timeout)"
                 )
         return self.sim.now
+
+    # ------------------------------------------------------------------
+    # Crash recovery (see repro.lifecycle.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-able site bookkeeping (this tier only).
+
+        Member clusters snapshot themselves through
+        :func:`repro.lifecycle.snapshot.snapshot_site`, which nests
+        their artifacts next to this dict. ``event_down_ranks`` /
+        ``cluster_down`` must ride along: a restore that loses them
+        mid-flap re-counts the next ``broker.up`` against an empty dead
+        set, so the cluster is never declared recovered and the next
+        ``split_site_budget`` runs without it. ``expected_jobs`` keeps
+        :meth:`all_complete` from returning early after a restore with
+        deferred arrivals still pending.
+        """
+        return {
+            "site_budget_w": self.site_budget_w,
+            "assigned_shares": dict(self.assigned_shares),
+            "expected_total_w": self.expected_total_w,
+            "last_rebalance_t": self.last_rebalance_t,
+            "budget_log": [
+                [t, reason, dict(shares), list(live)]
+                for t, reason, shares, live in self.budget_log
+            ],
+            "expected_jobs": dict(self._expected_jobs),
+            "event_down_ranks": {
+                name: sorted(ranks)
+                for name, ranks in self._event_down_ranks.items()
+            },
+            "cluster_down": dict(self._cluster_down),
+            "lifecycle": self.lifecycle.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rehydrate from :meth:`snapshot_state`; ``{}`` wipes to fresh.
+
+        Silent: no rebalance is triggered — the nested cluster restores
+        carry the installed ``global_cap_w`` budgets, and the periodic
+        epoch event (untouched by a restore) picks the schedule back up.
+        """
+        budget = state.get("site_budget_w")
+        if budget is not None:
+            self.site_budget_w = float(budget)
+        self.assigned_shares = {
+            str(n): float(w)
+            for n, w in (state.get("assigned_shares") or {}).items()
+        }
+        self.expected_total_w = float(state.get("expected_total_w", 0.0))
+        self.last_rebalance_t = float(state.get("last_rebalance_t", 0.0))
+        self.budget_log = [
+            (
+                float(t),
+                str(reason),
+                {str(n): float(w) for n, w in shares.items()},
+                tuple(live),
+            )
+            for t, reason, shares, live in state.get("budget_log") or []
+        ]
+        self._expected_jobs = {n: 0 for n in self.clusters}
+        for name, count in (state.get("expected_jobs") or {}).items():
+            self._expected_jobs[str(name)] = int(count)
+        self._event_down_ranks = {n: set() for n in self.clusters}
+        for name, ranks in (state.get("event_down_ranks") or {}).items():
+            self._event_down_ranks[str(name)] = {int(r) for r in ranks}
+        self._cluster_down = {n: False for n in self.clusters}
+        for name, down in (state.get("cluster_down") or {}).items():
+            self._cluster_down[str(name)] = bool(down)
+        self.lifecycle.restore(state.get("lifecycle"))
 
     # ------------------------------------------------------------------
     # Introspection

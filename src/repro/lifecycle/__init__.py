@@ -1,0 +1,93 @@
+"""Node/cluster lifecycle and crash-recoverable manager state.
+
+Three pieces (see docs/lifecycle.md):
+
+* :mod:`repro.lifecycle.machine` — the guarded enroll → available →
+  degraded / maintenance → retired state machine the managers book
+  against;
+* :mod:`repro.lifecycle.snapshot` — the schema-versioned JSON artifact
+  carrying manager + monitor + policy + federation state across a
+  manager crash;
+* :mod:`repro.lifecycle.recovery` — the crash-at-random-tick fuzz
+  proving restore-equivalence against uninterrupted-run digests.
+"""
+
+from repro.lifecycle.machine import (
+    AVAILABLE,
+    DEGRADED,
+    ENROLL,
+    MAINTENANCE,
+    RETIRED,
+    STATES,
+    TRANSITIONS,
+    LifecycleError,
+    LifecycleRegistry,
+)
+from repro.lifecycle.snapshot import (
+    SCHEMA_FIELDS,
+    SCHEMA_FINGERPRINTS,
+    SCHEMA_VERSION,
+    SnapshotError,
+    diff_snapshots,
+    load_snapshot,
+    restore_cluster,
+    restore_site,
+    save_snapshot,
+    schema_fingerprint,
+    schema_lint,
+    snapshot_cluster,
+    snapshot_site,
+    wipe_cluster_state,
+    wipe_site_state,
+)
+
+__all__ = [
+    "AVAILABLE",
+    "DEGRADED",
+    "ENROLL",
+    "MAINTENANCE",
+    "RETIRED",
+    "STATES",
+    "TRANSITIONS",
+    "LifecycleError",
+    "LifecycleRegistry",
+    "RecoveryBatchResult",
+    "RecoveryResult",
+    "SCHEMA_FIELDS",
+    "SCHEMA_FINGERPRINTS",
+    "SCHEMA_VERSION",
+    "SnapshotError",
+    "crash_restore_setup",
+    "diff_snapshots",
+    "fuzz_recovery",
+    "load_snapshot",
+    "restore_cluster",
+    "restore_site",
+    "run_scenario_with_recovery",
+    "save_snapshot",
+    "schema_fingerprint",
+    "schema_lint",
+    "snapshot_cluster",
+    "snapshot_site",
+    "wipe_cluster_state",
+    "wipe_site_state",
+]
+
+#: Recovery re-exports resolve lazily (PEP 562): the fuzz harness
+#: imports the simtest stack, which imports the managers, which import
+#: this package — an eager import here would be circular.
+_RECOVERY_EXPORTS = (
+    "RecoveryBatchResult",
+    "RecoveryResult",
+    "crash_restore_setup",
+    "fuzz_recovery",
+    "run_scenario_with_recovery",
+)
+
+
+def __getattr__(name):
+    if name in _RECOVERY_EXPORTS:
+        from repro.lifecycle import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,190 @@
+"""Crash-at-random-tick recovery fuzzing.
+
+The snapshot artifact's contract is *equivalence*: a manager that
+crashes mid-run and is restored from its artifact must produce exactly
+the telemetry the uninterrupted run would have. This module turns that
+contract into an executable oracle:
+
+1. run a seeded scenario uninterrupted and record its digest (the
+   simtest harness's canonical-JSON SHA-256);
+2. re-run the same scenario, but at a chosen simulated instant take a
+   snapshot, JSON-round-trip it (catching unserialisable state),
+   **wipe** every component to its amnesiac fresh-boot state, then
+   restore from the round-tripped artifact;
+3. the remaining run must land on the *same digest* — any state the
+   artifact fails to carry (a PI integral, a dead-rank set, a ring
+   buffer, federation bookkeeping) shifts caps or telemetry flags and
+   the digests split.
+
+The wipe step is what gives the oracle teeth: without it, state left
+behind in live objects would mask snapshot gaps. Crash instants are
+drawn per seed from a dedicated RNG substream (fractions of the
+uninterrupted makespan), so ``fuzz_recovery`` batches are replayable.
+
+Failures feed the existing shrinker workflow: a diverging seed is a
+scenario plus a crash fraction, both printable from the batch result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lifecycle.snapshot import (
+    restore_cluster,
+    snapshot_cluster,
+    wipe_cluster_state,
+)
+from repro.simkernel.rng import RandomStreams
+from repro.simtest.harness import SimtestResult, run_scenario
+from repro.simtest.scenario import GeneratorConfig, Scenario, generate_scenario
+
+#: Crash instants are drawn from this substream, one per seed —
+#: independent of every scenario-generation stream, so adding recovery
+#: fuzz to a campaign never perturbs the scenarios themselves.
+CRASH_STREAM = "lifecycle/crash"
+
+#: Keep the crash strictly inside the run: too early and the books are
+#: trivially empty, too late and the drain window hides divergence.
+CRASH_FRACTION_RANGE = (0.15, 0.85)
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one crash → restore → continue comparison."""
+
+    scenario: Scenario
+    crash_t: float
+    base_digest: str
+    recovered_digest: str
+    base: SimtestResult
+    recovered: SimtestResult
+
+    @property
+    def equivalent(self) -> bool:
+        return self.base_digest == self.recovered_digest
+
+    @property
+    def ok(self) -> bool:
+        return self.equivalent and self.base.ok and self.recovered.ok
+
+    def summary(self) -> str:
+        verdict = "OK  " if self.ok else "FAIL"
+        detail = ""
+        if not self.equivalent:
+            detail = (
+                f" digest split {self.base_digest[:12]} != "
+                f"{self.recovered_digest[:12]}"
+            )
+        elif not self.ok:
+            bad = self.base if not self.base.ok else self.recovered
+            detail = f" [{bad.violations[0].invariant}] {bad.violations[0].message}"
+        return (
+            f"{verdict} {self.scenario.describe()} "
+            f"crash_t={self.crash_t:.3f}{detail}"
+        )
+
+
+@dataclass
+class RecoveryBatchResult:
+    """Outcome of a multi-seed recovery fuzz batch."""
+
+    results: List[RecoveryResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[RecoveryResult]:
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        n_fail = len(self.failures)
+        return (
+            f"{len(self.results)} seeds, "
+            f"{len(self.results) - n_fail} equivalent, {n_fail} diverged"
+        )
+
+
+def crash_restore_setup(crash_t: float, snapshots: Optional[list] = None):
+    """Build a harness ``setup`` hook that crashes the manager at ``crash_t``.
+
+    At the instant: snapshot → JSON round-trip → amnesiac wipe →
+    restore. ``snapshots``, when given, collects the artifact (the CLI
+    uses this to also write it to disk).
+    """
+
+    def _setup(cluster, sim) -> None:
+        def _crash_and_recover() -> None:
+            snap = snapshot_cluster(cluster)
+            blob = json.dumps(snap, sort_keys=True)
+            if snapshots is not None:
+                snapshots.append(snap)
+            wipe_cluster_state(cluster)
+            restore_cluster(cluster, json.loads(blob))
+
+        sim.schedule_at(crash_t, _crash_and_recover)
+
+    return _setup
+
+
+def run_scenario_with_recovery(
+    scenario: Scenario,
+    crash_t: Optional[float] = None,
+    crash_fraction: Optional[float] = None,
+    base: Optional[SimtestResult] = None,
+    **harness_kwargs,
+) -> RecoveryResult:
+    """Compare an uninterrupted run against a crash-at-``crash_t`` run.
+
+    Exactly one of ``crash_t`` (absolute simulated seconds) or
+    ``crash_fraction`` (of the uninterrupted makespan) must be given.
+    ``base`` reuses an already-computed uninterrupted result.
+    """
+    if (crash_t is None) == (crash_fraction is None):
+        raise ValueError("give exactly one of crash_t / crash_fraction")
+    if base is None:
+        base = run_scenario(scenario, **harness_kwargs)
+    if crash_t is None:
+        makespan = base.makespan_s if base.makespan_s else 1.0
+        crash_t = round(float(crash_fraction) * makespan, 3)
+    recovered = run_scenario(
+        scenario, setup=crash_restore_setup(crash_t), **harness_kwargs
+    )
+    return RecoveryResult(
+        scenario=scenario,
+        crash_t=crash_t,
+        base_digest=base.digest,
+        recovered_digest=recovered.digest,
+        base=base,
+        recovered=recovered,
+    )
+
+
+def fuzz_recovery(
+    seeds,
+    cfg: Optional[GeneratorConfig] = None,
+    progress=None,
+    **harness_kwargs,
+) -> RecoveryBatchResult:
+    """Crash-restore equivalence over a batch of generated scenarios.
+
+    One crash instant per seed, drawn from :data:`CRASH_STREAM` as a
+    fraction of that seed's uninterrupted makespan. ``progress``, when
+    given, receives each :class:`RecoveryResult` as it lands.
+    """
+    batch = RecoveryBatchResult()
+    lo, hi = CRASH_FRACTION_RANGE
+    for seed in seeds:
+        scenario = generate_scenario(seed, cfg)
+        rng = RandomStreams(seed=int(seed)).get(CRASH_STREAM)
+        fraction = lo + float(rng.random()) * (hi - lo)
+        result = run_scenario_with_recovery(
+            scenario, crash_fraction=fraction, **harness_kwargs
+        )
+        batch.results.append(result)
+        if progress is not None:
+            progress(result)
+    return batch

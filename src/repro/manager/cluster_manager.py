@@ -18,13 +18,21 @@ and also the hard backstop above the dynamic policies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from dataclasses import asdict, dataclass
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.flux.broker import Broker
 from repro.flux.message import Message
 from repro.flux.module import Module
-from repro.manager.job_level import JobLevelManager
+from repro.lifecycle.machine import (
+    AVAILABLE,
+    DEGRADED,
+    MAINTENANCE,
+    RETIRED,
+    LifecycleRegistry,
+)
+from repro.manager.job_level import JobLevelManager, JobPowerState
+from repro.manager.node_manager import JOB_DEPARTED_TOPIC
 from repro.manager.policies.proportional import per_node_share
 from repro.telemetry import MANAGER_RECOMPUTE_COST_PER_JOB_S
 
@@ -86,15 +94,26 @@ class ClusterLevelManager(Module):
         self.job_level = JobLevelManager(broker)
         #: (time, total_active_nodes, per_node_share_w) — Fig 5 series.
         self.share_log: List[tuple] = []
-        #: Ranks the event stream says are down. The scheduler does not
-        #: track broker liveness, so a job can start on a rank whose
-        #: management plane is dead; booking it would pay a power share
-        #: to a node that can never install the cap.
-        self._down_ranks: Set[int] = set()
+        #: Per-rank lifecycle: only AVAILABLE ranks are booked into new
+        #: jobs' power shares. The scheduler does not track broker
+        #: liveness, so a job can start on a rank whose management plane
+        #: is dead (DEGRADED), drained (MAINTENANCE) or decommissioned
+        #: (RETIRED); booking it would pay a power share to a node that
+        #: can never install the cap.
+        self.lifecycle = LifecycleRegistry(
+            range(broker.overlay.size), "node", broker.telemetry
+        )
 
     def on_load(self) -> None:
         self.subscribe("job-state.", self._on_job_state)
         self.subscribe("broker.", self._on_broker_event)
+        for rank in self.lifecycle.entities():
+            self.lifecycle.ensure(rank, AVAILABLE, reason="enroll", t=self.sim.now)
+
+    @property
+    def down_ranks(self) -> FrozenSet[int]:
+        """Ranks whose management plane the event stream says is dead."""
+        return frozenset(self.lifecycle.in_state(DEGRADED))
 
     # ------------------------------------------------------------------
     # Job state tracking
@@ -103,7 +122,9 @@ class ClusterLevelManager(Module):
         state = msg.topic.split(".", 1)[1]
         jobid = msg.payload["jobid"]
         if state == "running":
-            ranks = [r for r in msg.payload["ranks"] if r not in self._down_ranks]
+            ranks = [
+                r for r in msg.payload["ranks"] if self.lifecycle.is_available(r)
+            ]
             dropped = len(msg.payload["ranks"]) - len(ranks)
             if dropped:
                 self.broker.telemetry.metrics.counter(
@@ -127,12 +148,25 @@ class ClusterLevelManager(Module):
         power (``P_n = P_G/(N_k + N_i)`` over the *live* node count).
         """
         if msg.topic == "broker.up":
-            self._down_ranks.discard(int(msg.payload["rank"]))
+            rank = int(msg.payload["rank"])
+            # Only a death is undone by a revival: maintenance and
+            # retirement are operator intent, not liveness, and stay
+            # put until the operator ends them.
+            if self.lifecycle.state_of(rank) == DEGRADED:
+                self.lifecycle.transition(
+                    rank, AVAILABLE, reason="broker.up", t=self.sim.now
+                )
             return
         if msg.topic != "broker.down":
             return
         rank = int(msg.payload["rank"])
-        self._down_ranks.add(rank)
+        if self.lifecycle.state_of(rank) in (DEGRADED, RETIRED):
+            # Repeat down events and deaths of decommissioned nodes
+            # carry no new information.
+            return
+        self.lifecycle.transition(
+            rank, DEGRADED, reason=msg.topic, t=self.sim.now
+        )
         affected = self.job_level.node_died(rank)
         tel = self.broker.telemetry
         tel.metrics.counter(
@@ -145,6 +179,93 @@ class ClusterLevelManager(Module):
         )
         if affected:
             self._recompute()
+
+    # ------------------------------------------------------------------
+    # Operator lifecycle controls
+    # ------------------------------------------------------------------
+    def _drain(self, rank: int) -> None:
+        """Remove a rank from the books and rebalance immediately.
+
+        Unlike a broker death the drained rank is *alive*, so each
+        affected job also gets a departure RPC to it — its node manager
+        releases the limit and caps exactly as when a job ends (one
+        TBON latency later; the ``lifecycle`` invariant's cap check
+        allows that settle tick).
+        """
+        affected = self.job_level.node_died(rank)
+        for jobid in affected:
+            self.broker.rpc(rank, JOB_DEPARTED_TOPIC, {"jobid": jobid})
+        if affected:
+            self._recompute()
+
+    def begin_maintenance(self, rank: int, reason: str = "maintenance") -> None:
+        """Drain a rank for planned service: AVAILABLE → MAINTENANCE."""
+        self.lifecycle.transition(rank, MAINTENANCE, reason=reason, t=self.sim.now)
+        self._drain(rank)
+
+    def end_maintenance(self, rank: int, reason: str = "maintenance-done") -> None:
+        """Return a serviced rank to the pool: MAINTENANCE → AVAILABLE."""
+        self.lifecycle.transition(rank, AVAILABLE, reason=reason, t=self.sim.now)
+
+    def retire_node(self, rank: int, reason: str = "retired") -> None:
+        """Permanently decommission a rank (terminal state)."""
+        self.lifecycle.transition(rank, RETIRED, reason=reason, t=self.sim.now)
+        self._drain(rank)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (see repro.lifecycle.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-able continuation state for the manager chain on rank 0.
+
+        Config rides along because retunes mutate it mid-run (the
+        federation tier replaces ``global_cap_w`` every epoch); jobs
+        are stored in insertion order so a restore reproduces dict
+        iteration order exactly.
+        """
+        return {
+            "config": asdict(self.config),
+            "lifecycle": self.lifecycle.snapshot(),
+            "share_log": [list(row) for row in self.share_log],
+            "jobs": [
+                {
+                    "jobid": state.jobid,
+                    "ranks": list(state.ranks),
+                    "job_limit_w": state.job_limit_w,
+                }
+                for state in self.job_level.jobs.values()
+            ],
+            "assignment_log": [list(row) for row in self.job_level.assignment_log],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rehydrate from :meth:`snapshot_state`; ``{}`` wipes to fresh.
+
+        Silent: rebuilding the job books must NOT call
+        :meth:`JobLevelManager.assign` — the node managers hold (or are
+        themselves restored to) the last pushed limits, and re-fanning
+        RPCs would shift transport timing versus the uninterrupted run.
+        """
+        cfg = state.get("config")
+        if cfg is not None:
+            self.config = ManagerConfig(**cfg)
+        self.lifecycle.restore(state.get("lifecycle"))
+        self.share_log = [tuple(row) for row in state.get("share_log") or []]
+        self.job_level.jobs = {
+            int(job["jobid"]): JobPowerState(
+                jobid=int(job["jobid"]),
+                ranks=[int(r) for r in job["ranks"]],
+                job_limit_w=(
+                    None
+                    if job.get("job_limit_w") is None
+                    else float(job["job_limit_w"])
+                ),
+            )
+            for job in state.get("jobs") or []
+        }
+        self.job_level.assignment_log = [
+            tuple(row) for row in state.get("assignment_log") or []
+        ]
 
     # ------------------------------------------------------------------
     # Proportional sharing (Section III-B1)

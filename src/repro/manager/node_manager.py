@@ -395,6 +395,74 @@ class NodeManagerModule(Module):
         _, _, state = msg.topic.partition(".")
         self.policy.on_job_state(state, msg.payload)
 
+    # ------------------------------------------------------------------
+    # Crash recovery (see repro.lifecycle.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-able continuation state for this node's manager.
+
+        Captures the assigned limit, the learned power estimates and the
+        policy's controller state — everything a restored manager needs
+        to continue enforcing without re-deriving caps. Installed device
+        caps (``_last_*_caps``) ride along so the restored idempotence
+        check doesn't re-issue writes the hardware already holds.
+        """
+        return {
+            "rank": self.broker.rank,
+            "node_limit_w": self.node_limit_w,
+            "current_jobid": self.current_jobid,
+            "non_gpu_est_w": self._non_gpu_est_w,
+            "non_cpu_est_w": self._non_cpu_est_w,
+            "recent_non_gpu": list(self._recent_non_gpu),
+            "recent_non_cpu": list(self._recent_non_cpu),
+            "recent_mem": list(self._recent_mem),
+            "recent": [[t, w, list(gpus)] for t, w, gpus in self._recent],
+            "last_gpu_caps": list(self._last_gpu_caps),
+            "last_socket_caps": list(self._last_socket_caps),
+            "cap_request_failures": self.cap_request_failures,
+            "policy": {"name": self.policy.name, "state": self.policy.snapshot()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rehydrate from :meth:`snapshot_state`; ``{}`` wipes to fresh.
+
+        Mutates in place — module registration, timers and the policy
+        object survive, so the event schedule is untouched. Never
+        touches the hardware: installed caps are environment, not
+        manager state.
+        """
+        limit = state.get("node_limit_w")
+        self.node_limit_w = None if limit is None else float(limit)
+        self.current_jobid = state.get("current_jobid")
+        est = state.get("non_gpu_est_w")
+        self._non_gpu_est_w = None if est is None else float(est)
+        est = state.get("non_cpu_est_w")
+        self._non_cpu_est_w = None if est is None else float(est)
+        for attr, key in (
+            ("_recent_non_gpu", "recent_non_gpu"),
+            ("_recent_non_cpu", "recent_non_cpu"),
+            ("_recent_mem", "recent_mem"),
+        ):
+            window = getattr(self, attr)
+            window.clear()
+            window.extend(float(w) for w in state.get(key) or [])
+        self._recent.clear()
+        for t, w, gpus in state.get("recent") or []:
+            self._recent.append(
+                (float(t), float(w), tuple(float(g) for g in gpus))
+            )
+        caps = state.get("last_gpu_caps")
+        if caps is None:
+            caps = [None] * self.gpu_count
+        self._last_gpu_caps = [None if c is None else float(c) for c in caps]
+        caps = state.get("last_socket_caps")
+        if caps is None:
+            caps = [None] * self.socket_count
+        self._last_socket_caps = [None if c is None else float(c) for c in caps]
+        self.cap_request_failures = int(state.get("cap_request_failures", 0))
+        policy_state = state.get("policy") or {}
+        self.policy.restore(policy_state.get("state") or {})
+
     def _handle_status(self, broker: Broker, msg: Message) -> None:
         broker.respond(
             msg,

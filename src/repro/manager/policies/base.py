@@ -32,7 +32,7 @@ and ``slowdown`` (dimensionless ratio >= 1); see
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.manager.node_manager import NodeManagerModule
@@ -80,6 +80,26 @@ class PowerPolicy:
         ``payload`` carries the job manager's event fields (``jobid``,
         ``app``, ``nnodes``, ``ranks``, ``t``). Only forwarded for
         events that involve this node's rank.
+        """
+
+    def snapshot(self) -> dict:
+        """JSON-able continuation state for crash recovery.
+
+        Everything a restored policy needs to continue the control loop
+        it was running — learned estimates, integrals, demand windows —
+        but never object references, timers or hardware handles (the
+        restored policy keeps its own). Stateless policies return ``{}``
+        (the default). Must round-trip through ``json.dumps``.
+        """
+        return {}
+
+    def restore(self, state: Mapping) -> None:
+        """Rehydrate from :meth:`snapshot` output, while attached.
+
+        The contract is *total*: missing keys reset to fresh-attach
+        defaults, so ``restore({})`` doubles as the amnesiac wipe the
+        crash-recovery harness uses. Restore is silent — it installs
+        state without emitting metrics or re-writing device caps.
         """
 
     def describe(self) -> dict:

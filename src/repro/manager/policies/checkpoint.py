@@ -107,6 +107,41 @@ class CheckpointAwarePolicy(PowerPolicy):
         self._gpu_peak.clear()
         self._compute_non_gpu.clear()
 
+    def snapshot(self) -> dict:
+        # The schedule object comes from the apps registry; snapshot the
+        # app name plus a scheduled flag and re-resolve on restore so
+        # the artifact stays plain JSON.
+        return {
+            "app": self.app,
+            "scheduled": self.schedule is not None,
+            "in_checkpoint": self.in_checkpoint,
+            "windows_seen": self.windows_seen,
+            "entered_at": self._entered_at,
+            "gpu_peak": list(self._gpu_peak),
+            "compute_non_gpu": list(self._compute_non_gpu),
+        }
+
+    def restore(self, state) -> None:
+        app = state.get("app")
+        self.app = None if app is None else str(app)
+        self.schedule = None
+        if state.get("scheduled") and self.app:
+            try:
+                ck = get_profile(self.app).checkpoint
+            except KeyError:
+                ck = None
+            self.schedule = ck if (ck is not None and ck.enabled) else None
+        self.in_checkpoint = bool(state.get("in_checkpoint", False))
+        self.windows_seen = int(state.get("windows_seen", 0))
+        entered = state.get("entered_at")
+        self._entered_at = None if entered is None else float(entered)
+        self._gpu_peak.clear()
+        self._gpu_peak.extend(float(w) for w in state.get("gpu_peak") or [])
+        self._compute_non_gpu.clear()
+        self._compute_non_gpu.extend(
+            float(w) for w in state.get("compute_non_gpu") or []
+        )
+
     def on_node_limit(self, limit_w: Optional[float]) -> None:
         assert self.manager is not None
         if limit_w is None:

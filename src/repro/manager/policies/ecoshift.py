@@ -154,6 +154,23 @@ class EcoShiftPolicy(PowerPolicy):
         self._cpu_demand.clear()
         self.last_split_w = None
 
+    def snapshot(self) -> dict:
+        return {
+            "gpu_demand": list(self._gpu_demand),
+            "cpu_demand": list(self._cpu_demand),
+            "last_split_w": (
+                list(self.last_split_w) if self.last_split_w is not None else None
+            ),
+        }
+
+    def restore(self, state) -> None:
+        self._gpu_demand.clear()
+        self._gpu_demand.extend(float(w) for w in state.get("gpu_demand") or [])
+        self._cpu_demand.clear()
+        self._cpu_demand.extend(float(w) for w in state.get("cpu_demand") or [])
+        split = state.get("last_split_w")
+        self.last_split_w = None if split is None else (float(split[0]), float(split[1]))
+
     # ------------------------------------------------------------------
     def _control_tick(self, _timer) -> None:
         m = self.manager

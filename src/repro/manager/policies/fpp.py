@@ -153,6 +153,33 @@ class FPPGpuController:
             level = p.powercap_levels_w[idx]
         return min(cap_ceiling, cap_cur + level)
 
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "buffer": list(self.buffer),
+            "period_s": self.period_s,
+            "t_prev": self.t_prev,
+            "cap_prev": self.cap_prev,
+            "converged": self.converged,
+            "last_delta": self.last_delta,
+            "samples_since_update": self._samples_since_update,
+        }
+
+    def restore(self, state) -> None:
+        self.buffer = [float(w) for w in state.get("buffer") or []]
+        period = state.get("period_s")
+        self.period_s = None if period is None else float(period)
+        t_prev = state.get("t_prev")
+        self.t_prev = None if t_prev is None else float(t_prev)
+        cap_prev = state.get("cap_prev")
+        self.cap_prev = None if cap_prev is None else float(cap_prev)
+        self.converged = bool(state.get("converged", False))
+        last_delta = state.get("last_delta")
+        self.last_delta = None if last_delta is None else float(last_delta)
+        self._samples_since_update = int(state.get("samples_since_update", 0))
+
     def describe(self) -> dict:
         return {
             "gpu": self.index,
@@ -320,6 +347,41 @@ class FPPPolicy(PowerPolicy):
         self.caps_w = [max(lo, ceiling)] * n
         for i in range(n):
             self.manager.set_gpu_cap(i, self.caps_w[i])
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "caps_w": list(self.caps_w),
+            "last_limit_w": self._last_limit_w,
+            "controllers": [c.snapshot() for c in self.controllers],
+        }
+
+    def restore(self, state) -> None:
+        assert self.manager is not None
+        n = self.manager.gpu_count
+        ctl_states = state.get("controllers")
+        if ctl_states is None:
+            # Amnesiac wipe: back to attach-fresh state (no cap writes;
+            # installed hardware caps are environment, not policy state).
+            self.controllers = [
+                FPPGpuController(i, self.params, self.manager.sample_interval_s)
+                for i in range(n)
+            ]
+            _lo, hi = self.manager.gpu_cap_range
+            self.caps_w = [min(self.params.max_gpu_cap_w, hi)] * n
+            self._last_limit_w = None
+            return
+        if len(ctl_states) != n:
+            raise ValueError(
+                f"snapshot has {len(ctl_states)} controllers, node has {n} GPUs"
+            )
+        for ctl, ctl_state in zip(self.controllers, ctl_states):
+            ctl.restore(ctl_state)
+        self.caps_w = [float(w) for w in state.get("caps_w") or []]
+        last_limit = state.get("last_limit_w")
+        self._last_limit_w = None if last_limit is None else float(last_limit)
 
     def describe(self) -> dict:
         return {

@@ -120,6 +120,37 @@ class FPPSocketPolicy(PowerPolicy):
         for i in range(n):
             self.manager.set_socket_cap(i, self.caps_w[i])
 
+    def snapshot(self) -> dict:
+        return {
+            "caps_w": list(self.caps_w),
+            "last_limit_w": self._last_limit_w,
+            "controllers": [c.snapshot() for c in self.controllers],
+        }
+
+    def restore(self, state) -> None:
+        assert self.manager is not None
+        n = self.manager.socket_count
+        ctl_states = state.get("controllers")
+        if ctl_states is None:
+            self.controllers = [
+                FPPGpuController(i, self.params, self.manager.sample_interval_s)
+                for i in range(n)
+            ]
+            _lo, hi = self.manager.socket_cap_range
+            self.caps_w = [min(self.params.max_gpu_cap_w, hi)] * n
+            self._last_limit_w = None
+            return
+        if len(ctl_states) != n:
+            raise ValueError(
+                f"snapshot has {len(ctl_states)} controllers, "
+                f"node has {n} sockets"
+            )
+        for ctl, ctl_state in zip(self.controllers, ctl_states):
+            ctl.restore(ctl_state)
+        self.caps_w = [float(w) for w in state.get("caps_w") or []]
+        last_limit = state.get("last_limit_w")
+        self._last_limit_w = None if last_limit is None else float(last_limit)
+
     def describe(self) -> dict:
         return {
             "policy": self.name,

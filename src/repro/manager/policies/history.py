@@ -84,6 +84,17 @@ class HistoryPolicy(PowerPolicy):
             deque(maxlen=self.window) for _ in range(self.manager.gpu_count)
         ]
 
+    def snapshot(self) -> dict:
+        return {"history": [list(h) for h in self._history]}
+
+    def restore(self, state) -> None:
+        assert self.manager is not None
+        self._history = [
+            deque(maxlen=self.window) for _ in range(self.manager.gpu_count)
+        ]
+        for h, saved in zip(self._history, state.get("history") or []):
+            h.extend(float(w) for w in saved)
+
     def describe(self) -> dict:
         return {
             "policy": self.name,

@@ -155,6 +155,20 @@ class PIPolicy(PowerPolicy):
         self.last_error_w = None
         self._last_node_w = None
 
+    def snapshot(self) -> dict:
+        return {
+            "integral_ws": self.integral_ws,
+            "last_error_w": self.last_error_w,
+            "last_node_w": self._last_node_w,
+        }
+
+    def restore(self, state) -> None:
+        self.integral_ws = float(state.get("integral_ws", 0.0))
+        last_error = state.get("last_error_w")
+        self.last_error_w = None if last_error is None else float(last_error)
+        last_node = state.get("last_node_w")
+        self._last_node_w = None if last_node is None else float(last_node)
+
     # ------------------------------------------------------------------
     def _control_tick(self, _timer) -> None:
         m = self.manager

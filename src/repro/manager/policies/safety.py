@@ -203,6 +203,38 @@ class PolicySafetyWrapper(PowerPolicy):
             reset()
 
     # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        # ``_intents`` is the damper's last-actuation memory: dropping
+        # it would make the restored wrapper treat its first post-restore
+        # write as unprecedented (no damper suppression), and restoring
+        # the exit counters keeps describe()/regression accounting from
+        # double-counting across the restore boundary.
+        return {
+            "damperexits": self.damperexits,
+            "slowdownexits": self.slowdownexits,
+            "clamps": dict(self.clamps),
+            "intents": {
+                f"{domain}:{index}": watts
+                for (domain, index), watts in self._intents.items()
+            },
+            "inner": self.inner.snapshot(),
+        }
+
+    def restore(self, state) -> None:
+        self.damperexits = int(state.get("damperexits", 0))
+        self.slowdownexits = int(state.get("slowdownexits", 0))
+        self.clamps = {
+            str(k): int(v) for k, v in (state.get("clamps") or {}).items()
+        }
+        self._intents.clear()
+        for key, watts in (state.get("intents") or {}).items():
+            domain, _, index = str(key).partition(":")
+            self._intents[(domain, int(index))] = float(watts)
+        self.inner.restore(state.get("inner") or {})
+
+    # ------------------------------------------------------------------
     # Guarded write path
     # ------------------------------------------------------------------
     def _bounds(self, domain: str) -> Tuple[float, float, int, Optional[float]]:

@@ -176,3 +176,34 @@ class CircularBuffer:
             (self._ts[(self._head + i) % n], self._samples[(self._head + i) % n])
             for i in range(n)
         ]
+
+    # ------------------------------------------------------------------
+    # Crash recovery (see repro.lifecycle.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-able ring state; entries oldest-first.
+
+        ``total_appended`` rides along so the restored ring reports the
+        same drop count (and therefore the same partial-data flags) as
+        the original.
+        """
+        return {
+            "capacity": self.capacity,
+            "total_appended": self.total_appended,
+            "entries": [[t, sample] for t, sample in self.snapshot()],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rehydrate from :meth:`snapshot_state`; ``{}`` wipes to empty.
+
+        Entries are replayed through :meth:`append` oldest-first, so the
+        restored ring is physically un-rotated but logically identical —
+        every read path goes through the head index.
+        """
+        self._ts = []
+        self._samples = []
+        self._head = 0
+        self.total_appended = 0
+        for t, sample in state.get("entries") or []:
+            self.append(float(t), sample)
+        self.total_appended = int(state.get("total_appended", self.total_appended))

@@ -150,6 +150,30 @@ class NodeAgentModule(Module):
         tel.accountant.charge("monitor", self._charge_s)
 
     # ------------------------------------------------------------------
+    # Crash recovery (see repro.lifecycle.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-able continuation state for this node's agent."""
+        return {
+            "rank": self.broker.rank,
+            "t_loaded": self._t_loaded,
+            "samples_taken": self.samples_taken,
+            "buffer": self.buffer.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rehydrate from :meth:`snapshot_state`; ``{}`` wipes to fresh.
+
+        A wipe re-bases ``_t_loaded`` at *now* — fresh-agent semantics:
+        queries over earlier windows report partial data, exactly as
+        after a crash/restart that lost the ring.
+        """
+        t_loaded = state.get("t_loaded")
+        self._t_loaded = self.sim.now if t_loaded is None else float(t_loaded)
+        self.samples_taken = int(state.get("samples_taken", 0))
+        self.buffer.restore_state(state.get("buffer") or {})
+
+    # ------------------------------------------------------------------
     # Services
     # ------------------------------------------------------------------
     def _handle_query(self, broker: Broker, msg: Message) -> None:

@@ -42,6 +42,7 @@ from repro.simtest.invariants import (
     CapRangeChecker,
     EngineChecker,
     InvariantChecker,
+    LifecycleChecker,
     MonotonicCountersChecker,
     OrphanShareChecker,
     ShareSplitChecker,
@@ -137,6 +138,7 @@ def _cluster_checkers() -> List[InvariantChecker]:
         CapRangeChecker(),
         BufferChecker(),
         OrphanShareChecker(),
+        LifecycleChecker(),
         TelemetryRowsChecker(),
     ]
 
@@ -147,11 +149,14 @@ def run_federated_scenario(
     check_interval_s: float = DEFAULT_CHECK_INTERVAL_S,
     timeout_s: float = DEFAULT_TIMEOUT_S,
     max_events: int = DEFAULT_MAX_EVENTS,
+    setup=None,
 ) -> FederatedSimtestResult:
     """Execute ``scenario`` under site + per-cluster invariant checkers.
 
     ``checkers`` overrides the *site-tier* set only; the per-cluster and
-    shared engine/counter checkers always run.
+    shared engine/counter checkers always run. ``setup(site, sim)``,
+    when given, runs before the first event (the crash-recovery fuzz
+    schedules its snapshot → wipe → restore cycle through it).
     """
     if checkers is None:
         checkers = site_checkers()
@@ -186,6 +191,8 @@ def run_federated_scenario(
     ctx = FederatedSimtestContext(site, scenario)
     result = FederatedSimtestResult(scenario=scenario)
     sim = site.sim
+    if setup is not None:
+        setup(site, sim)
 
     # Job arrivals -------------------------------------------------------
     for c in scenario.clusters:

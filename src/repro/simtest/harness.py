@@ -118,12 +118,18 @@ def run_scenario(
     timeout_s: float = DEFAULT_TIMEOUT_S,
     max_events: int = DEFAULT_MAX_EVENTS,
     stop_on_first: bool = False,
+    setup=None,
 ) -> SimtestResult:
     """Execute ``scenario`` under the invariant checkers.
 
     ``stop_on_first`` ends the run at the first violating tick — the
     shrinker uses it to keep reproduction cheap; batch runs keep going
     so one report shows every property the scenario breaks.
+
+    ``setup(cluster, sim)``, when given, runs after the cluster is
+    built but before the first event — the crash-recovery fuzz uses it
+    to schedule a snapshot → wipe → restore cycle mid-run without the
+    harness knowing anything about snapshots.
     """
     if checkers is None:
         checkers = default_checkers()
@@ -148,6 +154,8 @@ def run_scenario(
     ctx = SimtestContext(cluster, scenario)
     result = SimtestResult(scenario=scenario)
     sim = cluster.sim
+    if setup is not None:
+        setup(cluster, sim)
 
     # Job arrivals -------------------------------------------------------
     for entry in scenario.jobs:

@@ -20,6 +20,10 @@ The invariants encode the paper's implicit safety properties
 * ``orphan_share``— a dead node's share does not survive ``node_died``
   (checked with a persistence grace, since the ``broker.down`` event
   takes one broadcast latency to reach the manager);
+* ``lifecycle``   — power only flows to lifecycle-``available`` nodes:
+  no job books a rank in ``maintenance``/``retired`` (exact — the
+  drain is synchronous with the transition), and retired ranks' node
+  managers release their limit within one settle tick;
 * ``counters``    — telemetry counters never decrease;
 * ``engine``      — simulated time is monotonic and the event heap's
   live count stays sane;
@@ -42,6 +46,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.lifecycle.machine import MAINTENANCE, RETIRED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simtest.harness import SimtestContext
@@ -320,6 +326,66 @@ class OrphanShareChecker(InvariantChecker):
         return out
 
 
+class LifecycleChecker(InvariantChecker):
+    """Power shares only flow to lifecycle-``available`` nodes.
+
+    The booking check is exact (no settle grace): the cluster manager
+    transitions lifecycle state and drains the books in the *same*
+    event, so a booked rank in ``maintenance``/``retired`` is a bug at
+    the very tick it appears. The retired-cap check allows one settle
+    tick, because the drain's departure RPC crosses the TBON before the
+    node manager releases its limit. ``degraded`` is exempt from the
+    booking check here; the orphan-share checker owns that transient.
+    """
+
+    name = "lifecycle"
+
+    def __init__(self) -> None:
+        self._capped: Dict[int, int] = {}  # retired rank -> first-seen tick
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        manager = ctx.cluster.manager
+        if manager is None:
+            return []
+        lifecycle = getattr(manager.cluster, "lifecycle", None)
+        if lifecycle is None:
+            return []
+        out: List[Violation] = []
+        for jobid, state in manager.cluster.job_level.jobs.items():
+            for rank in state.ranks:
+                rank_state = lifecycle.state_of(rank)
+                if rank_state in (MAINTENANCE, RETIRED):
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"job {jobid} books rank {rank} in lifecycle "
+                            f"state {rank_state!r}",
+                            jobid=jobid, rank=rank, state=rank_state,
+                        )
+                    )
+        capped_now: set = set()
+        for rank in lifecycle.in_state(RETIRED):
+            broker = ctx.cluster.instance.brokers[rank]
+            nm = broker.modules.get("power-manager")
+            if nm is not None and getattr(nm, "node_limit_w", None) is not None:
+                capped_now.add(rank)
+                first = self._capped.setdefault(rank, ctx.tick_index)
+                if ctx.tick_index > first:
+                    out.append(
+                        self.violation(
+                            ctx,
+                            f"retired rank {rank} still holds node limit "
+                            f"{nm.node_limit_w} one settle tick after "
+                            f"retirement",
+                            rank=rank, node_limit_w=nm.node_limit_w,
+                        )
+                    )
+        for rank in list(self._capped):
+            if rank not in capped_now:
+                del self._capped[rank]
+        return out
+
+
 class MonotonicCountersChecker(InvariantChecker):
     """Telemetry counters never decrease between ticks."""
 
@@ -542,6 +608,7 @@ def default_checkers() -> List[InvariantChecker]:
         CapRangeChecker(),
         BufferChecker(),
         OrphanShareChecker(),
+        LifecycleChecker(),
         MonotonicCountersChecker(),
         EngineChecker(),
         TelemetryRowsChecker(),

@@ -95,6 +95,36 @@ def test_every_policy_zoo_runtime_metric_is_documented():
     assert not missing, f"runtime metrics missing from docs: {sorted(missing)}"
 
 
+def test_every_lifecycle_runtime_metric_is_documented():
+    # A rank crash + revival and an operator maintenance round-trip
+    # drive every `lifecycle_*` edge the managed stack emits.
+    from repro.faults import FaultEvent, FaultPlan
+
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=3,
+        manager_config=ManagerConfig(
+            global_cap_w=4800.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+        fault_plan=FaultPlan(
+            [FaultEvent(t=5.0, kind="crash", rank=2, duration_s=10.0)]
+        ),
+    )
+    cluster.submit(Jobspec(app="gemm", nnodes=4, params={"work_scale": 2.0}))
+    cluster.run_for(20.0)
+    root = cluster.manager.cluster
+    root.begin_maintenance(3)
+    root.end_maintenance(3)
+    cluster.run_until_complete()
+    emitted = cluster.telemetry_hub.metrics.names()
+    assert "lifecycle_transitions_total" in emitted
+    assert "lifecycle_entities" in emitted
+    doc = OBSERVABILITY_DOC.read_text()
+    missing = {n for n in emitted if f"`{n}`" not in doc}
+    assert not missing, f"runtime metrics missing from docs: {sorted(missing)}"
+
+
 # ----------------------------------------------------------------------
 # Dead links
 # ----------------------------------------------------------------------

@@ -11,22 +11,26 @@
 #   federate - a federated (site-tier) scenario-fuzzing smoke batch (10 seeds)
 #   policies - the quick policy head-to-head, byte-diffed against the
 #              committed fixture tests/golden/policy_head_to_head.csv
+#   lifecycle - snapshot schema-version lint + a seeded 16-node
+#              crash→snapshot→restore→digest-equivalence check
 #
 # Knobs (environment):
 #   REPRO_COV_MIN         coverage fail-under percentage   (default 80)
 #   REPRO_SHUFFLE_SEED    shuffle seed                     (default 1)
 #   REPRO_SIMTEST_SEEDS   smoke-batch size                 (default 25)
 #   REPRO_FEDERATE_SEEDS  federated smoke-batch size       (default 10)
+#   REPRO_LIFECYCLE_SEED  lifecycle check scenario seed    (default 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="${STAGES:-tier1 shuffle cov simtest federate policies}"
+STAGES="${STAGES:-tier1 shuffle cov simtest federate policies lifecycle}"
 REPRO_COV_MIN="${REPRO_COV_MIN:-80}"
 REPRO_SHUFFLE_SEED="${REPRO_SHUFFLE_SEED:-1}"
 REPRO_SIMTEST_SEEDS="${REPRO_SIMTEST_SEEDS:-25}"
 REPRO_FEDERATE_SEEDS="${REPRO_FEDERATE_SEEDS:-10}"
+REPRO_LIFECYCLE_SEED="${REPRO_LIFECYCLE_SEED:-1}"
 
 banner() { printf '\n==> %s\n' "$*"; }
 
@@ -72,6 +76,12 @@ for stage in $STAGES; do
                 exit 1
             }
             rm -f "$tmpcsv"
+            ;;
+        lifecycle)
+            banner "lifecycle: snapshot schema lint"
+            python -m repro.cli lifecycle --schema-lint
+            banner "lifecycle: crash-restore digest equivalence (seed $REPRO_LIFECYCLE_SEED, 16 nodes)"
+            python -m repro.cli lifecycle --seed "$REPRO_LIFECYCLE_SEED" --nodes 16
             ;;
         *)
             echo "unknown stage: $stage" >&2
