@@ -74,6 +74,9 @@ def kripke_profile() -> AppProfile:
             "tioga": PlatformDemand(
                 cpu_dyn_w=150.0, mem_dyn_w=40.0, gpu_dyn_w=70.0, runtime_scale=1.2
             ),
+            "elcapitan": PlatformDemand(
+                cpu_dyn_w=0.0, mem_dyn_w=0.0, gpu_dyn_w=260.0, runtime_scale=0.7
+            ),
             "generic": PlatformDemand(
                 cpu_dyn_w=115.0, mem_dyn_w=45.0, gpu_dyn_w=90.0, runtime_scale=1.2
             ),

@@ -55,6 +55,11 @@ def gemm_profile() -> AppProfile:
             "tioga": PlatformDemand(
                 cpu_dyn_w=160.0, mem_dyn_w=55.0, gpu_dyn_w=140.0, runtime_scale=0.70
             ),
+            # MI300A APU: the whole compute+HBM draw lands on the
+            # four packages (no host CPU / DIMM domains to attribute to).
+            "elcapitan": PlatformDemand(
+                cpu_dyn_w=0.0, mem_dyn_w=0.0, gpu_dyn_w=520.0, runtime_scale=0.45
+            ),
             "generic": PlatformDemand(
                 cpu_dyn_w=140.0, mem_dyn_w=40.0, gpu_dyn_w=180.0, runtime_scale=1.4
             ),

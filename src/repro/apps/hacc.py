@@ -51,6 +51,10 @@ def hacc_profile() -> AppProfile:
                 cpu_dyn_w=110.0, mem_dyn_w=45.0, gpu_dyn_w=170.0,
                 runtime_scale=0.9,
             ),
+            "elcapitan": PlatformDemand(
+                cpu_dyn_w=0.0, mem_dyn_w=0.0, gpu_dyn_w=430.0,
+                runtime_scale=0.65,
+            ),
             "generic": PlatformDemand(
                 cpu_dyn_w=120.0, mem_dyn_w=40.0, gpu_dyn_w=150.0,
                 runtime_scale=1.2,

@@ -52,6 +52,11 @@ def laghos_profile() -> AppProfile:
                 gpu_dyn_w=6.2,
                 runtime_scale=26.71 / 12.55,
             ),
+            # MI300A APU: CPU-bound draw shows up as a modest package
+            # delta on the four sockets (no host CPU domain).
+            "elcapitan": PlatformDemand(
+                cpu_dyn_w=0.0, mem_dyn_w=0.0, gpu_dyn_w=60.0, runtime_scale=1.1
+            ),
             "generic": PlatformDemand(
                 cpu_dyn_w=50.0, mem_dyn_w=12.0, gpu_dyn_w=4.0, runtime_scale=1.2
             ),

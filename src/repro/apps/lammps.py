@@ -50,6 +50,10 @@ def lammps_profile() -> AppProfile:
                 gpu_dyn_w=119.0,  # per GCD
                 runtime_scale=51.00 / 77.17,
             ),
+            # MI300A APU: compute + HBM draw on the packages directly.
+            "elcapitan": PlatformDemand(
+                cpu_dyn_w=0.0, mem_dyn_w=0.0, gpu_dyn_w=470.0, runtime_scale=0.5
+            ),
             "generic": PlatformDemand(
                 cpu_dyn_w=150.0, mem_dyn_w=50.0, gpu_dyn_w=130.0, runtime_scale=1.3
             ),

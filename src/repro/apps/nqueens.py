@@ -40,6 +40,11 @@ def nqueens_profile() -> AppProfile:
             "tioga": PlatformDemand(
                 cpu_dyn_w=200.0, mem_dyn_w=25.0, gpu_dyn_w=0.0, runtime_scale=1.0
             ),
+            # MI300A APU: a CPU-only workload still draws through the
+            # packages (in-socket cores), far below the APU envelope.
+            "elcapitan": PlatformDemand(
+                cpu_dyn_w=0.0, mem_dyn_w=0.0, gpu_dyn_w=90.0, runtime_scale=0.9
+            ),
             "generic": PlatformDemand(
                 cpu_dyn_w=160.0, mem_dyn_w=25.0, gpu_dyn_w=0.0, runtime_scale=1.0
             ),

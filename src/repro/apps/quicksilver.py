@@ -64,6 +64,11 @@ def quicksilver_profile() -> AppProfile:
                     period_s=20.0, duty=0.50, gpu_depth=0.50, cpu_depth=0.50
                 ),
             ),
+            # MI300A APU port: branchy tracking keeps the packages well
+            # below their envelope.
+            "elcapitan": PlatformDemand(
+                cpu_dyn_w=0.0, mem_dyn_w=0.0, gpu_dyn_w=300.0, runtime_scale=0.8
+            ),
             "generic": PlatformDemand(
                 cpu_dyn_w=100.0, mem_dyn_w=30.0, gpu_dyn_w=70.0, runtime_scale=1.5
             ),

@@ -6,6 +6,14 @@ Times the simulation hot paths — the discrete-event engine, the
 compare against. See docs/performance.md for how to run and read it.
 """
 
+from repro.bench.compare import (
+    BenchDelta,
+    CompareResult,
+    compare_report_files,
+    compare_reports,
+    load_report_lenient,
+    parse_max_regress,
+)
 from repro.bench.harness import (
     BENCH_SCHEMA_VERSION,
     BenchReport,
@@ -20,10 +28,16 @@ from repro.bench.suites import BENCHMARKS, default_suite
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BENCHMARKS",
+    "BenchDelta",
     "BenchReport",
     "BenchResult",
+    "CompareResult",
+    "compare_report_files",
+    "compare_reports",
     "default_suite",
     "load_report",
+    "load_report_lenient",
+    "parse_max_regress",
     "run_suite",
     "validate_report",
     "write_report",

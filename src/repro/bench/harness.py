@@ -9,7 +9,7 @@ that serialises to the ``repro-bench/1`` JSON schema::
       "name": "baseline",
       "quick": false,
       "created_unix": 1754459000,
-      "platform": {"python": "3.11.7", "machine": "x86_64"},
+      "platform": {"python": "3.11.7", "machine": "x86_64", "numpy": "2.4.6"},
       "results": [
         {"benchmark": "engine_prescheduled", "metric": "events_per_s",
          "value": 812345.6, "wall_s": 0.62, "params": {"n_events": 500000}}
@@ -31,6 +31,21 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 BENCH_SCHEMA_VERSION = "repro-bench/1"
 
 _RESULT_KEYS = {"benchmark", "metric", "value", "wall_s", "params"}
+
+
+def _numpy_version() -> Optional[str]:
+    """numpy's version, or None on a checkout/venv without it.
+
+    The columnar hot paths are numpy-vectorised, so the exact numpy
+    build is as much a part of a measurement's provenance as the
+    Python version; ``--compare`` warns when two artifacts disagree.
+    """
+    try:
+        import numpy
+
+        return str(numpy.__version__)
+    except ImportError:  # pragma: no cover - numpy ships in the image
+        return None
 
 
 @dataclass
@@ -73,6 +88,7 @@ class BenchReport:
             "platform": {
                 "python": _platform.python_version(),
                 "machine": _platform.machine(),
+                "numpy": _numpy_version(),
             },
             "results": [r.to_dict() for r in self.results],
         }

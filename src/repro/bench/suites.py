@@ -13,6 +13,7 @@ import time
 from typing import Callable, Dict, List
 
 from repro.bench.harness import BenchResult
+from repro.bench.sweeps import sweep_10k, sweep_100k
 
 
 def _quiesce() -> None:
@@ -204,6 +205,8 @@ BENCHMARKS: Dict[str, Callable[[bool], List[BenchResult]]] = {
     "engine_cancel_churn": engine_cancel_churn,
     "scalability_query": scalability_query,
     "table4_policy": table4_policy,
+    "sweep_10k": sweep_10k,
+    "sweep_100k": sweep_100k,
 }
 
 

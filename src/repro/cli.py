@@ -234,6 +234,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import default_suite, run_suite, validate_report, write_report
 
+    if args.compare:
+        return _bench_compare(args)
     suite = default_suite(only=args.only)
     if not suite:
         print(f"no benchmarks match --only {args.only!r}", file=sys.stderr)
@@ -252,6 +254,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     write_report(report, path)
     print(f"wrote {path}", file=sys.stderr)
     return 0
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    """Diff two BENCH_*.json artifacts and gate on --max-regress."""
+    from repro.bench import compare_report_files, parse_max_regress
+
+    try:
+        max_regress = parse_max_regress(args.max_regress)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    base_path, new_path = args.compare
+    try:
+        result = compare_report_files(base_path, new_path, max_regress)
+    except (OSError, ValueError) as exc:
+        print(f"cannot compare bench artifacts: {exc}", file=sys.stderr)
+        return 2
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    for line in result.table_rows():
+        print(line)
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def _digest_matches(digest: str, expected: str) -> bool:
@@ -637,6 +662,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run each benchmark N times and keep the fastest run "
         "(best-of-N; use the same N when comparing against a baseline)",
+    )
+    b.add_argument(
+        "--compare", nargs=2, metavar=("BASE", "NEW"), default=None,
+        help="compare two BENCH_*.json artifacts instead of running the "
+        "suite; exits 1 if NEW regresses past --max-regress vs BASE",
+    )
+    b.add_argument(
+        "--max-regress", default="10%", metavar="FRAC",
+        help="allowed fractional regression for --compare, e.g. 10%% or "
+        "0.1 (default: 10%%)",
     )
     b.set_defaults(func=_cmd_bench)
 

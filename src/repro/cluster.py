@@ -100,6 +100,7 @@ class PowerManagedCluster:
         monitor_retry: Optional[RetryConfig] = None,
         monitor_strategy: str = "fanout",
         monitor_batch_sampling: bool = True,
+        monitor_columnar: bool = False,
         sim=None,
         hostname_prefix: Optional[str] = None,
     ) -> None:
@@ -126,6 +127,7 @@ class PowerManagedCluster:
                 strategy=monitor_strategy,
                 retry=monitor_retry,
                 batch_sampling=monitor_batch_sampling,
+                columnar=monitor_columnar,
             )
         self.manager: Optional[PowerManager] = None
         if manager_config is not None:

@@ -1,0 +1,43 @@
+"""Columnar (structure-of-arrays) node state for exascale sweeps.
+
+``repro.columnar`` keeps per-rank node state — current power, caps,
+power revisions, sample counts and the dead mask — as numpy arrays
+keyed by column index (one column per adopted node), and replaces the
+per-node sample dicts on the monitor hot path with *implicit* columnar
+rings that derive their contents from one shared per-group tick log.
+
+The contract is the same one ``monitor_batch_sampling`` established:
+enabling the columnar store must not change a single output byte for
+pinned configurations (see tests/golden/ and docs/performance.md), and
+where float ordering would differ the affected node falls back to the
+scalar path automatically (noisy sensors, heterogeneous per-sample
+overhead charges, restored-from-snapshot agents).
+"""
+
+from repro.columnar.store import (
+    ColumnarNodeStore,
+    ColumnarRing,
+    ColumnarSamples,
+    GroupColumns,
+    TickLog,
+    columnar_of,
+    columnar_store_of,
+)
+from repro.columnar.ops import (
+    per_node_share_np,
+    split_budget_np,
+    split_site_budget_np,
+)
+
+__all__ = [
+    "ColumnarNodeStore",
+    "ColumnarRing",
+    "ColumnarSamples",
+    "GroupColumns",
+    "TickLog",
+    "columnar_of",
+    "columnar_store_of",
+    "per_node_share_np",
+    "split_budget_np",
+    "split_site_budget_np",
+]

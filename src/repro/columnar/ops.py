@@ -1,0 +1,173 @@
+"""Vectorized twins of the pure split functions.
+
+Each function here reproduces its scalar reference *bit for bit*:
+
+* elementwise arithmetic (``share * n``, ``remaining * w / total``,
+  floor/ceiling clamps) runs through numpy ufuncs, which perform the
+  same single IEEE-754 operation per element the scalar loop does;
+* **reductions stay sequential** — numpy's pairwise summation is
+  faster but rounds differently, so totals are accumulated in the same
+  left-to-right order as the scalar ``sum()`` over sorted names.
+
+The Hypothesis suite (``tests/test_columnar_equivalence.py``) pins
+element-for-element equality on random shapes; the manager and the
+federation tier may therefore switch implementations by size without
+changing a digest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.federation.rebalance import (
+    REL_EPS,
+    site_allocation_total_w,
+    validate_floors,
+)
+from repro.manager.policies.proportional import per_node_share
+
+
+def _seq_sum(values) -> float:
+    """Left-to-right float accumulation, matching the scalar ``sum()``."""
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def per_node_share_np(budget_w, active_nodes, node_peak_w) -> np.ndarray:
+    """Broadcasted ``min(peak, budget / active)`` — the paper's P_n rule
+    applied elementwise over arrays of budgets/counts/peaks."""
+    budget = np.asarray(budget_w, dtype=np.float64)
+    active = np.asarray(active_nodes, dtype=np.float64)
+    peak = np.asarray(node_peak_w, dtype=np.float64)
+    if np.any(active <= 0):
+        raise ValueError("active_nodes must be > 0")
+    return np.where(active * peak <= budget, peak, budget / active)
+
+
+def split_budget_np(
+    budget_w: float, job_nodes: Mapping[int, int], node_peak_w: float
+) -> Dict[int, float]:
+    """Vectorized :func:`~repro.manager.policies.proportional.split_budget`.
+
+    The node-count total is integer (exact in any order); the per-job
+    multiply is one IEEE operation either way, so this is bitwise-equal
+    to the scalar reference at every size.
+    """
+    if not job_nodes:
+        return {}
+    jobids = list(job_nodes)
+    counts = np.fromiter(
+        (job_nodes[j] for j in jobids), dtype=np.int64, count=len(jobids)
+    )
+    total = int(counts.sum())
+    if total == 0:
+        return {}
+    share = per_node_share(budget_w, total, node_peak_w)
+    shares = share * counts.astype(np.float64)
+    return {jobid: float(shares[i]) for i, jobid in enumerate(jobids)}
+
+
+def split_site_budget_np(
+    site_budget_w: float,
+    demands: Mapping[str, float],
+    floors: Optional[Mapping[str, float]] = None,
+    ceilings: Optional[Mapping[str, Optional[float]]] = None,
+) -> Dict[str, float]:
+    """Vectorized :func:`~repro.federation.rebalance.split_site_budget`.
+
+    Same water-fill (distribute by demand weight, pin starved clusters
+    at floors then overshooting clusters at ceilings, re-divide, then
+    top up stranded budget), with the per-round membership tests and
+    clamps done as array masks. Reductions are sequential in sorted
+    name order, matching the scalar accumulator exactly.
+    """
+    names = sorted(demands)
+    if not names:
+        return {}
+    n = len(names)
+    lo_map = {c: float((floors or {}).get(c, 0.0) or 0.0) for c in names}
+    hi_map = {c: (ceilings or {}).get(c) for c in names}
+    validate_floors(site_budget_w, lo_map, hi_map)
+
+    demand = np.fromiter((float(demands[c]) for c in names), np.float64, n)
+    if np.any(demand < 0):
+        bad = names[int(np.nonzero(demand < 0)[0][0])]
+        raise ValueError(f"cluster {bad!r} demand must be >= 0")
+    lo = np.fromiter((lo_map[c] for c in names), np.float64, n)
+    has_hi = np.fromiter((hi_map[c] is not None for c in names), bool, n)
+    hi = np.fromiter(
+        (float(hi_map[c]) if hi_map[c] is not None else np.inf for c in names),
+        np.float64,
+        n,
+    )
+
+    share = np.zeros(n, dtype=np.float64)
+    is_pinned = np.zeros(n, dtype=bool)
+    # Pin order drives the scalar's dict-value accumulation order, so
+    # replay it: sum pinned shares in the order they were pinned.
+    pin_order: list = []
+
+    def pinned_sum() -> float:
+        return _seq_sum(share[i] for i in pin_order)
+
+    while True:
+        free = np.nonzero(~is_pinned)[0]
+        if free.size == 0:
+            break
+        remaining = max(0.0, site_budget_w - pinned_sum())
+        weight = demand[free]
+        total_w = _seq_sum(weight)
+        if total_w <= 0.0:
+            prop = np.full(free.size, remaining / free.size)
+        else:
+            prop = remaining * weight / total_w
+        starved = prop < lo[free] * (1.0 - REL_EPS) - REL_EPS
+        if np.any(starved):
+            idx = free[starved]
+            share[idx] = lo[idx]
+            is_pinned[idx] = True
+            pin_order.extend(idx.tolist())
+            continue
+        over = has_hi[free] & (prop > hi[free] * (1.0 + REL_EPS) + REL_EPS)
+        if np.any(over):
+            idx = free[over]
+            share[idx] = hi[idx]
+            is_pinned[idx] = True
+            pin_order.extend(idx.tolist())
+            continue
+        final = np.maximum(prop, lo[free])
+        final = np.where(has_hi[free], np.minimum(final, hi[free]), final)
+        share[free] = final
+        is_pinned[free] = True
+        pin_order.extend(free.tolist())
+        break
+
+    target = site_allocation_total_w(site_budget_w, demands, ceilings)
+    tol = REL_EPS * max(1.0, target)
+    # The scalar top-up sums pinned.values() in *name* order (the dict
+    # holds every cluster once the fill finished), so switch to that.
+    all_idx = list(range(n))
+
+    def total_share() -> float:
+        return _seq_sum(share[i] for i in all_idx)
+
+    while target - total_share() > tol:
+        leftover = target - total_share()
+        open_mask = ~has_hi | (share < hi - tol)
+        open_idx = np.nonzero(open_mask)[0]
+        if open_idx.size == 0:  # pragma: no cover - target <= sum of ceilings
+            break
+        weight = demand[open_idx]
+        total_w = _seq_sum(weight)
+        if total_w <= 0.0:
+            add = np.full(open_idx.size, leftover / open_idx.size)
+        else:
+            add = leftover * weight / total_w
+        new = share[open_idx] + add
+        new = np.where(has_hi[open_idx], np.minimum(new, hi[open_idx]), new)
+        share[open_idx] = new
+    return {c: float(share[i]) for i, c in enumerate(names)}

@@ -1,0 +1,593 @@
+"""The columnar node store and implicit sample rings.
+
+Scaling the monitor past ~1k nodes is not a constant-factor problem:
+the legacy hot path does O(nodes) Python work *per sampling tick* —
+one dict copy, two gauge writes and one accountant charge per node —
+so a 10k-node, 600 s window costs ~3M Python sample bodies before a
+single query runs. The columnar layout makes steady-state sampling
+O(ticks + power-state changes) instead:
+
+* Each :class:`~repro.monitor.sampler.BatchSampler` group owns one
+  :class:`TickLog` — a shared, growable timestamp column. A group tick
+  appends *one* raw timestamp plus one quantised wire timestamp per
+  distinct sensor granularity, regardless of how many nodes share the
+  grid.
+* Each columnar node agent owns a :class:`ColumnarRing`: no per-tick
+  storage at all, just a window ``[start, end)`` into the tick log and
+  a short list of *segments* — ``(tick index, power_rev, template)``
+  runs during which the node's finished sample differed only in its
+  timestamp (exactly the invariant ``Backend.sample_cached`` already
+  relies on). Ring contents are materialised lazily: a query returns a
+  :class:`ColumnarSamples` view whose ``len`` is O(1) and whose dicts
+  are built on iteration, byte-identical to the scalar path's.
+* Power-state changes are detected with one integer compare per tick:
+  every demand/cap mutation bumps :attr:`ColumnarNodeStore.global_rev`
+  (via ``Node.bump_power_rev``), and only ticks that observe a changed
+  global revision rescan member nodes for stale segments.
+* The per-tick telemetry side effects are deferred but *exact*: buffer
+  gauges are last-write-wins (recomputed from ring state at flush) and
+  the accountant charge is the same constant for every columnar member
+  (enforced by :meth:`ColumnarNodeStore.accept_charge`), so replaying
+  ``n`` identical float additions at flush time reproduces the scalar
+  accumulator bit for bit. Flushes run before any other ``monitor``
+  charge (accountant pre-charge hook) and before every metrics export.
+
+Nodes that would break those exactness arguments — noisy sensors
+(per-sample RNG), a different per-sample charge constant, agents
+restored from a snapshot — simply stay on the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.monitor.buffer import DEFAULT_SAMPLE_BYTES, CircularBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+    from repro.monitor.node_agent import NodeAgentModule
+    from repro.simkernel.engine import Simulator
+
+_ATTR = "_columnar_store"
+
+
+def columnar_store_of(sim: "Simulator") -> "ColumnarNodeStore":
+    """The per-simulator store, created on first use."""
+    store = getattr(sim, _ATTR, None)
+    if store is None:
+        store = ColumnarNodeStore(sim)
+        setattr(sim, _ATTR, store)
+    return store
+
+
+def columnar_of(sim: "Simulator") -> Optional["ColumnarNodeStore"]:
+    """The per-simulator store if one exists, else None."""
+    return getattr(sim, _ATTR, None)
+
+
+def _wire_timestamp(t: float, granularity_s: float) -> float:
+    """The finished-sample timestamp for a tick at raw time ``t``.
+
+    Identical arithmetic to the sensor read + ``base_sample`` path
+    (``math.floor(t/g)*g`` then ``round(..., 6)``) so a materialised
+    columnar sample carries the exact float the scalar path stores.
+    """
+    q = math.floor(t / granularity_s) * granularity_s if granularity_s > 0 else t
+    return round(float(q), 6)
+
+
+class _Column:
+    """A growable 1-D numpy array (amortised doubling)."""
+
+    __slots__ = ("data", "n")
+
+    def __init__(self, dtype: str = "f8", capacity: int = 64) -> None:
+        self.data = np.empty(capacity, dtype=dtype)
+        self.n = 0
+
+    def append(self, value) -> None:
+        data = self.data
+        if self.n == len(data):
+            grown = np.empty(max(16, 2 * len(data)), dtype=data.dtype)
+            grown[: len(data)] = data
+            self.data = data = grown
+        data[self.n] = value
+        self.n += 1
+
+    def view(self) -> np.ndarray:
+        return self.data[: self.n]
+
+
+class TickLog:
+    """Shared timestamp column for one sample group.
+
+    ``raw`` holds the engine times the group ticked at (the values the
+    scalar ring buffer bisects over); ``wire`` holds, per distinct
+    sensor granularity among the members, the quantised timestamp every
+    finished sample at that tick carries.
+    """
+
+    __slots__ = ("raw", "wire")
+
+    def __init__(self) -> None:
+        self.raw = _Column()
+        self.wire: Dict[float, _Column] = {}
+
+    @property
+    def n(self) -> int:
+        return self.raw.n
+
+    def ensure_granularity(self, granularity_s: float) -> None:
+        """Add a wire column for ``granularity_s``, backfilling history
+        so a later-joining agent can reference earlier ticks."""
+        if granularity_s in self.wire:
+            return
+        col = _Column()
+        for t in self.raw.view():
+            col.append(_wire_timestamp(float(t), granularity_s))
+        self.wire[granularity_s] = col
+
+    def tick(self, now: float) -> None:
+        self.raw.append(now)
+        for g, col in self.wire.items():
+            col.append(_wire_timestamp(now, g))
+
+
+class ColumnarSamples(Sequence):
+    """Lazy window of ring samples: O(1) ``len``, dicts built on read.
+
+    Slicing materialises to a plain list (the downsampling path), so
+    downstream list idioms keep working; iteration yields fresh dicts
+    whose contents are byte-identical to the scalar samples.
+    """
+
+    __slots__ = ("_ring", "_lo", "_hi")
+
+    def __init__(self, ring: "ColumnarRing", lo: int, hi: int) -> None:
+        self._ring = ring
+        self._lo = lo
+        self._hi = max(lo, hi)
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __iter__(self):
+        ring = self._ring
+        for i in range(self._lo, self._hi):
+            yield ring.materialize(i)
+
+    def __getitem__(self, index):
+        n = len(self)
+        if isinstance(index, slice):
+            return [self._ring.materialize(self._lo + i)
+                    for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        return self._ring.materialize(self._lo + index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ColumnarSamples(n={len(self)})"
+
+
+class ColumnarRing:
+    """A ring-buffer-compatible *view* over a group's tick log.
+
+    Implements the :class:`~repro.monitor.buffer.CircularBuffer` read
+    surface (len / dropped / oldest / newest / range / flush /
+    snapshot) without storing anything per tick. ``append`` is
+    unsupported by design — contents are implicit; agents that need an
+    explicit buffer again (snapshot restore) demote to a real
+    :class:`CircularBuffer` via :meth:`to_circular_buffer`.
+    """
+
+    __slots__ = (
+        "capacity", "log", "granularity_s", "start", "_flush_lo",
+        "_frozen_end", "segments",
+    )
+
+    def __init__(
+        self, log: TickLog, granularity_s: float, capacity: int, start: int
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.log = log
+        self.granularity_s = granularity_s
+        #: Log index of this ring's first sample.
+        self.start = start
+        self._flush_lo = start
+        self._frozen_end: Optional[int] = None
+        #: ``(log index, power_rev, template dict)`` runs, oldest first.
+        self.segments: List[Tuple[int, int, dict]] = []
+
+    # -- window arithmetic ---------------------------------------------
+    @property
+    def end(self) -> int:
+        return self.log.n if self._frozen_end is None else self._frozen_end
+
+    def freeze(self) -> None:
+        """Stop tracking the log (agent unregistered)."""
+        if self._frozen_end is None:
+            self._frozen_end = self.log.n
+
+    @property
+    def total_appended(self) -> int:
+        return self.end - self.start
+
+    def _live_lo(self) -> int:
+        return max(self._flush_lo, self.end - self.capacity)
+
+    def __len__(self) -> int:
+        return self.end - self._live_lo()
+
+    @property
+    def dropped(self) -> int:
+        return self.total_appended - len(self)
+
+    @property
+    def oldest_timestamp(self) -> Optional[float]:
+        lo = self._live_lo()
+        return float(self.log.raw.data[lo]) if lo < self.end else None
+
+    @property
+    def newest_timestamp(self) -> Optional[float]:
+        end = self.end
+        return float(self.log.raw.data[end - 1]) if end > self._live_lo() else None
+
+    def size_bytes(self, per_sample: int = DEFAULT_SAMPLE_BYTES) -> int:
+        return len(self) * per_sample
+
+    def capacity_bytes(self, per_sample: int = DEFAULT_SAMPLE_BYTES) -> int:
+        return self.capacity * per_sample
+
+    # -- segments -------------------------------------------------------
+    def push_segment(self, log_idx: int, rev: int, template: dict) -> None:
+        segs = self.segments
+        if segs and segs[-1][0] == log_idx:
+            segs[-1] = (log_idx, rev, template)
+        else:
+            segs.append((log_idx, rev, template))
+
+    @property
+    def segment_rev(self) -> int:
+        """Power revision of the newest segment (-1 before the first)."""
+        return self.segments[-1][1] if self.segments else -1
+
+    def _template_for(self, i: int) -> dict:
+        segs = self.segments
+        lo, hi = 0, len(segs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if segs[mid][0] <= i:
+                lo = mid + 1
+            else:
+                hi = mid
+        return segs[lo - 1][2]
+
+    def materialize(self, i: int) -> dict:
+        """The finished sample for log index ``i`` — same dict contents
+        (and key order) as the scalar ``sample_cached`` fast path."""
+        sample = dict(self._template_for(i))
+        sample["timestamp"] = float(self.log.wire[self.granularity_s].data[i])
+        return sample
+
+    def adopt_last_tick(self) -> None:
+        """Extend the window one tick backwards (catch-up sample)."""
+        idx = self.log.n - 1
+        self.start = idx
+        self._flush_lo = min(self._flush_lo, idx)
+
+    # -- CircularBuffer read surface -----------------------------------
+    def append(self, timestamp: float, sample: dict) -> None:
+        raise TypeError(
+            "ColumnarRing contents are implicit; demote the agent to a "
+            "CircularBuffer before appending explicitly"
+        )
+
+    def range(self, t_start: float, t_end: float):
+        if t_end < t_start:
+            raise ValueError("t_end must be >= t_start")
+        lo_idx = self._live_lo()
+        end = self.end
+        if end > lo_idx:
+            window = self.log.raw.data[lo_idx:end]
+            lo = int(np.searchsorted(window, t_start, side="left"))
+            hi = int(np.searchsorted(window, t_end, side="right"))
+            samples = ColumnarSamples(self, lo_idx + lo, lo_idx + hi)
+        else:
+            samples = ColumnarSamples(self, 0, 0)
+        oldest = self.oldest_timestamp
+        complete = self.total_appended == 0 or (
+            oldest is not None and (oldest <= t_start or self.dropped == 0)
+        )
+        return samples, complete
+
+    def flush(self) -> int:
+        n = len(self)
+        self._flush_lo = self.end
+        return n
+
+    def snapshot(self) -> List[Tuple[float, dict]]:
+        lo = self._live_lo()
+        raw = self.log.raw.data
+        return [(float(raw[i]), self.materialize(i)) for i in range(lo, self.end)]
+
+    def snapshot_state(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "total_appended": self.total_appended,
+            "entries": [[t, sample] for t, sample in self.snapshot()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        raise TypeError(
+            "ColumnarRing cannot restore explicit entries; the agent "
+            "demotes to a CircularBuffer first"
+        )
+
+    def to_circular_buffer(self) -> CircularBuffer:
+        """An explicit ring with identical logical contents."""
+        buf = CircularBuffer(self.capacity)
+        for t, sample in self.snapshot():
+            buf.append(t, sample)
+        buf.total_appended = self.total_appended
+        return buf
+
+
+class GroupColumns:
+    """Columnar members of one sampler group.
+
+    Owns the group's :class:`TickLog` and the deferred telemetry
+    bookkeeping. A group tick with no power-state change is O(1) in the
+    number of member nodes.
+    """
+
+    _GROUP_ATTR = "columns"
+
+    def __init__(self, group, store: "ColumnarNodeStore") -> None:
+        self.group = group
+        self.store = store
+        self.log = TickLog()
+        self.agents: List["NodeAgentModule"] = []
+        self._seen_global_rev = -1
+        #: Per charge constant: member count (for deferral bookkeeping).
+        self._members_by_charge: Dict[float, int] = {}
+        #: Per charge constant: accountant charges accrued, not yet replayed.
+        self._pending_charges: Dict[float, int] = {}
+        store._groups.append(self)
+
+    @classmethod
+    def ensure(cls, group, store: "ColumnarNodeStore") -> "GroupColumns":
+        cols = group.columns
+        if cols is None:
+            cols = cls(group, store)
+            group.columns = cols
+        return cols
+
+    # -- membership -----------------------------------------------------
+    def add(self, agent: "NodeAgentModule") -> ColumnarRing:
+        node = agent.broker.node
+        g = node.sensors.granularity_s
+        self.log.ensure_granularity(g)
+        ring = ColumnarRing(
+            self.log, g, capacity=agent.buffer.capacity, start=self.log.n
+        )
+        self.agents.append(agent)
+        c = agent._charge_s
+        self._members_by_charge[c] = self._members_by_charge.get(c, 0) + 1
+        # Force a segment scan on the next tick so the newcomer gets
+        # its initial template even with no power-state change.
+        self._seen_global_rev = -1
+        return ring
+
+    def remove(self, agent: "NodeAgentModule") -> None:
+        if agent in self.agents:
+            self.agents.remove(agent)
+            c = agent._charge_s
+            left = self._members_by_charge.get(c, 0) - 1
+            if left > 0:
+                self._members_by_charge[c] = left
+            else:
+                self._members_by_charge.pop(c, None)
+        ring = getattr(agent, "_ring", None)
+        if ring is not None:
+            ring.freeze()
+
+    # -- the tick -------------------------------------------------------
+    def tick(self, now: float) -> None:
+        self.log.tick(now)
+        store = self.store
+        if store.global_rev != self._seen_global_rev:
+            self._seen_global_rev = store.global_rev
+            idx = self.log.n - 1
+            for agent in self.agents:
+                node = agent.broker.node
+                ring = agent._ring
+                if ring.segment_rev != node.power_rev or not ring.segments:
+                    template = agent._backend.sample_cached(
+                        node, now, agent._plan
+                    )
+                    ring.push_segment(idx, node.power_rev, template)
+        pending = self._pending_charges
+        for c, n in self._members_by_charge.items():
+            pending[c] = pending.get(c, 0) + n
+        store._needs_flush = True
+
+    # -- deferred telemetry --------------------------------------------
+    def drain_charges(self, accountant) -> None:
+        pending = self._pending_charges
+        if not pending:
+            return
+        self._pending_charges = {}
+        for c, count in pending.items():
+            # Replaying n identical additions reproduces the scalar
+            # accumulator exactly (same value sequence); mixed charge
+            # constants never share a store (accept_charge), and
+            # charge_repeated applies them in one bit-exact bulk step.
+            accountant.charge_repeated("monitor", c, count)
+
+    def flush_gauges(self) -> None:
+        for agent in self.agents:
+            agent._set_buffer_gauges()
+            node = agent.broker.node
+            idx = node._col_index
+            if idx >= 0:
+                self.store.samples_total[idx] = agent._ring.total_appended
+
+
+class ColumnarNodeStore:
+    """Structure-of-arrays registry of per-rank node state for one sim.
+
+    Arrays are column-indexed; :meth:`adopt` assigns each node a column
+    and installs the node-side revision sink so every demand/cap
+    mutation lands here as one array write plus a global revision bump.
+    ``power_w``/``cap_w`` are refreshed lazily (:meth:`refresh`) since
+    recomputing a node's drawn power on every mutation would do the
+    scalar path's work eagerly.
+    """
+
+    _GROW = 256
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.nodes: List["Node"] = []
+        self.ranks: np.ndarray = np.full(self._GROW, -1, dtype=np.int64)
+        self.power_w: np.ndarray = np.zeros(self._GROW, dtype=np.float64)
+        self.cap_w: np.ndarray = np.full(self._GROW, np.nan, dtype=np.float64)
+        self.power_rev: np.ndarray = np.zeros(self._GROW, dtype=np.int64)
+        self.samples_total: np.ndarray = np.zeros(self._GROW, dtype=np.int64)
+        self.dead: np.ndarray = np.zeros(self._GROW, dtype=bool)
+        #: Bumped on every adopted node's power-state mutation; sampler
+        #: groups compare it to skip per-node scans on quiet ticks.
+        self.global_rev = 0
+        self._power_dirty: set = set()
+        self._groups: List[GroupColumns] = []
+        self._charge_value: Optional[float] = None
+        self._flushing = False
+        self._hooked = False
+
+    # -- membership -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def _grow_to(self, n: int) -> None:
+        cap = len(self.ranks)
+        if n <= cap:
+            return
+        new_cap = max(n, 2 * cap)
+
+        def grown(arr, fill):
+            out = np.full(new_cap, fill, dtype=arr.dtype)
+            out[: len(arr)] = arr
+            return out
+
+        self.ranks = grown(self.ranks, -1)
+        self.power_w = grown(self.power_w, 0.0)
+        self.cap_w = grown(self.cap_w, np.nan)
+        self.power_rev = grown(self.power_rev, 0)
+        self.samples_total = grown(self.samples_total, 0)
+        self.dead = grown(self.dead, False)
+
+    def adopt(self, node: "Node", rank: int = -1) -> int:
+        """Assign ``node`` a column and wire its revision sink."""
+        existing = node._col_index if node._col_sink is self else -1
+        if existing >= 0:
+            return existing
+        idx = len(self.nodes)
+        self._grow_to(idx + 1)
+        self.nodes.append(node)
+        self.ranks[idx] = rank
+        self.power_rev[idx] = node.power_rev
+        node._col_sink = self
+        node._col_index = idx
+        self._power_dirty.add(idx)
+        self._ensure_hooks()
+        return idx
+
+    def _ensure_hooks(self) -> None:
+        if self._hooked:
+            return
+        from repro.telemetry import telemetry_of
+
+        tel = telemetry_of(self.sim)
+        tel.accountant.add_pre_charge_hook(self._on_accountant_charge)
+        tel.metrics.add_flush_hook(self.flush)
+        self._hooked = True
+
+    # -- node-side sinks ------------------------------------------------
+    def power_rev_changed(self, node: "Node") -> None:
+        self.global_rev += 1
+        idx = node._col_index
+        self.power_rev[idx] = node.power_rev
+        self._power_dirty.add(idx)
+
+    def set_dead(self, rank: int, dead: bool) -> None:
+        hits = np.nonzero(self.ranks[: len(self.nodes)] == rank)[0]
+        for idx in hits:
+            self.dead[idx] = dead
+
+    # -- charge uniformity ---------------------------------------------
+    def accept_charge(self, charge_s: float) -> bool:
+        """Deferred accountant replay is only exact when every columnar
+        member charges the same constant; the first member pins it."""
+        if self._charge_value is None:
+            self._charge_value = charge_s
+            return True
+        return charge_s == self._charge_value
+
+    # -- lazy refresh ---------------------------------------------------
+    def refresh(self) -> None:
+        """Recompute power/cap columns for mutated nodes."""
+        dirty = self._power_dirty
+        if not dirty:
+            return
+        self._power_dirty = set()
+        for idx in dirty:
+            node = self.nodes[idx]
+            self.power_w[idx] = node.total_power_w()
+            cap = None
+            if node.opal is not None:
+                cap = node.opal.node_cap_w
+            self.cap_w[idx] = np.nan if cap is None else float(cap)
+
+    # -- deferred telemetry flush ---------------------------------------
+    def _on_accountant_charge(self, category: str) -> None:
+        if category != "monitor":
+            return
+        from repro.telemetry import telemetry_of
+
+        accountant = telemetry_of(self.sim).accountant
+        for cols in self._groups:
+            cols.drain_charges(accountant)
+
+    #: Set by group ticks; cleared on flush (cheap no-op guard).
+    _needs_flush = False
+
+    def flush(self) -> None:
+        """Replay deferred charges and write deferred gauges.
+
+        Runs before every metrics export and digest so deferred state
+        is never observable; last-write-wins gauges and constant-value
+        charge replay make the result bit-identical to the scalar
+        path's (docs/performance.md has the argument).
+        """
+        if self._flushing or not self._needs_flush:
+            return
+        self._flushing = True
+        try:
+            from repro.telemetry import telemetry_of
+
+            accountant = telemetry_of(self.sim).accountant
+            for cols in self._groups:
+                cols.drain_charges(accountant)
+                cols.flush_gauges()
+            self.refresh()
+            self._needs_flush = False
+        finally:
+            self._flushing = False

@@ -11,15 +11,22 @@ from repro.federation.rebalance import (
     split_site_budget,
     validate_floors,
 )
+from repro.federation.digest import combine_site_digest, shard_digest, site_digest_of
+from repro.federation.sharded import ShardedFederatedSite, create_site
 from repro.federation.site import ClusterSpec, FederatedSite, SiteConfig
 
 __all__ = [
     "REL_EPS",
     "ClusterSpec",
     "FederatedSite",
+    "ShardedFederatedSite",
     "SiteConfig",
     "cluster_demand_w",
+    "combine_site_digest",
+    "create_site",
+    "shard_digest",
     "site_allocation_total_w",
+    "site_digest_of",
     "split_site_budget",
     "validate_floors",
 ]

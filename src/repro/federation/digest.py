@@ -1,0 +1,105 @@
+"""Canonical site digests shared by the one-engine and sharded tiers.
+
+A *shard digest* pins one member cluster's externally visible outcome
+(finished-job metrics plus the fault log); the *site digest* is the
+stable combination of the per-shard digests with the site-tier timeline
+(budget log and end time). Both the classic single-engine
+:class:`~repro.federation.site.FederatedSite` and the sharded engine
+(:mod:`repro.federation.sharded`) build their digests through these
+helpers, so "sharded and unsharded produce the same site digest" is a
+byte-for-byte comparison of the same canonical JSON — not two
+hand-rolled formats that happen to agree today.
+
+Floats are rounded to 9 decimals (the simtest digest convention) so the
+digest survives platform-level printf differences while still pinning
+every physically meaningful divergence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+def _canonical(obj: Any) -> Any:
+    """Round floats / sort keys for a stable cross-run JSON digest."""
+    if isinstance(obj, float):
+        return round(obj, 9)
+    if isinstance(obj, dict):
+        return {k: _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def canonical_digest(obj: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``obj``."""
+    blob = json.dumps(_canonical(obj), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def cluster_shard_summary(cluster) -> Dict[str, Any]:
+    """One cluster's digest-relevant outcome.
+
+    Works on any object with the :class:`~repro.cluster.
+    PowerManagedCluster` results surface (``all_metrics`` /
+    ``faults.injected``) — which is exactly what both the federated
+    site's members and a shard's private cluster expose.
+    """
+    jobs: Dict[str, Any] = {}
+    for jobid, m in sorted(cluster.all_metrics().items()):
+        jobs[str(jobid)] = {
+            "runtime_s": m.runtime_s,
+            "avg_node_power_w": m.avg_node_power_w,
+            "avg_node_energy_kj": m.avg_node_energy_kj,
+        }
+    return {
+        "jobs": jobs,
+        "faults": [list(entry) for entry in cluster.faults.injected],
+    }
+
+
+def shard_digest(summary: Dict[str, Any]) -> str:
+    """Digest of one shard's :func:`cluster_shard_summary`."""
+    return canonical_digest(summary)
+
+
+def combine_site_digest(
+    t_end: float,
+    budget_log: Sequence[Tuple[float, str, Dict[str, float], Tuple[str, ...]]],
+    shard_digests: Dict[str, str],
+) -> str:
+    """Stable combination of per-shard digests plus the site timeline.
+
+    ``shard_digests`` maps cluster name → :func:`shard_digest`; key
+    order is irrelevant (the canonical encoding sorts it).
+    """
+    summary = {
+        "t_end": t_end,
+        "rebalances": [
+            {"t": t, "reason": reason, "shares": dict(shares),
+             "live": list(live)}
+            for t, reason, shares, live in budget_log
+        ],
+        "shards": dict(shard_digests),
+    }
+    return canonical_digest(summary)
+
+
+def site_digest_of(site) -> str:
+    """Site digest for anything exposing ``clusters``/``budget_log``/``sim``."""
+    shards = {
+        name: shard_digest(cluster_shard_summary(cluster))
+        for name, cluster in site.clusters.items()
+    }
+    return combine_site_digest(site.sim.now, site.budget_log, shards)
+
+
+__all__ = [
+    "canonical_digest",
+    "cluster_shard_summary",
+    "shard_digest",
+    "combine_site_digest",
+    "site_digest_of",
+]

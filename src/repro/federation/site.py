@@ -83,11 +83,20 @@ class ClusterSpec:
 
 @dataclass(frozen=True)
 class SiteConfig:
-    """Site deployment: the budget, the epoch, and the member clusters."""
+    """Site deployment: the budget, the epoch, and the member clusters.
+
+    ``sharded`` opts into the sharded engine
+    (:class:`~repro.federation.sharded.ShardedFederatedSite`): one
+    simulation engine per cluster with epoch-synchronized rebalance
+    barriers, instead of every cluster sharing one global event loop.
+    The flag is honoured by :func:`~repro.federation.create_site`;
+    constructing :class:`FederatedSite` directly ignores it.
+    """
 
     site_budget_w: float
     clusters: Tuple[ClusterSpec, ...]
     rebalance_epoch_s: float = 10.0
+    sharded: bool = False
 
     def validate(self) -> None:
         if not self.clusters:
@@ -407,6 +416,18 @@ class FederatedSite:
                     f"jobs still active at t={self.sim.now:.0f}s (timeout)"
                 )
         return self.sim.now
+
+    def site_digest(self) -> str:
+        """Canonical digest of this run's externally visible outcome.
+
+        Built through :mod:`repro.federation.digest` — the stable
+        combination of per-cluster shard digests plus the rebalance
+        timeline — so a sharded run of the same config and seed
+        (:mod:`repro.federation.sharded`) produces the identical value.
+        """
+        from repro.federation.digest import site_digest_of
+
+        return site_digest_of(self)
 
     # ------------------------------------------------------------------
     # Crash recovery (see repro.lifecycle.snapshot)

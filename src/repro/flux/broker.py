@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.flux.message import FluxRPCError, Message, MessageType
+from repro.flux.message import (
+    CachedSizeDict,
+    FluxRPCError,
+    Message,
+    MessageType,
+)
 from repro.simkernel import SimEvent, Simulator
 from repro.telemetry import telemetry_of
 
@@ -172,10 +177,14 @@ class Broker:
             self._c_rpc_requests[topic] = counter
         counter.inc()
         self._rpc_sent[tag] = (topic, self.sim.now)
+        # CachedSizeDict payloads are write-once by contract, so they
+        # skip the defensive copy — a manager fanning one limit to 10k
+        # ranks shares a single payload object (and size estimate).
         msg = Message(
             msg_type=MessageType.REQUEST,
             topic=topic,
-            payload=dict(payload or {}),
+            payload=payload if isinstance(payload, CachedSizeDict)
+            else dict(payload or {}),
             src_rank=self.rank,
             dst_rank=dst_rank,
             matchtag=tag,

@@ -101,13 +101,13 @@ class PowerDomain:
         """Set workload demand; clamped into [idle_w, max_w]."""
         self._demand_w = float(min(max(watts, self.spec.idle_w), self.spec.max_w))
         if self._owner is not None:
-            self._owner.power_rev += 1
+            self._owner.bump_power_rev()
 
     def clear_demand(self) -> None:
         """Reset demand to the idle floor (workload departed)."""
         self._demand_w = self.spec.idle_w
         if self._owner is not None:
-            self._owner.power_rev += 1
+            self._owner.bump_power_rev()
 
     # ------------------------------------------------------------------
     # Capping
@@ -123,13 +123,13 @@ class PowerDomain:
         if watts is None:
             self._caps.pop(source, None)
             if self._owner is not None:
-                self._owner.power_rev += 1
+                self._owner.bump_power_rev()
             return
         lo = self.spec.min_cap_w if self.spec.min_cap_w is not None else 0.0
         hi = self.spec.max_cap_w if self.spec.max_cap_w is not None else self.spec.max_w
         self._caps[source] = float(min(max(watts, lo), hi))
         if self._owner is not None:
-            self._owner.power_rev += 1
+            self._owner.bump_power_rev()
 
     def get_cap(self, source: str) -> Optional[float]:
         return self._caps.get(source)

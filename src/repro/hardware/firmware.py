@@ -128,7 +128,7 @@ class OPALFirmware:
             )
         self._node_cap_w = float(watts)
         if self._owner is not None:
-            self._owner.power_rev += 1
+            self._owner.bump_power_rev()
         derived = self.derived_gpu_cap_w
         for gpu in self._gpus:
             gpu.set_cap(self.CAP_SOURCE, derived)
@@ -137,7 +137,7 @@ class OPALFirmware:
     def clear_node_power_cap(self) -> None:
         self._node_cap_w = None
         if self._owner is not None:
-            self._owner.power_rev += 1
+            self._owner.bump_power_rev()
         for gpu in self._gpus:
             gpu.set_cap(self.CAP_SOURCE, None)
 

@@ -111,6 +111,10 @@ class Node:
         #: this node (domains and OPAL report in). Sampling caches key
         #: on it — equal revisions guarantee identical observable power.
         self.power_rev = 0
+        #: Columnar sink, set by ColumnarNodeStore.adopt(); while set,
+        #: every revision bump is mirrored into the store's arrays.
+        self._col_sink = None
+        self._col_index = -1
         for dom in self._domain_list:
             dom._owner = self
 
@@ -135,7 +139,10 @@ class Node:
             self.nvml = NVMLDriver(
                 gpu_domains=gpus, rng=rng, failure_rate=nvml_failure_rate
             )
-        elif spec.platform == "tioga":
+        elif spec.platform in ("tioga", "elcapitan"):
+            # AMD management plane: E-SMI/HSMP over CPU + accelerator
+            # packages (MI250X OAMs on Tioga, MI300A APUs on El Capitan-
+            # class nodes — the APU has no separate host CPU domain).
             self.esmi = ESMIDriver(cpu_domains=cpus, oam_domains=oams)
         else:
             self.rapl = RAPLDriver(cpu_domains=cpus)
@@ -150,6 +157,19 @@ class Node:
             noise_sigma_w=sensor_noise_sigma_w,
             rng=rng,
         )
+
+    def bump_power_rev(self) -> None:
+        """Advance the power revision (every demand/cap mutation).
+
+        When a columnar store has adopted this node the new revision is
+        mirrored into its arrays so vectorized consumers (sampler
+        template scans, manager cap fan-out) see the change without
+        touching the node object again.
+        """
+        self.power_rev += 1
+        sink = self._col_sink
+        if sink is not None:
+            sink.power_rev_changed(self)
 
     # ------------------------------------------------------------------
     # Domain access

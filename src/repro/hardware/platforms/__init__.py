@@ -1,18 +1,25 @@
-"""Platform definitions: Lassen, Tioga and a generic Intel machine."""
+"""Platform definitions: Lassen, Tioga, El Capitan-class and a generic
+Intel machine."""
 
 from repro.hardware.platforms.lassen import lassen_node_spec, make_lassen_node
 from repro.hardware.platforms.tioga import tioga_node_spec, make_tioga_node
+from repro.hardware.platforms.elcapitan import (
+    elcapitan_node_spec,
+    make_elcapitan_node,
+)
 from repro.hardware.platforms.generic import generic_node_spec, make_generic_node
 
 PLATFORM_FACTORIES = {
     "lassen": make_lassen_node,
     "tioga": make_tioga_node,
+    "elcapitan": make_elcapitan_node,
     "generic": make_generic_node,
 }
 
 PLATFORM_SPECS = {
     "lassen": lassen_node_spec,
     "tioga": tioga_node_spec,
+    "elcapitan": elcapitan_node_spec,
     "generic": generic_node_spec,
 }
 
@@ -33,6 +40,8 @@ __all__ = [
     "make_lassen_node",
     "tioga_node_spec",
     "make_tioga_node",
+    "elcapitan_node_spec",
+    "make_elcapitan_node",
     "generic_node_spec",
     "make_generic_node",
     "make_node",

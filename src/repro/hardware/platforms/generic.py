@@ -9,6 +9,7 @@ vendor-neutrality examples.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -17,6 +18,7 @@ from repro.hardware.domains import DomainKind, DomainSpec
 from repro.hardware.node import Node, NodeSpec
 
 
+@lru_cache(maxsize=None)
 def generic_node_spec(n_sockets: int = 2, n_gpus: int = 0) -> NodeSpec:
     """Build a generic dual-socket (optionally GPU-bearing) node spec."""
     domains = tuple(

@@ -13,6 +13,7 @@ the value the paper assumes from its measurements (Section IV-C).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -30,6 +31,7 @@ NODE_SOFT_MIN_W = 500.0
 NODE_HARD_MIN_W = 1000.0
 
 
+@lru_cache(maxsize=None)
 def lassen_node_spec() -> NodeSpec:
     """Build the AC922 node spec."""
     domains = (

@@ -12,6 +12,7 @@ system. Max OAM power: 560 W.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -23,6 +24,7 @@ OAM_MAX_W = 560.0
 GCDS_PER_OAM = 2
 
 
+@lru_cache(maxsize=None)
 def tioga_node_spec() -> NodeSpec:
     """Build the EX235a node spec."""
     domains = (

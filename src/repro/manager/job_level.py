@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.flux.broker import Broker
+from repro.flux.message import CachedSizeDict
 from repro.manager.node_manager import JOB_DEPARTED_TOPIC, SET_LIMIT_TOPIC
 
 
@@ -69,16 +70,16 @@ class JobLevelManager:
             "manager_job_limit_assignments_total",
             help="job-level limit assignments fanned out to node managers",
         ).inc()
+        # Every rank of the job gets the identical payload; one shared
+        # write-once dict keeps the fan-out O(ranks) messages but O(1)
+        # payload construction and size estimation.
+        payload = CachedSizeDict(
+            limit_w=node_limit,
+            jobid=jobid,
+            t_assigned=self.broker.sim.now,
+        )
         for rank in state.ranks:
-            self.broker.rpc(
-                rank,
-                SET_LIMIT_TOPIC,
-                {
-                    "limit_w": node_limit,
-                    "jobid": jobid,
-                    "t_assigned": self.broker.sim.now,
-                },
-            )
+            self.broker.rpc(rank, SET_LIMIT_TOPIC, payload)
 
     def node_died(self, rank: int) -> List[int]:
         """Drop a dead rank from every job; returns the affected jobids.

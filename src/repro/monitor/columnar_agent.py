@@ -1,0 +1,123 @@
+"""Columnar-capable node agent.
+
+Same module, same services, same wire behaviour as
+:class:`~repro.monitor.node_agent.NodeAgentModule`; the only change is
+where samples *live*. When the instance's columnar store has adopted
+this agent's node and the exactness preconditions hold, the agent
+enrols its sampler group columnar-side: ``self.buffer`` becomes a
+:class:`~repro.columnar.store.ColumnarRing` (a lazy view over the
+group's shared tick log) and the per-tick Python sample body
+disappears entirely.
+
+Eligibility (anything else falls back to the scalar path, silently and
+per-agent — mirroring how ``monitor_batch_sampling`` degrades):
+
+* the node must be adopted by the simulator's columnar store;
+* sensors must be noise-free (noisy sensors draw per-sample RNG, so
+  skipping sample bodies would shift every later draw);
+* the per-sample accountant charge must equal the store-wide constant
+  (deferred charge replay is only exact for identical addends);
+* the group must not have already ticked at this instant (the same-
+  instant catch-up corner keeps legacy semantics).
+
+Demotion (snapshot restore) converts the ring back into an explicit
+:class:`~repro.monitor.buffer.CircularBuffer` with identical logical
+contents and moves the agent to the group's scalar list.
+"""
+
+from __future__ import annotations
+
+from repro.flux.broker import Broker
+from repro.monitor.buffer import DEFAULT_CAPACITY
+from repro.monitor.node_agent import DEFAULT_SAMPLE_INTERVAL_S, NodeAgentModule
+
+
+class ColumnarNodeAgent(NodeAgentModule):
+    """Node agent whose ring buffer is implicit in the columnar store."""
+
+    # Class-level defaults so the base __init__'s samples_taken = 0
+    # assignment (routed through the property setter) works before
+    # instance attributes exist.
+    _ring = None
+    _group = None
+    _samples_base = 0
+    _samples_plain = 0
+
+    def __init__(
+        self,
+        broker: Broker,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+        buffer_capacity: int = DEFAULT_CAPACITY,
+        batch_sampling: bool = True,
+    ) -> None:
+        super().__init__(
+            broker,
+            sample_interval_s=sample_interval_s,
+            buffer_capacity=buffer_capacity,
+            batch_sampling=batch_sampling,
+        )
+
+    # ------------------------------------------------------------------
+    # samples_taken: implicit while promoted
+    # ------------------------------------------------------------------
+    @property
+    def samples_taken(self) -> int:
+        ring = self._ring
+        if ring is not None:
+            return self._samples_base + ring.total_appended
+        return self._samples_plain
+
+    @samples_taken.setter
+    def samples_taken(self, value: int) -> None:
+        if self._ring is not None:
+            raise TypeError(
+                "samples_taken is implicit while promoted; demote first"
+            )
+        self._samples_plain = int(value)
+
+    # ------------------------------------------------------------------
+    # Promotion / demotion
+    # ------------------------------------------------------------------
+    def _enroll_columnar(self, group) -> bool:
+        from repro.columnar.store import GroupColumns, columnar_of
+
+        store = columnar_of(self.sim)
+        node = self.broker.node
+        if store is None or node._col_sink is not store:
+            return False
+        sensors = node.sensors
+        if sensors.noise_sigma_w > 0.0 and sensors._rng is not None:
+            return False
+        if not store.accept_charge(self._charge_s):
+            return False
+        if group.last_tick_t == self.sim.now:
+            return False
+        cols = GroupColumns.ensure(group, store)
+        self._samples_base = self._samples_plain
+        self._ring = cols.add(self)
+        self.buffer = self._ring
+        self._group = group
+        return True
+
+    def _demote(self) -> None:
+        """Back to an explicit buffer + the group's scalar list."""
+        ring = self._ring
+        if ring is None:
+            return
+        group = self._group
+        plain = self._samples_base + ring.total_appended
+        self.buffer = ring.to_circular_buffer()
+        self._ring = None
+        self._samples_base = 0
+        self._samples_plain = plain
+        self._group = None
+        if group is not None and group.columns is not None:
+            group.columns.remove(self)
+            group.agents.append(self)
+
+    # ------------------------------------------------------------------
+    # Crash recovery: restored agents run scalar
+    # ------------------------------------------------------------------
+    def restore_state(self, state: dict) -> None:
+        self._demote()
+        super().restore_state(state)

@@ -41,6 +41,7 @@ class PowerMonitor:
     strategy: str = "fanout"
     retry: Optional[RetryConfig] = field(default=None)
     batch_sampling: bool = True
+    columnar: bool = False
 
     def detach(self) -> None:
         """Unload the monitor everywhere (the overhead experiment's off case)."""
@@ -61,7 +62,7 @@ class PowerMonitor:
         broker = self.instance.brokers[rank]
         if NodeAgentModule.name in broker.modules:
             broker.unload_module(NodeAgentModule.name)
-        agent = NodeAgentModule(
+        agent = _agent_class(self.columnar)(
             broker,
             sample_interval_s=self.sample_interval_s,
             buffer_capacity=self.buffer_capacity,
@@ -74,6 +75,14 @@ class PowerMonitor:
         return agent
 
 
+def _agent_class(columnar: bool):
+    if columnar:
+        from repro.monitor.columnar_agent import ColumnarNodeAgent
+
+        return ColumnarNodeAgent
+    return NodeAgentModule
+
+
 def attach_monitor(
     instance: FluxInstance,
     sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
@@ -81,6 +90,7 @@ def attach_monitor(
     strategy: str = "fanout",
     retry: Optional[RetryConfig] = None,
     batch_sampling: bool = True,
+    columnar: bool = False,
 ) -> PowerMonitor:
     """Load the flux-power-monitor modules across an instance.
 
@@ -89,10 +99,43 @@ def attach_monitor(
     None means the :class:`~repro.flux.module.RetryConfig` defaults.
     ``batch_sampling`` selects the coalesced one-event-per-interval
     sampling tick (default) versus one timer per node agent; outputs
-    are byte-identical (see docs/performance.md).
+    are byte-identical (see docs/performance.md). ``columnar`` (implies
+    batch sampling) keeps per-rank samples implicit in the instance's
+    columnar store — the exascale path; again byte-identical, with
+    per-agent scalar fallback where exactness would not hold.
     """
+    if columnar and not batch_sampling:
+        raise ValueError("columnar sampling requires batch_sampling=True")
+    if columnar:
+        from repro.columnar.store import columnar_store_of
+
+        store = columnar_store_of(instance.sim)
+        owner = getattr(store, "owner", None)
+        if owner is not None and owner is not instance:
+            # Two instances on one engine would collide in the store's
+            # rank-keyed dead mask; a federated site that wants columnar
+            # members must run sharded (one engine per cluster).
+            raise ValueError(
+                "columnar store on this engine already belongs to another "
+                "instance; use sharded federation (SiteConfig(sharded=True)) "
+                "to give each cluster its own engine"
+            )
+        store.owner = instance
+        for rank, broker in enumerate(instance.brokers):
+            if broker.node is not None:
+                store.adopt(broker.node, rank)
+
+        # Keep the store's dead-mask current off the same event stream
+        # the managers and the federation tier react on.
+        def _on_broker_event(msg) -> None:
+            if msg.topic == "broker.down":
+                store.set_dead(int(msg.payload["rank"]), True)
+            elif msg.topic == "broker.up":
+                store.set_dead(int(msg.payload["rank"]), False)
+
+        instance.brokers[0].subscribe("broker.", _on_broker_event)
     node_agents = instance.load_module_on_all(
-        lambda broker: NodeAgentModule(
+        lambda broker: _agent_class(columnar)(
             broker,
             sample_interval_s=sample_interval_s,
             buffer_capacity=buffer_capacity,
@@ -117,4 +160,5 @@ def attach_monitor(
         strategy=strategy,
         retry=retry,
         batch_sampling=batch_sampling,
+        columnar=columnar,
     )

@@ -131,23 +131,40 @@ class NodeAgentModule(Module):
             now, self._backend.sample_cached(self.broker.node, now, self._plan)
         )
         self.samples_taken += 1
-        tel = self.broker.telemetry
+        self._set_buffer_gauges()
+        # The per-sample collection cost — identical to the fraction
+        # that slows co-located apps (node_overhead_fraction).
+        self.broker.telemetry.accountant.charge("monitor", self._charge_s)
+
+    def _set_buffer_gauges(self) -> None:
+        """Write the per-rank occupancy/drop gauges from buffer state.
+
+        Last-write-wins, so the columnar store may defer these to its
+        flush without changing any exported value.
+        """
         if self._g_occupancy is None:
+            metrics = self.broker.telemetry.metrics
             rank = {"rank": str(self.broker.rank)}
-            self._g_occupancy = tel.metrics.gauge(
+            self._g_occupancy = metrics.gauge(
                 "monitor_buffer_occupancy", labels=rank,
                 help="retained samples in the node agent's circular buffer",
             )
-            self._g_dropped = tel.metrics.gauge(
+            self._g_dropped = metrics.gauge(
                 "monitor_buffer_dropped", labels=rank,
                 help="samples lost to ring wrap on this node agent",
             )
+        buf = self.buffer
         retained = len(buf)
         self._g_occupancy.set(retained)
         self._g_dropped.set(buf.total_appended - retained)
-        # The per-sample collection cost — identical to the fraction
-        # that slows co-located apps (node_overhead_fraction).
-        tel.accountant.charge("monitor", self._charge_s)
+
+    def _enroll_columnar(self, group) -> bool:
+        """Hook for the batch sampler: join ``group`` columnar-side.
+
+        The base agent always declines; ColumnarNodeAgent overrides
+        with the eligibility rules (see repro.monitor.columnar_agent).
+        """
+        return False
 
     # ------------------------------------------------------------------
     # Crash recovery (see repro.lifecycle.snapshot)

@@ -56,7 +56,7 @@ def sampler_of(sim: Simulator) -> "BatchSampler":
 class _SampleGroup:
     """Agents sharing one tick grid, driven by one reused engine event."""
 
-    __slots__ = ("key", "agents", "event", "last_tick_t", "_sampler")
+    __slots__ = ("key", "agents", "columns", "event", "last_tick_t", "_sampler")
 
     def __init__(
         self,
@@ -66,6 +66,9 @@ class _SampleGroup:
     ) -> None:
         self.key = (interval, first_time)
         self.agents: List["NodeAgentModule"] = []
+        #: Columnar members (a ``repro.columnar`` GroupColumns), or
+        #: None while every member is on the scalar path.
+        self.columns = None
         self.last_tick_t: Optional[float] = None
         self._sampler = sampler
         self.event: ScheduledEvent = sampler.sim.schedule_periodic(
@@ -74,12 +77,18 @@ class _SampleGroup:
 
     def _tick(self) -> None:
         agents = self.agents
-        if not agents:
+        cols = self.columns
+        n_cols = len(cols.agents) if cols is not None else 0
+        n = len(agents) + n_cols
+        if n == 0:
             return
         sampler = self._sampler
         now = sampler.sim.now
         self.last_tick_t = now
-        sampler.samples_counter(agents[0]).inc(len(agents))
+        any_agent = agents[0] if agents else cols.agents[0]
+        sampler.samples_counter(any_agent).inc(n)
+        if n_cols:
+            cols.tick(now)
         for agent in agents:
             agent.sample_in_batch(now)
 
@@ -104,26 +113,59 @@ class BatchSampler:
 
     def register(self, agent: "NodeAgentModule") -> None:
         """Start sampling ``agent`` on its grid (first tick now)."""
-        key = (agent.sample_interval_s, self.sim.now)
+        interval = agent.sample_interval_s
+        now = self.sim.now
+        key = (interval, now)
         group = self._groups.get(key)
         if group is None:
-            group = _SampleGroup(self, agent.sample_interval_s, self.sim.now)
+            # Mid-run enrolment: an existing group whose grid lands on
+            # this exact instant produces the same bitwise tick times a
+            # fresh timer would, so join it instead of spawning a
+            # singleton group that drives its own engine event forever.
+            group = self._aligned_group(interval, now)
+        if group is None:
+            group = _SampleGroup(self, interval, now)
             self._groups[key] = group
-        elif group.last_tick_t == self.sim.now:
+        if agent._enroll_columnar(group):
+            return
+        if group.last_tick_t == now:
             # The group already ticked at this instant; the agent's own
             # timer would still have fired (later in sequence order).
             self.sim.schedule(0.0, self._catch_up, agent, group)
         group.agents.append(agent)
 
+    def _aligned_group(
+        self, interval: float, now: float
+    ) -> Optional[_SampleGroup]:
+        """An existing group whose nominal grid hits ``now`` exactly.
+
+        Grid times are the float-accumulated ``first + interval + ...``
+        sequence, so equality is only ever claimed when the group either
+        just ticked at this instant (``last_tick_t == now``) or has its
+        next tick pending at it (``event.time == now``) — from that
+        shared point on, both accumulations are bitwise identical.
+        """
+        for group in self._groups.values():
+            if group.key[0] != interval:
+                continue
+            if group.last_tick_t == now or group.event.time == now:
+                return group
+        return None
+
     def unregister(self, agent: "NodeAgentModule") -> None:
         """Stop sampling ``agent``; empty groups cancel their event."""
         for key, group in list(self._groups.items()):
+            cols = group.columns
             if agent in group.agents:
                 group.agents.remove(agent)
-                if not group.agents:
-                    group.event.cancel()
-                    del self._groups[key]
-                return
+            elif cols is not None and agent in cols.agents:
+                cols.remove(agent)
+            else:
+                continue
+            if not group.agents and (cols is None or not cols.agents):
+                group.event.cancel()
+                del self._groups[key]
+            return
 
     def _catch_up(self, agent: "NodeAgentModule", group: _SampleGroup) -> None:
         if agent in group.agents:

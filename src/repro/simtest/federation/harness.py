@@ -143,6 +143,58 @@ def _cluster_checkers() -> List[InvariantChecker]:
     ]
 
 
+def _site_config(scenario: FederatedScenario) -> SiteConfig:
+    return SiteConfig(
+        site_budget_w=scenario.site_budget_w,
+        rebalance_epoch_s=scenario.rebalance_epoch_s,
+        clusters=tuple(
+            ClusterSpec(
+                name=c.name,
+                platform=c.platform,
+                n_nodes=c.n_nodes,
+                fanout=c.fanout,
+                monitor_strategy=c.monitor_strategy,
+                policy=c.policy,
+                static_node_cap_w=c.static_node_cap_w,
+                node_peak_w=c.node_peak_w,
+                min_share_w=c.min_share_w,
+                max_share_w=c.max_share_w,
+            )
+            for c in scenario.clusters
+        ),
+    )
+
+
+def _run_sharded_twin(scenario: FederatedScenario) -> str:
+    """Run ``scenario`` on the sharded inline engine; return its digest.
+
+    The twin gets the identical config, seed and workload as the
+    single-engine run the harness just finished — byte-equal site
+    digests are the sharding determinism contract
+    (:mod:`repro.federation.sharded`), so any divergence the fuzzer
+    finds here is a real finding, not noise.
+    """
+    from repro.federation import ShardedFederatedSite
+
+    site = ShardedFederatedSite(_site_config(scenario), seed=scenario.seed)
+    for c in scenario.clusters:
+        for entry in c.jobs:
+            spec = Jobspec(
+                app=entry.app,
+                nnodes=min(entry.nnodes, c.n_nodes),
+                params={"work_scale": entry.work_scale},
+            )
+            if entry.submit_t <= 0.0:
+                site.submit(c.name, spec)
+            else:
+                site.submit_at(c.name, spec, entry.submit_t)
+    for t, w in scenario.site_budget_schedule:
+        site.schedule_retune(t, w)
+    site.run_until_complete(timeout_s=DEFAULT_TIMEOUT_S)
+    site.run_for(scenario.drain_s)
+    return site.site_digest()
+
+
 def run_federated_scenario(
     scenario: FederatedScenario,
     checkers: Optional[List[InvariantChecker]] = None,
@@ -162,25 +214,7 @@ def run_federated_scenario(
         checkers = site_checkers()
 
     site = FederatedSite(
-        SiteConfig(
-            site_budget_w=scenario.site_budget_w,
-            rebalance_epoch_s=scenario.rebalance_epoch_s,
-            clusters=tuple(
-                ClusterSpec(
-                    name=c.name,
-                    platform=c.platform,
-                    n_nodes=c.n_nodes,
-                    fanout=c.fanout,
-                    monitor_strategy=c.monitor_strategy,
-                    policy=c.policy,
-                    static_node_cap_w=c.static_node_cap_w,
-                    node_peak_w=c.node_peak_w,
-                    min_share_w=c.min_share_w,
-                    max_share_w=c.max_share_w,
-                )
-                for c in scenario.clusters
-            ),
-        ),
+        _site_config(scenario),
         seed=scenario.seed,
         fault_plans={
             c.name: plan
@@ -261,6 +295,37 @@ def run_federated_scenario(
     if not timed_out:
         site.run_for(scenario.drain_s)
     tick_event.cancel()
+
+    # Sharded cross-check ------------------------------------------------
+    # The site digest folds in t_end (sim.now), which the end-of-run
+    # telemetry fetches below advance — capture it first.
+    if scenario.sharded and not timed_out:
+        unsharded_digest = site.site_digest()
+        try:
+            sharded_digest = _run_sharded_twin(scenario)
+        except Exception as exc:  # noqa: BLE001 - a crashed twin IS a finding
+            result.violations.append(
+                Violation(
+                    invariant="sharded_digest", t=sim.now,
+                    message=f"sharded twin run failed: {exc}",
+                    details={"error": str(exc)},
+                )
+            )
+        else:
+            if sharded_digest != unsharded_digest:
+                result.violations.append(
+                    Violation(
+                        invariant="sharded_digest", t=sim.now,
+                        message=(
+                            "sharded site digest diverged from the "
+                            "single-engine run"
+                        ),
+                        details={
+                            "unsharded": unsharded_digest,
+                            "sharded": sharded_digest,
+                        },
+                    )
+                )
 
     # End-of-run checks --------------------------------------------------
     if not timed_out:

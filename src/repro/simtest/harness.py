@@ -150,6 +150,7 @@ def run_scenario(
         manager_config=manager_config,
         monitor_strategy=scenario.monitor_strategy,
         fault_plan=scenario.fault_plan(),
+        monitor_columnar=scenario.columnar,
     )
     ctx = SimtestContext(cluster, scenario)
     result = SimtestResult(scenario=scenario)

@@ -91,6 +91,10 @@ class Scenario:
     #: Simulated seconds to keep running after the last job completes
     #: (lets telemetry windows close and restarts land).
     drain_s: float = 4.0
+    #: Keep per-rank samples in the columnar store (:mod:`repro.columnar`)
+    #: — the exascale hot path, contractually equivalent to the scalar
+    #: one, so the invariant checkers fuzz it too.
+    columnar: bool = False
 
     # ------------------------------------------------------------------
     # Derived
@@ -108,6 +112,7 @@ class Scenario:
             f"jobs={len(self.jobs)} faults={len(self.fault_events)}"
             f"{'+link' if self.link_faults else ''} "
             f"budget_steps={len(self.budget_schedule)}"
+            f"{' columnar' if self.columnar else ''}"
         )
 
     # ------------------------------------------------------------------
@@ -129,6 +134,7 @@ class Scenario:
             "fault_events": [asdict(ev) for ev in self.fault_events],
             "link_faults": None,
             "drain_s": self.drain_s,
+            "columnar": self.columnar,
         }
         if self.link_faults is not None:
             lf = asdict(self.link_faults)
@@ -179,6 +185,7 @@ class Scenario:
             ),
             link_faults=link,
             drain_s=float(d.get("drain_s", 4.0)),
+            columnar=bool(d.get("columnar", False)),
         )
 
 
@@ -221,6 +228,9 @@ class GeneratorConfig:
     p_link_faults: float = 0.2
     max_crashes: int = 2
     max_hangs: int = 1
+    #: Probability the monitor keeps samples in the columnar store —
+    #: often enough that the 100-seed batch fuzzes the exascale path.
+    p_columnar: float = 0.25
 
 
 def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scenario:
@@ -237,6 +247,9 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
     jobs_rng = streams.get("simtest/jobs")
     budget_rng = streams.get("simtest/budget")
     faults_rng = streams.get("simtest/faults")
+    # Own substream: turning the columnar knob on or off never perturbs
+    # the topology/job/fault draws existing seeds produce.
+    columnar_rng = streams.get("simtest/columnar")
 
     # Topology -----------------------------------------------------------
     n_nodes = int(topo.integers(cfg.min_nodes, cfg.max_nodes + 1))
@@ -314,4 +327,5 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
         budget_schedule=budget_schedule,
         fault_events=fault_events,
         link_faults=link,
+        columnar=float(columnar_rng.random()) < cfg.p_columnar,
     )

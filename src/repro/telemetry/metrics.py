@@ -37,6 +37,38 @@ LabelDict = Dict[str, str]
 _LabelKey = Tuple[Tuple[str, str], ...]
 
 
+def repeat_add(base: float, amount: float, count: int) -> float:
+    """The value of ``base`` after ``count`` sequential ``+= amount``.
+
+    ``np.add.accumulate`` is defined as strict left-to-right IEEE
+    accumulation (it must produce every prefix), so the result is
+    bit-identical to the Python loop at a fraction of the cost — the
+    columnar store replays millions of deferred constant charges
+    through this. Chunked to bound the scratch array; falls back to
+    the plain loop without numpy.
+    """
+    if count <= 0:
+        return base
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy ships in the image
+        total = base
+        for _ in range(count):
+            total += amount
+        return total
+    total = base
+    remaining = count
+    chunk = 1 << 20
+    while remaining:
+        k = min(remaining, chunk)
+        arr = np.empty(k + 1, dtype=np.float64)
+        arr[0] = total
+        arr[1:] = amount
+        total = float(np.add.accumulate(arr)[-1])
+        remaining -= k
+    return total
+
+
 def _label_key(labels: Optional[LabelDict]) -> _LabelKey:
     if not labels:
         return ()
@@ -85,6 +117,14 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
         self._value += amount
+
+    def inc_repeated(self, amount: float, count: int) -> None:
+        """``count`` sequential :meth:`inc` calls, bit-exactly, in bulk."""
+        if not self._on or count <= 0:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self._value = repeat_add(self._value, amount, count)
 
     @property
     def value(self) -> float:
@@ -230,6 +270,32 @@ class MetricsRegistry:
         self._families: Dict[str, Tuple[str, str, Optional[Tuple[float, ...]]]] = {}
         #: (name, label key) -> Metric
         self._series: Dict[Tuple[str, _LabelKey], Metric] = {}
+        #: Callbacks run before any export so deferred writers (the
+        #: columnar store) can settle their gauges/counters first.
+        self._flush_hooks: List[Callable[[], None]] = []
+        self._flushing = False
+
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` before every snapshot/export.
+
+        Lazily-maintained sources (e.g. the columnar node store, which
+        batches gauge updates per sampler tick) register here so reads
+        through the exporters always see settled values. Hooks must be
+        idempotent; re-entrant exports during a hook skip flushing.
+        """
+        if hook not in self._flush_hooks:
+            self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Run registered flush hooks (no-op when re-entered)."""
+        if self._flushing or not self._flush_hooks:
+            return
+        self._flushing = True
+        try:
+            for hook in list(self._flush_hooks):
+                hook()
+        finally:
+            self._flushing = False
 
     @property
     def enabled(self) -> bool:
@@ -311,6 +377,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-compatible dump of every family and series."""
+        self.flush()
         out: Dict[str, Any] = {"time_s": self.clock(), "metrics": {}}
         for name in self.names():
             kind, help, _buckets = self._families[name]
@@ -335,6 +402,7 @@ class MetricsRegistry:
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (HELP/TYPE + samples)."""
+        self.flush()
         lines: List[str] = []
         for name in self.names():
             kind, help, _buckets = self._families[name]

@@ -39,7 +39,14 @@ class AMDBackend(Backend):
             raise VariorumError(f"{node.hostname}: no E-SMI driver")
         cpus = node.by_kind(DomainKind.CPU)
         oams = node.by_kind(DomainKind.OAM)
-        cpu_share = min(watts / max(len(cpus), 1), cpus[0].spec.max_cap_w or watts)
+        if cpus:
+            cpu_share = min(
+                watts / max(len(cpus), 1), cpus[0].spec.max_cap_w or watts
+            )
+        else:
+            # APU platforms (El Capitan-class MI300A) have no separate
+            # host CPU socket; the whole budget goes to the packages.
+            cpu_share = 0.0
         per_oam = (watts - cpu_share * len(cpus)) / max(len(oams), 1)
         try:
             for i in range(len(cpus)):

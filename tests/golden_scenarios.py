@@ -39,11 +39,15 @@ def run_scenario(
     strategy: str,
     faults: bool,
     batch_sampling: Optional[bool] = None,
+    columnar: Optional[bool] = None,
 ) -> Tuple[str, str]:
     """Run one scenario; return ``(csv_blob, prometheus_text)``.
 
     ``batch_sampling=None`` uses the monitor's default sampling mode;
     True/False force the batched tick or the legacy per-node timers.
+    ``columnar=True`` keeps per-rank samples in the columnar store
+    (:mod:`repro.columnar`) — the exascale path, contractually
+    byte-identical to the scalar one.
     """
     plan = None
     if faults:
@@ -56,6 +60,8 @@ def run_scenario(
     kwargs = {}
     if batch_sampling is not None:
         kwargs["monitor_batch_sampling"] = batch_sampling
+    if columnar is not None:
+        kwargs["monitor_columnar"] = columnar
     cluster = PowerManagedCluster(
         platform="lassen",
         n_nodes=16,

@@ -1,0 +1,216 @@
+"""``repro bench --compare``: regression gating between two artifacts.
+
+Covers the comparison semantics the perf gate rides on: direction
+inference from metric names, threshold gating in both directions, the
+lenient-loader warnings (missing ``created_unix``, mismatched
+``repeats``, platform drift) that older artifacts must trigger instead
+of crashes, the quick-mismatch rule that un-gates duration metrics,
+and the CLI exit codes verify.sh's ``bench`` stage depends on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import compare_reports, load_report_lenient, parse_max_regress
+from repro.cli import main
+
+
+def _report(name, results, *, quick=False, created=1_700_000_000,
+            repeats=1, platform=None):
+    return {
+        "schema": "repro-bench/1",
+        "name": name,
+        "quick": quick,
+        "created_unix": created,
+        "repeats": repeats,
+        "platform": platform or {"python": "3.11.7", "machine": "x86_64",
+                                 "numpy": "2.4.6"},
+        "results": results,
+    }
+
+
+def _entry(benchmark, metric, value, wall_s=1.0):
+    return {"benchmark": benchmark, "metric": metric, "value": value,
+            "wall_s": wall_s, "params": {}}
+
+
+# ---------------------------------------------------------------------------
+# parse_max_regress
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text,expect",
+    [("10%", 0.10), ("5 %".replace(" ", ""), 0.05), ("0.1", 0.1), ("0", 0.0)],
+)
+def test_parse_max_regress_accepts_percent_and_fraction(text, expect):
+    assert parse_max_regress(text) == pytest.approx(expect)
+
+
+@pytest.mark.parametrize("text", ["ten percent", "-5%", "-0.1", "%"])
+def test_parse_max_regress_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        parse_max_regress(text)
+
+
+# ---------------------------------------------------------------------------
+# Gating directions
+# ---------------------------------------------------------------------------
+
+
+def test_throughput_drop_past_threshold_fails():
+    base = _report("base", [_entry("sweep", "node_samples_per_s", 1000.0)])
+    new = _report("new", [_entry("sweep", "node_samples_per_s", 800.0)])
+    result = compare_reports(base, new, 0.10)
+    assert not result.ok
+    (bad,) = result.regressions()
+    assert bad.regress == pytest.approx(0.20)
+    assert "FAIL" in result.summary()
+
+
+def test_throughput_gain_passes_and_reports_speedup():
+    base = _report("base", [_entry("sweep", "node_samples_per_s", 1000.0)])
+    new = _report("new", [_entry("sweep", "node_samples_per_s", 14_300.0)])
+    result = compare_reports(base, new, 0.10)
+    assert result.ok
+    (delta,) = result.deltas
+    assert delta.speedup == pytest.approx(14.3)
+
+
+def test_duration_increase_past_threshold_fails():
+    base = _report("base", [_entry("sweep", "wall_s", 1.0)])
+    new = _report("new", [_entry("sweep", "wall_s", 1.3)])
+    result = compare_reports(base, new, 0.10)
+    assert not result.ok
+    (bad,) = result.regressions()
+    assert bad.regress == pytest.approx(0.30)
+
+
+def test_unknown_metric_shown_but_never_gated():
+    base = _report("base", [_entry("sweep", "peak_rss_bytes", 10.0)])
+    new = _report("new", [_entry("sweep", "peak_rss_bytes", 1e9)])
+    result = compare_reports(base, new, 0.0)
+    assert result.ok
+    assert result.deltas[0].regress is None
+    assert "(not gated)" in "\n".join(result.table_rows())
+
+
+def test_quick_mismatch_ungates_durations_but_not_throughputs():
+    base = _report(
+        "base",
+        [_entry("sweep", "wall_s", 1.0),
+         _entry("sweep", "node_samples_per_s", 1000.0)],
+        quick=False,
+    )
+    new = _report(
+        "new",
+        [_entry("sweep", "wall_s", 50.0),  # bigger size: meaningless diff
+         _entry("sweep", "node_samples_per_s", 100.0)],  # real regression
+        quick=True,
+    )
+    result = compare_reports(base, new, 0.10)
+    assert any("quick flags differ" in w for w in result.warnings)
+    by_metric = {d.metric: d for d in result.deltas}
+    assert by_metric["wall_s"].regress is None
+    assert by_metric["node_samples_per_s"].regress == pytest.approx(0.90)
+    assert not result.ok
+
+
+def test_disjoint_benchmarks_reported_not_crashed():
+    base = _report("base", [_entry("old_bench", "wall_s", 1.0)])
+    new = _report("new", [_entry("new_bench", "wall_s", 1.0)])
+    result = compare_reports(base, new, 0.10)
+    assert result.ok  # nothing comparable, nothing gated
+    assert result.only_base == ["old_bench (wall_s)"]
+    assert result.only_new == ["new_bench (wall_s)"]
+
+
+# ---------------------------------------------------------------------------
+# Metadata warnings (the satellite fix: warn, don't crash)
+# ---------------------------------------------------------------------------
+
+
+def test_missing_created_unix_warns_instead_of_crashing():
+    base = _report("base", [_entry("b", "wall_s", 1.0)], created=0)
+    new = _report("new", [_entry("b", "wall_s", 1.0)])
+    del base["created_unix"]
+    result = compare_reports(base, new, 0.10)
+    assert result.ok
+    assert any("created_unix" in w for w in result.warnings)
+
+
+def test_reversed_timestamps_warn():
+    base = _report("base", [_entry("b", "wall_s", 1.0)], created=2_000)
+    new = _report("new", [_entry("b", "wall_s", 1.0)], created=1_000)
+    result = compare_reports(base, new, 0.10)
+    assert any("predates" in w for w in result.warnings)
+
+
+def test_mismatched_repeats_warn():
+    base = _report("base", [_entry("b", "wall_s", 1.0)], repeats=5)
+    new = _report("new", [_entry("b", "wall_s", 1.0)], repeats=3)
+    result = compare_reports(base, new, 0.10)
+    assert result.ok
+    assert any("best-of-5" in w and "best-of-3" in w for w in result.warnings)
+
+
+def test_platform_drift_warns_including_numpy():
+    base = _report("base", [_entry("b", "wall_s", 1.0)])
+    new = _report(
+        "new", [_entry("b", "wall_s", 1.0)],
+        platform={"python": "3.11.7", "machine": "x86_64", "numpy": None},
+    )
+    result = compare_reports(base, new, 0.10)
+    assert any("platform.numpy" in w for w in result.warnings)
+
+
+# ---------------------------------------------------------------------------
+# Lenient loader + CLI exit codes
+# ---------------------------------------------------------------------------
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_lenient_loader_rejects_wrong_schema_and_empty_results(tmp_path):
+    bad_schema = _write(tmp_path, "a.json",
+                        {"schema": "repro-bench/999", "results": [{}]})
+    with pytest.raises(ValueError):
+        load_report_lenient(bad_schema)
+    empty = _write(tmp_path, "b.json",
+                   {"schema": "repro-bench/1", "results": []})
+    with pytest.raises(ValueError):
+        load_report_lenient(empty)
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    base = _write(
+        tmp_path, "base.json",
+        _report("base", [_entry("sweep", "node_samples_per_s", 1000.0)],
+                created=0),
+    )
+    good = _write(
+        tmp_path, "good.json",
+        _report("good", [_entry("sweep", "node_samples_per_s", 1500.0)]),
+    )
+    bad = _write(
+        tmp_path, "bad.json",
+        _report("bad", [_entry("sweep", "node_samples_per_s", 500.0)]),
+    )
+
+    assert main(["bench", "--compare", base, good, "--max-regress", "10%"]) == 0
+    out = capsys.readouterr()
+    assert "OK" in out.out
+    assert "created_unix" in out.err  # warning surfaced, not fatal
+
+    assert main(["bench", "--compare", base, bad, "--max-regress", "10%"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+    assert main(["bench", "--compare", base, str(tmp_path / "nope.json")]) == 2
+    assert main(["bench", "--compare", base, good, "--max-regress", "oops"]) == 2

@@ -35,7 +35,16 @@ def test_bench_quick_writes_schema_valid_artifact(tmp_path, capsys):
         "scalability_tree",
         "scalability_sweep",
         "table4_policy",
+        "sweep_10k",
+        "sweep_100k",
     } <= names
+    sweeps = {
+        r["benchmark"]: r for r in data["results"]
+        if r["benchmark"].startswith("sweep_")
+    }
+    # The exascale sweeps run columnar on this tree and record it.
+    assert all(r["params"]["columnar"] is True for r in sweeps.values())
+    assert all(r["metric"] == "node_samples_per_s" for r in sweeps.values())
     # The artifact is plain JSON (round-trips through json module).
     assert json.loads(path.read_text())["schema"] == "repro-bench/1"
     out = capsys.readouterr().out

@@ -24,3 +24,19 @@ def test_golden_byte_identity(name):
         assert csv_blob == fh.read(), f"CSV output diverged from golden {name}"
     with open(prom_path) as fh:
         assert prom == fh.read(), f"metrics export diverged from golden {name}"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_byte_identity_columnar(name):
+    """The columnar store (ISSUE 8) rides the same byte contract.
+
+    Deferred gauges, bulk charge replay and vectorised sampling must
+    be observationally invisible: the same fixtures, byte for byte.
+    """
+    spec = SCENARIOS[name]
+    csv_blob, prom = run_scenario(spec["strategy"], spec["faults"], columnar=True)
+    csv_path, prom_path = fixture_paths(name)
+    with open(csv_path) as fh:
+        assert csv_blob == fh.read(), f"columnar CSV diverged from golden {name}"
+    with open(prom_path) as fh:
+        assert prom == fh.read(), f"columnar metrics diverged from golden {name}"

@@ -79,6 +79,23 @@ def test_scenario_json_roundtrip():
         assert restored == s
 
 
+def test_columnar_flag_roundtrips_and_shows_in_describe():
+    s = Scenario(seed=0, columnar=True)
+    assert "columnar" in s.describe()
+    assert Scenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+    plain = Scenario(seed=0)
+    assert "columnar" not in plain.describe()
+    # Reproducer artifacts written before the columnar field default off.
+    legacy = dict(plain.to_dict())
+    legacy.pop("columnar")
+    assert Scenario.from_dict(legacy).columnar is False
+
+
+def test_generator_sometimes_enables_columnar():
+    flags = {generate_scenario(seed).columnar for seed in range(30)}
+    assert flags == {True, False}
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------

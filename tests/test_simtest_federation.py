@@ -84,6 +84,27 @@ def test_scenario_json_roundtrip():
         assert FederatedScenario.from_dict(json.loads(blob)) == sc
 
 
+def test_sharded_flag_roundtrips_and_shows_in_describe():
+    sc = FederatedScenario(seed=0, site_budget_w=10_000.0, sharded=True)
+    assert "sharded" in sc.describe()
+    assert FederatedScenario.from_dict(json.loads(json.dumps(sc.to_dict()))) == sc
+    legacy = dict(sc.to_dict())
+    legacy.pop("sharded")
+    assert FederatedScenario.from_dict(legacy).sharded is False
+
+
+def test_generator_sharded_scenarios_are_small_and_fault_free():
+    seen = False
+    for seed in range(40):
+        sc = generate_federated_scenario(seed)
+        if not sc.sharded:
+            continue
+        seen = True
+        assert sum(c.n_nodes for c in sc.clusters) <= 24
+        assert not any(c.fault_events or c.outages for c in sc.clusters)
+    assert seen, "no sharded scenario in 40 seeds"
+
+
 def test_describe_mentions_every_cluster():
     sc = generate_federated_scenario(1)
     text = sc.describe()

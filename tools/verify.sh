@@ -13,6 +13,9 @@
 #              committed fixture tests/golden/policy_head_to_head.csv
 #   lifecycle - snapshot schema-version lint + a seeded 16-node
 #              crash→snapshot→restore→digest-equivalence check
+#   bench    - quick perf suite compared against the committed
+#              BENCH_columnar.json baseline; OFF by default (set
+#              REPRO_BENCH_GATE=1) so the flow stays fast
 #
 # Knobs (environment):
 #   REPRO_COV_MIN         coverage fail-under percentage   (default 80)
@@ -20,17 +23,29 @@
 #   REPRO_SIMTEST_SEEDS   smoke-batch size                 (default 25)
 #   REPRO_FEDERATE_SEEDS  federated smoke-batch size       (default 10)
 #   REPRO_LIFECYCLE_SEED  lifecycle check scenario seed    (default 1)
+#   REPRO_BENCH_GATE      run the bench stage when set to 1 (default off)
+#   REPRO_BENCH_BASELINE  baseline artifact  (default BENCH_columnar_quick.json:
+#                         quick-vs-quick is the only apples-to-apples compare —
+#                         sweep throughput is size-dependent, build overhead
+#                         dominates at smoke sizes)
+#   REPRO_BENCH_MAX_REGRESS  throughput regression tolerance (default 50%;
+#              generous on purpose — the quick sizes are smaller than the
+#              committed full-size baseline and the machine differs, and
+#              duration metrics are auto-skipped on a quick-flag mismatch)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="${STAGES:-tier1 shuffle cov simtest federate policies lifecycle}"
+STAGES="${STAGES:-tier1 shuffle cov simtest federate policies lifecycle bench}"
 REPRO_COV_MIN="${REPRO_COV_MIN:-80}"
 REPRO_SHUFFLE_SEED="${REPRO_SHUFFLE_SEED:-1}"
 REPRO_SIMTEST_SEEDS="${REPRO_SIMTEST_SEEDS:-25}"
 REPRO_FEDERATE_SEEDS="${REPRO_FEDERATE_SEEDS:-10}"
 REPRO_LIFECYCLE_SEED="${REPRO_LIFECYCLE_SEED:-1}"
+REPRO_BENCH_GATE="${REPRO_BENCH_GATE:-0}"
+REPRO_BENCH_BASELINE="${REPRO_BENCH_BASELINE:-BENCH_columnar_quick.json}"
+REPRO_BENCH_MAX_REGRESS="${REPRO_BENCH_MAX_REGRESS:-50%}"
 
 banner() { printf '\n==> %s\n' "$*"; }
 
@@ -82,6 +97,25 @@ for stage in $STAGES; do
             python -m repro.cli lifecycle --schema-lint
             banner "lifecycle: crash-restore digest equivalence (seed $REPRO_LIFECYCLE_SEED, 16 nodes)"
             python -m repro.cli lifecycle --seed "$REPRO_LIFECYCLE_SEED" --nodes 16
+            ;;
+        bench)
+            if [ "$REPRO_BENCH_GATE" != "1" ]; then
+                banner "bench gate: SKIPPED (set REPRO_BENCH_GATE=1 to enable)"
+            elif [ ! -f "$REPRO_BENCH_BASELINE" ]; then
+                echo "bench gate: baseline $REPRO_BENCH_BASELINE not found" >&2
+                exit 1
+            else
+                banner "bench gate: quick suite vs $REPRO_BENCH_BASELINE" \
+                    "(max regress $REPRO_BENCH_MAX_REGRESS)"
+                benchdir="$(mktemp -d)"
+                trap 'rm -rf "$benchdir"' EXIT
+                python -m repro.cli bench --quick --repeats 3 --name verify \
+                    --out "$benchdir"
+                python -m repro.cli bench \
+                    --compare "$REPRO_BENCH_BASELINE" "$benchdir/BENCH_verify.json" \
+                    --max-regress "$REPRO_BENCH_MAX_REGRESS"
+                rm -rf "$benchdir"
+            fi
             ;;
         *)
             echo "unknown stage: $stage" >&2
