@@ -155,24 +155,46 @@ class CompareResult:
         )
 
 
+def _usable_timestamp(value: Any) -> bool:
+    """A real positive number. Excludes bool (``True`` is an ``int``
+    to ``isinstance`` but is not a timestamp) and strings, which older
+    hand-edited artifacts have carried — both must warn, not crash."""
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value > 0
+    )
+
+
+def _repeats_key(value: Any) -> Any:
+    """Numeric repeats compare by value (3 == 3.0, no spurious warning);
+    anything non-numeric compares as-is."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return value
+
+
 def _meta_warnings(base: Dict[str, Any], new: Dict[str, Any]) -> List[str]:
     warnings: List[str] = []
     for label, report in (("base", base), ("new", new)):
-        created = report.get("created_unix", 0)
-        if not isinstance(created, (int, float)) or created <= 0:
+        if not _usable_timestamp(report.get("created_unix", 0)):
             warnings.append(
                 f"{label} report {report.get('name', '?')!r} has no usable "
                 "created_unix timestamp (older harness?); ordering not checked"
             )
-    b_created = base.get("created_unix", 0) or 0
-    n_created = new.get("created_unix", 0) or 0
-    if b_created > 0 and n_created > 0 and n_created < b_created:
+    b_created = base.get("created_unix", 0)
+    n_created = new.get("created_unix", 0)
+    if (
+        _usable_timestamp(b_created)
+        and _usable_timestamp(n_created)
+        and n_created < b_created
+    ):
         warnings.append(
             "new report predates base report (created_unix ordering reversed)"
         )
     b_rep = base.get("repeats", 1)
     n_rep = new.get("repeats", 1)
-    if b_rep != n_rep:
+    if _repeats_key(b_rep) != _repeats_key(n_rep):
         warnings.append(
             f"repeats differ (base best-of-{b_rep}, new best-of-{n_rep}); "
             "best-of-N noise floors are not identical"

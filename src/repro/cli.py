@@ -26,6 +26,10 @@ Mirrors the user-facing tools of the paper's deployment:
   seeded run's manager state, diff artifacts, fuzz crash-at-random-tick
   restore equivalence, and lint the snapshot schema version (see
   docs/lifecycle.md).
+* ``repro serve`` — boot the asyncio HTTP power-management API over a
+  seeded cluster (``--smoke`` boots, checks, exits; see docs/serving.md).
+* ``repro loadtest`` — run a seeded, deterministic load campaign
+  against the API and write a ``BENCH_<name>.json`` artifact.
 * ``repro apps`` — list the calibrated application models.
 
 Usage::
@@ -528,6 +532,156 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _build_serving(args: argparse.Namespace):
+    """One seeded cluster wrapped in a registry + service + driver."""
+    from repro.serving import ClusterRegistry, PowerService, SimDriver
+
+    manager_config = None
+    if args.policy != "none":
+        budget = args.budget
+        if budget is None:
+            budget = 1250.0 * args.nodes
+        manager_config = ManagerConfig(
+            global_cap_w=budget,
+            policy=args.policy,
+            static_node_cap_w=1950.0 if args.platform == "lassen" else None,
+        )
+    cluster = PowerManagedCluster(
+        platform=args.platform,
+        n_nodes=args.nodes,
+        seed=args.seed,
+        manager_config=manager_config,
+    )
+    registry = ClusterRegistry.from_cluster(cluster, name="default")
+    return PowerService(registry), SimDriver(registry)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the asyncio HTTP service over a seeded cluster."""
+    import asyncio
+
+    from repro.serving import AsyncApiClient, ServingServer
+
+    service, driver = _build_serving(args)
+    server = ServingServer(
+        service,
+        driver,
+        host=args.host,
+        port=args.port,
+        advance_interval_s=(
+            args.advance_interval if args.advance_interval > 0 else None
+        ),
+        advance_dt_s=args.advance_dt,
+    )
+
+    async def _serve() -> int:
+        await server.start()
+        print(
+            f"serving {args.platform}x{args.nodes} (seed {args.seed}) on "
+            f"http://{server.host}:{server.port}",
+            file=sys.stderr,
+        )
+        if args.smoke:
+            checks = [
+                ("GET", "/v1/health", None, None),
+                ("GET", "/v1/clusters", None, None),
+                ("POST", "/v1/clusters/default/jobs", None,
+                 {"app": "gemm", "nnodes": 1}),
+                ("GET", "/v1/clusters/default/power", None, None),
+                ("GET", "/v1/clusters/default/jobs",
+                 {"limit": "10", "response_format": "detailed"}, None),
+                ("GET", "/v1/clusters/default/queue", None, None),
+            ]
+            client = AsyncApiClient(server.host, server.port)
+            failures = 0
+            for method, path, params, body in checks:
+                status, _ = await client.request(method, path, params, body)
+                ok = status < 400
+                failures += 0 if ok else 1
+                print(f"{'ok ' if ok else 'ERR'} {status} {method} {path}")
+            await client.close()
+            await server.stop()
+            print(f"smoke: {len(checks) - failures}/{len(checks)} checks passed")
+            return 1 if failures else 0
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Run a seeded load campaign and write a BENCH_<name>.json artifact."""
+    import asyncio
+    import os
+
+    from repro.bench import validate_report, write_report
+    from repro.serving import (
+        LoadProfile,
+        ServingServer,
+        arun_loadtest_http,
+        generate_trace,
+        run_loadtest,
+        trace_lines,
+    )
+
+    profile = LoadProfile(
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        warmup_jobs=args.warmup_jobs,
+        advance_every=args.advance_every,
+        advance_dt_s=args.advance_dt,
+    )
+    service, driver = _build_serving(args)
+    trace = generate_trace(args.seed, profile, n_nodes=args.nodes)
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write("\n".join(trace_lines(trace)) + "\n")
+        print(f"wrote request trace to {args.trace}", file=sys.stderr)
+
+    if args.http:
+        async def _run():
+            server = ServingServer(service, driver, port=0)
+            await server.start()
+            try:
+                return await arun_loadtest_http(
+                    args.seed, profile, server.host, server.port,
+                    trace=trace, n_nodes=args.nodes,
+                )
+            finally:
+                await server.stop()
+
+        result = asyncio.run(_run())
+    else:
+        result = run_loadtest(args.seed, profile, service, driver, trace=trace)
+
+    print(result.summary())
+    print(f"trace_sha256={result.trace_sha256}")
+    print(f"response_digest={result.response_digest}")
+    report = result.to_report(name=args.name, quick=args.quick)
+    validate_report(report.to_dict())
+    path = os.path.join(args.out, f"BENCH_{args.name}.json")
+    write_report(report, path)
+    print(f"wrote {path}", file=sys.stderr)
+
+    if result.errors:
+        print(f"FAIL: {result.errors} request(s) errored", file=sys.stderr)
+        return 1
+    if args.p99_max is not None and result.p99_ms > args.p99_max:
+        print(
+            f"FAIL: p99 {result.p99_ms:.2f} ms exceeds bound "
+            f"{args.p99_max:.2f} ms",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     print(f"{'app':<12} {'scaling':<7} {'launcher':<8} {'base s':>7}  inputs")
     for name in list_apps():
@@ -813,6 +967,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each fuzz result as it completes",
     )
     lc.set_defaults(func=_cmd_lifecycle)
+
+    def _serving_cluster_args(sp) -> None:
+        sp.add_argument("--nodes", type=int, default=16,
+                        help="cluster size (default 16)")
+        sp.add_argument("--platform", default="lassen",
+                        choices=("lassen", "tioga", "generic"))
+        sp.add_argument("--seed", type=int, default=1)
+        sp.add_argument("--policy", default="proportional",
+                        help="manager policy, or 'none' for telemetry-only")
+        sp.add_argument("--budget", type=float, default=None,
+                        help="cluster power budget W (default 1250*nodes)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="boot the asyncio HTTP power-management API over a seeded cluster",
+    )
+    _serving_cluster_args(sv)
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="TCP port (0 picks a free one)")
+    sv.add_argument("--advance-interval", type=float, default=2.0,
+                    help="wall seconds between engine advances (0 freezes time)")
+    sv.add_argument("--advance-dt", type=float, default=2.0,
+                    help="simulated seconds per engine advance")
+    sv.add_argument("--smoke", action="store_true",
+                    help="boot, run a request checklist over HTTP, exit")
+    sv.set_defaults(func=_cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="run a seeded load campaign and write BENCH_<name>.json",
+    )
+    _serving_cluster_args(lt)
+    lt.add_argument("--clients", type=int, default=100,
+                    help="concurrent simulated clients (default 100)")
+    lt.add_argument("--requests-per-client", type=int, default=4)
+    lt.add_argument("--warmup-jobs", type=int, default=4)
+    lt.add_argument("--advance-every", type=int, default=50,
+                    help="advance the engine after every N requests (0 never)")
+    lt.add_argument("--advance-dt", type=float, default=1.0,
+                    help="simulated seconds per engine advance")
+    lt.add_argument("--http", action="store_true",
+                    help="drive a real asyncio HTTP server instead of in-proc")
+    lt.add_argument("--name", default="serving",
+                    help="artifact name (BENCH_<name>.json)")
+    lt.add_argument("--out", default=".", help="artifact directory")
+    lt.add_argument("--quick", action="store_true",
+                    help="mark the artifact as a quick (small-size) run")
+    lt.add_argument("--p99-max", type=float, default=None,
+                    help="fail (exit 1) when p99 latency exceeds this many ms")
+    lt.add_argument("--trace", default=None,
+                    help="also write the generated request trace (JSONL)")
+    lt.set_defaults(func=_cmd_loadtest)
 
     a = sub.add_parser("apps", help="list calibrated application models")
     a.set_defaults(func=_cmd_apps)

@@ -1,0 +1,73 @@
+"""Serving tier: a production-shaped API over the simulated machine.
+
+The paper frames job power management as a *service* operators and
+users query continuously (PAPER.md §V; ORNL's system-scale deployment
+runs exactly this shape). This package is that front end:
+
+* :mod:`repro.serving.registry` — semantic cluster names → backends;
+* :mod:`repro.serving.snapshot` — cached columnar power read model;
+* :mod:`repro.serving.service`  — the transport-free API core;
+* :mod:`repro.serving.driver`   — the single engine-stepping authority;
+* :mod:`repro.serving.client`   — in-process client (``run_and_wait``);
+* :mod:`repro.serving.http`     — asyncio HTTP/1.1 shell + client;
+* :mod:`repro.serving.loadgen`  — seeded, deterministic load harness.
+
+Determinism contract: request handling never steps the simulator and
+reads only snapshot/bookkeeping state, so any volume of API traffic
+leaves a run's simtest digest untouched (pinned by test); time only
+advances through the driver, on a deterministic schedule.
+
+See docs/serving.md for the endpoint catalog and methodology.
+"""
+
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.driver import SimDriver
+from repro.serving.http import AsyncApiClient, ServingServer
+from repro.serving.loadgen import (
+    DEFAULT_OP_MIX,
+    LoadProfile,
+    LoadtestResult,
+    TracedRequest,
+    arun_loadtest_http,
+    generate_trace,
+    run_loadtest,
+    run_loadtest_http,
+    trace_lines,
+    trace_sha256,
+)
+from repro.serving.registry import ClusterBackend, ClusterRegistry
+from repro.serving.service import (
+    ApiError,
+    ApiResponse,
+    CONCISE_JOB_FIELDS,
+    DETAILED_JOB_FIELDS,
+    PowerService,
+)
+from repro.serving.snapshot import PowerSnapshot, SnapshotCache
+
+__all__ = [
+    "ApiError",
+    "ApiResponse",
+    "AsyncApiClient",
+    "CONCISE_JOB_FIELDS",
+    "ClusterBackend",
+    "ClusterRegistry",
+    "DEFAULT_OP_MIX",
+    "DETAILED_JOB_FIELDS",
+    "LoadProfile",
+    "LoadtestResult",
+    "PowerService",
+    "PowerSnapshot",
+    "ServingClient",
+    "ServingError",
+    "ServingServer",
+    "SimDriver",
+    "SnapshotCache",
+    "TracedRequest",
+    "arun_loadtest_http",
+    "generate_trace",
+    "run_loadtest",
+    "run_loadtest_http",
+    "trace_lines",
+    "trace_sha256",
+]

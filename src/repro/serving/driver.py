@@ -1,0 +1,62 @@
+"""The single engine driver: the only thing that advances time.
+
+Serving splits the world in two. Requests — any number of them, from
+any number of clients — *never* step the simulator; they read frozen
+snapshots and schedule work. The :class:`SimDriver` is the one object
+allowed to call ``sim.run``/``sim.step``, so "who advances the clock"
+has exactly one answer and a query storm cannot interleave engine
+steps nondeterministically. The asyncio shell funnels both requests
+and periodic ``advance`` calls through one dispatcher task, preserving
+the same single-driver property under concurrency.
+"""
+
+from __future__ import annotations
+
+from repro.serving.registry import ClusterBackend, ClusterRegistry
+
+
+class SimDriver:
+    """Deterministic clock authority over a registry's shared engine."""
+
+    def __init__(self, registry: ClusterRegistry) -> None:
+        self.registry = registry
+        self.sim = registry.sim
+
+    def advance(self, dt_s: float) -> float:
+        """Run the engine ``dt_s`` simulated seconds; returns new now."""
+        if dt_s < 0:
+            raise ValueError(f"dt_s must be >= 0, got {dt_s}")
+        self.sim.run(until=self.sim.now + dt_s)
+        return self.sim.now
+
+    def step(self, n: int = 1) -> int:
+        """Process up to ``n`` events; returns how many actually ran."""
+        done = 0
+        for _ in range(n):
+            if not self.sim.step():
+                break
+            done += 1
+        return done
+
+    def wait_for_job(self, backend: ClusterBackend, jobid: int,
+                     poll_s: float = 2.0, timeout_s: float = 1e7) -> str:
+        """Advance time until ``jobid`` leaves the active states.
+
+        Returns the terminal state value. Raises ``TimeoutError`` when
+        the simulated deadline passes first (a hung scenario, not a
+        wall-clock condition).
+        """
+        deadline = self.sim.now + timeout_s
+        record = backend.job(jobid)
+        while record.state.active:
+            if self.sim.now >= deadline:
+                raise TimeoutError(
+                    f"job {jobid} still {record.state.value} at t={self.sim.now:.0f}s"
+                )
+            if self.sim.pending() == 0:
+                raise RuntimeError(
+                    f"event heap drained with job {jobid} still "
+                    f"{record.state.value}"
+                )
+            self.advance(poll_s)
+        return record.state.value

@@ -1,0 +1,289 @@
+"""Asyncio HTTP/1.1 shell around the synchronous service core.
+
+Stdlib-only (``asyncio.start_server`` + hand-rolled HTTP/1.1 with
+keep-alive): the container image carries no web framework, and the
+protocol surface the API needs — JSON bodies, query strings,
+Content-Length framing — is small enough to own.
+
+Concurrency model: every connection handler parses requests and then
+awaits a future it enqueued on the **single dispatcher task**, which
+executes requests strictly in arrival order and is also the only place
+the periodic engine ``advance`` runs. That funnels thousands of
+concurrent sockets down to one serialized stream of
+``service.handle`` calls — the same single-driver determinism contract
+the in-process path has, now under real network concurrency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serving.driver import SimDriver
+from repro.serving.service import ApiResponse, PowerService
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Largest accepted request head or body (bytes); a batch of 256 ops
+#: fits comfortably, an abusive payload does not.
+MAX_REQUEST_BYTES = 1 << 20
+
+
+def _encode_response(response: ApiResponse, keep_alive: bool) -> bytes:
+    payload = json.dumps(response.body, sort_keys=True).encode()
+    reason = _REASONS.get(response.status, "Unknown")
+    head = (
+        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode() + payload
+
+
+class ServingServer:
+    """A long-running service instance bound to a TCP port."""
+
+    def __init__(
+        self,
+        service: PowerService,
+        driver: SimDriver,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        advance_interval_s: Optional[float] = None,
+        advance_dt_s: float = 2.0,
+    ) -> None:
+        self.service = service
+        self.driver = driver
+        self.host = host
+        self.port = port
+        #: Wall-clock period between engine advances; None never steps
+        #: the engine (pure snapshot serving, e.g. under the smoke test).
+        self.advance_interval_s = advance_interval_s
+        self.advance_dt_s = advance_dt_s
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._advancer: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_REQUEST_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.advance_interval_s is not None:
+            self._advancer = asyncio.create_task(self._advance_loop())
+
+    async def stop(self) -> None:
+        for task in (self._advancer, self._dispatcher):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._advancer = self._dispatcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # The single dispatcher
+    # ------------------------------------------------------------------
+    async def dispatch(self, method: str, path: str,
+                       params: Optional[Dict[str, Any]] = None,
+                       body: Optional[Dict[str, Any]] = None) -> ApiResponse:
+        """Enqueue one request for ordered execution; await its result."""
+        assert self._queue is not None, "server not started"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put(("request", (method, path, params, body), future))
+        return await future
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            kind, payload, future = await self._queue.get()
+            try:
+                if kind == "advance":
+                    result: Any = self.driver.advance(payload)
+                else:
+                    method, path, params, body = payload
+                    result = self.service.handle(method, path, params, body)
+            except Exception as exc:  # noqa: BLE001 - reported to the waiter
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+                continue
+            if future is not None and not future.done():
+                future.set_result(result)
+
+    async def _advance_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            await asyncio.sleep(self.advance_interval_s)
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            await self._queue.put(("advance", self.advance_dt_s, future))
+            await future
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                error, request = parsed
+                if error is not None:
+                    writer.write(_encode_response(error, keep_alive=False))
+                    await writer.drain()
+                    break
+                response = await self.dispatch(*request)
+                writer.write(_encode_response(response, keep_alive=True))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[Optional[ApiResponse], Optional[tuple]]]:
+        """None on clean EOF; else (error_response, request_tuple)."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            return self._bad_request("truncated request head"), None
+        except asyncio.LimitOverrunError:
+            return ApiResponse(413, {"error": {
+                "code": "too_large", "message": "request head too large"}}), None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, version = lines[0].split(" ", 2)
+        except ValueError:
+            return self._bad_request(f"malformed request line: {lines[0]!r}"), None
+        if not version.startswith("HTTP/1."):
+            return self._bad_request(f"unsupported protocol {version!r}"), None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        body: Optional[Dict[str, Any]] = None
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            return self._bad_request(f"bad Content-Length {raw_length!r}"), None
+        if length > MAX_REQUEST_BYTES:
+            return ApiResponse(413, {"error": {
+                "code": "too_large", "message": "request body too large"}}), None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                return self._bad_request(f"body is not valid JSON: {exc}"), None
+        split = urlsplit(target)
+        params = dict(parse_qsl(split.query, keep_blank_values=True))
+        return None, (method, split.path, params, body)
+
+    @staticmethod
+    def _bad_request(message: str) -> ApiResponse:
+        return ApiResponse(400, {"error": {"code": "bad_request", "message": message}})
+
+
+class AsyncApiClient:
+    """Minimal keep-alive JSON client for the HTTP shell.
+
+    One instance owns one connection — exactly what each simulated
+    loadgen client needs. Requests on a single instance must be
+    sequential (the loadgen guarantees this per client).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+        self._reader = self._writer = None
+
+    async def request(self, method: str, path: str,
+                      params: Optional[Dict[str, Any]] = None,
+                      body: Optional[Dict[str, Any]] = None
+                      ) -> Tuple[int, Dict[str, Any]]:
+        if self._writer is None:
+            await self._connect()
+        target = path
+        if params:
+            query = "&".join(f"{k}={v}" for k, v in params.items())
+            target = f"{path}?{query}"
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        )
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(head.encode() + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readuntil(b"\r\n")
+        status = int(status_line.split(b" ", 2)[1])
+        length = 0
+        keep_alive = True
+        while True:
+            line = await self._reader.readuntil(b"\r\n")
+            if line == b"\r\n":
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            key = key.strip().lower()
+            if key == "content-length":
+                length = int(value.strip())
+            elif key == "connection" and value.strip().lower() == "close":
+                keep_alive = False
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        if not keep_alive:
+            await self.close()
+        return status, json.loads(raw)

@@ -1,0 +1,170 @@
+"""Cluster registry: semantic backend names for the serving tier.
+
+The API never hands out object references — clients address clusters by
+*semantic name* (``"default"``, ``"lassen-prod"``, an alias like
+``"prod"``), and the registry maps those names onto
+:class:`~repro.cluster.PowerManagedCluster` backends. A registry is
+built one of two ways:
+
+* :meth:`ClusterRegistry.from_cluster` — one standalone cluster under a
+  chosen name (the ``repro serve`` / ``repro loadtest`` shape);
+* :meth:`ClusterRegistry.from_site` — every cluster of a
+  :class:`~repro.federation.site.FederatedSite`, named by its
+  :class:`~repro.federation.site.ClusterSpec`, with the site retained
+  so ``/v1/site/power`` can serve the federation budget view.
+
+All clusters in one registry must share one simulator — the serving
+tier has a single engine-stepping driver, and a registry spanning two
+engines would let one request stall behind a foreign clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster import PowerManagedCluster
+from repro.flux.jobspec import JobRecord, Jobspec
+
+
+class ClusterBackend:
+    """One serveable cluster: a thin adapter the service reads through.
+
+    Everything here delegates to the wrapped cluster; the adapter adds
+    no state beyond its name, so a backend can be registered under any
+    number of aliases without divergence.
+    """
+
+    def __init__(self, name: str, cluster: PowerManagedCluster) -> None:
+        self.name = name
+        self.cluster = cluster
+
+    # -- identity ------------------------------------------------------
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    @property
+    def instance(self):
+        return self.cluster.instance
+
+    @property
+    def platform(self) -> str:
+        return self.cluster.instance.platform
+
+    @property
+    def n_nodes(self) -> int:
+        return self.cluster.instance.n_nodes
+
+    # -- jobs ----------------------------------------------------------
+    @property
+    def jobs(self) -> Dict[int, JobRecord]:
+        """Insertion-ordered jobid → record map (the rank-0 books)."""
+        return self.cluster.instance.jobmanager.jobs
+
+    def job(self, jobid: int) -> JobRecord:
+        return self.cluster.instance.jobmanager.jobs[jobid]
+
+    def submit(self, spec: Jobspec) -> JobRecord:
+        return self.cluster.submit(spec)
+
+    def cancel(self, jobid: int) -> None:
+        self.cluster.instance.jobmanager.cancel(jobid)
+
+    def app_run(self, jobid: int):
+        """The job's application run, or None before it starts."""
+        return self.cluster.instance.app_runs.get(jobid)
+
+    def free_nodes(self) -> int:
+        return self.cluster.instance.scheduler.free_count
+
+    # -- power ---------------------------------------------------------
+    @property
+    def manager(self):
+        return self.cluster.manager
+
+    def job_power_state(self, jobid: int):
+        """Manager-internal share bookkeeping for an active job."""
+        if self.cluster.manager is None:
+            return None
+        return self.cluster.manager.cluster.job_level.jobs.get(jobid)
+
+    def describe_manager(self) -> Optional[Dict[str, object]]:
+        if self.cluster.manager is None:
+            return None
+        return self.cluster.manager.cluster.describe()
+
+
+class ClusterRegistry:
+    """Semantic name → :class:`ClusterBackend`, plus the optional site."""
+
+    def __init__(self, site=None) -> None:
+        self.site = site
+        self._backends: Dict[str, ClusterBackend] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_cluster(
+        cls,
+        cluster: PowerManagedCluster,
+        name: str = "default",
+        aliases: Iterable[str] = (),
+    ) -> "ClusterRegistry":
+        registry = cls()
+        registry.register(ClusterBackend(name, cluster), aliases=aliases)
+        return registry
+
+    @classmethod
+    def from_site(cls, site) -> "ClusterRegistry":
+        registry = cls(site=site)
+        for name in sorted(site.clusters):
+            registry.register(ClusterBackend(name, site.clusters[name]))
+        return registry
+
+    def register(
+        self, backend: ClusterBackend, aliases: Iterable[str] = ()
+    ) -> ClusterBackend:
+        if backend.name in self._backends or backend.name in self._aliases:
+            raise ValueError(f"cluster name already registered: {backend.name!r}")
+        if self._backends:
+            existing = next(iter(self._backends.values()))
+            if backend.sim is not existing.sim:
+                raise ValueError(
+                    "all clusters in a registry must share one simulator "
+                    "(single-driver serving contract)"
+                )
+        self._backends[backend.name] = backend
+        for alias in aliases:
+            self.alias(alias, backend.name)
+        return backend
+
+    def alias(self, alias: str, target: str) -> None:
+        if alias in self._backends or alias in self._aliases:
+            raise ValueError(f"cluster name already registered: {alias!r}")
+        if target not in self._backends:
+            raise KeyError(f"unknown cluster: {target!r}")
+        self._aliases[alias] = target
+
+    # -- lookup --------------------------------------------------------
+    def resolve(self, name: str) -> ClusterBackend:
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._backends[canonical]
+        except KeyError:
+            raise KeyError(f"unknown cluster: {name!r}")
+
+    def names(self) -> List[str]:
+        """Canonical (non-alias) names, registration order."""
+        return list(self._backends)
+
+    def aliases_of(self, name: str) -> List[str]:
+        return sorted(a for a, t in self._aliases.items() if t == name)
+
+    def default(self) -> ClusterBackend:
+        if not self._backends:
+            raise KeyError("registry has no clusters")
+        return next(iter(self._backends.values()))
+
+    @property
+    def sim(self):
+        return self.default().sim

@@ -1,0 +1,107 @@
+"""Columnar power snapshots: the serving tier's read model.
+
+Power queries under a query storm must be (a) cheap and (b) *pure* —
+``/v1/clusters/x/power`` served ten thousand times must leave the
+simulation byte-identical to never having been asked. The monitor
+client's ``fetch`` is neither: it round-trips the TBON and steps the
+engine. So the serving tier never touches it; instead it materialises
+a :class:`PowerSnapshot` straight off the hardware models'
+side-effect-free accessors (:meth:`~repro.hardware.node.Node.total_power_w`
+and friends) into flat numpy columns.
+
+The snapshot is cached per backend and keyed on the engine clock
+``(sim.now, events_processed)``: node power only changes when an event
+runs, so between events every request — a thousand concurrent clients
+included — hits the same frozen arrays. One refresh per engine step is
+the worst case, independent of client count; the
+``serving_snapshot_refreshes_total`` counter makes the hit rate
+observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.registry import ClusterBackend
+
+
+class PowerSnapshot:
+    """Frozen per-node power columns plus cluster-level aggregates."""
+
+    def __init__(self, backend: ClusterBackend) -> None:
+        nodes = backend.instance.nodes
+        self.t = backend.sim.now
+        self.n_nodes = len(nodes)
+        self.hostnames: List[str] = [n.hostname for n in nodes]
+        self.power_w = np.fromiter(
+            (n.total_power_w() for n in nodes), dtype=np.float64, count=self.n_nodes
+        )
+        self.raw_power_w = np.fromiter(
+            (n.raw_power_w() for n in nodes), dtype=np.float64, count=self.n_nodes
+        )
+        self.idle_power_w = np.fromiter(
+            (n.idle_power_w() for n in nodes), dtype=np.float64, count=self.n_nodes
+        )
+        self.total_power_w = float(self.power_w.sum())
+        self.total_idle_w = float(self.idle_power_w.sum())
+        #: Manager view (None when no manager is loaded).
+        self.manager: Optional[Dict[str, object]] = backend.describe_manager()
+
+    def node_view(self, rank: int, detailed: bool) -> Dict[str, object]:
+        view: Dict[str, object] = {
+            "rank": rank,
+            "hostname": self.hostnames[rank],
+            "power_w": float(self.power_w[rank]),
+        }
+        if detailed:
+            view["raw_power_w"] = float(self.raw_power_w[rank])
+            view["idle_power_w"] = float(self.idle_power_w[rank])
+        return view
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "t": self.t,
+            "n_nodes": self.n_nodes,
+            "total_power_w": self.total_power_w,
+            "total_idle_w": self.total_idle_w,
+            "budget_w": None,
+            "policy": None,
+            "per_node_share_w": None,
+            "active_jobs": [],
+            "active_nodes": 0,
+        }
+        if self.manager is not None:
+            out["budget_w"] = self.manager["global_cap_w"]
+            out["policy"] = self.manager["policy"]
+            out["per_node_share_w"] = self.manager["per_node_share_w"]
+            out["active_jobs"] = self.manager["active_jobs"]
+            out["active_nodes"] = self.manager["active_nodes"]
+        return out
+
+
+class SnapshotCache:
+    """One cached :class:`PowerSnapshot` per backend, engine-clock keyed."""
+
+    def __init__(self, metrics=None) -> None:
+        self._cache: Dict[str, Tuple[Tuple[float, int], PowerSnapshot]] = {}
+        self._refreshes = (
+            metrics.counter(
+                "serving_snapshot_refreshes_total",
+                help="Power snapshots materialised (cache misses).",
+            )
+            if metrics is not None
+            else None
+        )
+
+    def get(self, backend: ClusterBackend) -> PowerSnapshot:
+        key = (backend.sim.now, backend.sim.events_processed)
+        hit = self._cache.get(backend.name)
+        if hit is not None and hit[0] == key:
+            return hit[1]
+        snap = PowerSnapshot(backend)
+        self._cache[backend.name] = (key, snap)
+        if self._refreshes is not None:
+            self._refreshes.inc()
+        return snap

@@ -62,6 +62,12 @@ class SimtestContext:
         self.tick_index = 0
         #: jobid -> fetched telemetry, populated before end-of-run checks.
         self.job_telemetry: Dict[int, JobPowerData] = {}
+        #: Serving-tier API over this cluster, attached when the
+        #: scenario carries a :class:`~repro.simtest.scenario.ServingMix`;
+        #: None otherwise. Checkers must treat it as optional.
+        self.service = None
+        #: Requests injected by the serving campaign so far.
+        self.serving_requests = 0
 
     @property
     def sim(self):
@@ -158,6 +164,69 @@ def run_scenario(
     if setup is not None:
         setup(cluster, sim)
 
+    # Serving campaign ---------------------------------------------------
+    # When the scenario carries a ServingMix, stand up the API over the
+    # cluster and replay a seeded read-only client mix at every tick.
+    # Requests never step the simulator and the injection RNG is its own
+    # substream, so the campaign cannot perturb the run — a 5xx from any
+    # injected request is itself a violation.
+    inject_serving = None
+    if scenario.serving is not None:
+        from repro.serving.registry import ClusterRegistry
+        from repro.serving.service import PowerService
+        from repro.simkernel.rng import RandomStreams
+
+        ctx.service = PowerService(
+            ClusterRegistry.from_cluster(cluster, name="default")
+        )
+        inject_rng = RandomStreams(seed=scenario.seed).get(
+            "simtest/serving/inject"
+        )
+        mix = scenario.serving
+        read_ops = (
+            "cluster_power", "list_jobs", "get_job", "queue", "nodes",
+            "health",
+        )
+
+        def inject_serving() -> None:
+            books = cluster.instance.jobmanager.jobs
+            for _ in range(mix.requests_per_tick):
+                op = read_ops[int(inject_rng.integers(0, len(read_ops)))]
+                method, path = "GET", "/v1/health"
+                params: Dict[str, Any] = {}
+                if op == "get_job" and not books:
+                    op = "list_jobs"
+                if op == "cluster_power":
+                    path = "/v1/clusters/default/power"
+                elif op == "queue":
+                    path = "/v1/clusters/default/queue"
+                elif op == "nodes":
+                    path = "/v1/clusters/default/nodes"
+                    params = {"limit": mix.page_limit}
+                elif op == "list_jobs":
+                    path = "/v1/clusters/default/jobs"
+                    params = {"limit": mix.page_limit}
+                    if int(inject_rng.integers(0, 2)):
+                        params["response_format"] = "detailed"
+                elif op == "get_job":
+                    jobids = list(books)
+                    jobid = jobids[int(inject_rng.integers(0, len(jobids)))]
+                    path = f"/v1/clusters/default/jobs/{jobid}"
+                resp = ctx.service.handle(method, path, params)
+                ctx.serving_requests += 1
+                if resp.status >= 500:
+                    result.violations.append(
+                        Violation(
+                            invariant="serving", t=sim.now,
+                            message=(
+                                f"injected {op} request returned "
+                                f"{resp.status}: {resp.body}"
+                            ),
+                            details={"op": op, "path": path,
+                                     "status": resp.status},
+                        )
+                    )
+
     # Job arrivals -------------------------------------------------------
     for entry in scenario.jobs:
         spec = Jobspec(
@@ -185,6 +254,8 @@ def run_scenario(
 
     def _tick() -> None:
         nonlocal halted
+        if inject_serving is not None:
+            inject_serving()
         for checker in checkers:
             found = checker.check(ctx)
             if found:

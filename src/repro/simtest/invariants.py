@@ -25,6 +25,10 @@ The invariants encode the paper's implicit safety properties
   drain is synchronous with the transition), and retired ranks' node
   managers release their limit within one settle tick;
 * ``counters``    — telemetry counters never decrease;
+* ``serving_view``— when a serving campaign is attached, the API's
+  paginated job listing agrees exactly with the job-manager books and
+  the manager-internal share split (no phantom, missing or duplicated
+  jobs; limits match);
 * ``engine``      — simulated time is monotonic and the event heap's
   live count stays sane;
 * ``telemetry_rows`` (end of run) — client CSV rows are well-formed:
@@ -500,6 +504,118 @@ class TelemetryRowsChecker(InvariantChecker):
         return out
 
 
+class ServingViewChecker(InvariantChecker):
+    """API job views agree with manager-internal books and shares.
+
+    Active only when the harness attached a serving-tier
+    :class:`~repro.serving.service.PowerService` to the context
+    (``scenario.serving``); a no-op otherwise, so it can sit in the
+    default set without cost. It pages through the detailed job listing
+    with the scenario's ``page_limit`` and cross-checks every view
+    against the job manager's books (id set, state, node counts, rank
+    assignment) and the power manager's share split
+    (``job_limit_w`` / ``node_limit_w``). Service reads never step the
+    simulator, so the checker remains a pure observer.
+    """
+
+    name = "serving_view"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        service = getattr(ctx, "service", None)
+        if service is None:
+            return []
+        out: List[Violation] = []
+        mix = getattr(ctx.scenario, "serving", None)
+        limit = mix.page_limit if mix is not None else 100
+
+        views: Dict[int, Dict[str, Any]] = {}
+        offset = 0
+        while True:
+            resp = service.handle(
+                "GET", "/v1/clusters/default/jobs",
+                {"response_format": "detailed", "limit": limit,
+                 "offset": offset},
+            )
+            if resp.status != 200:
+                out.append(
+                    self.violation(
+                        ctx, f"job listing returned {resp.status}",
+                        status=resp.status, body=resp.body,
+                    )
+                )
+                return out
+            for view in resp.body["jobs"]:
+                jobid = view["jobid"]
+                if jobid in views:
+                    out.append(
+                        self.violation(
+                            ctx, f"job {jobid} appears on two pages",
+                            jobid=jobid, offset=offset,
+                        )
+                    )
+                views[jobid] = view
+            if resp.body["next_offset"] is None:
+                break
+            offset = resp.body["next_offset"]
+
+        books = ctx.cluster.instance.jobmanager.jobs
+        if set(views) != set(books):
+            out.append(
+                self.violation(
+                    ctx, "API job listing disagrees with job-manager books",
+                    api_only=sorted(set(views) - set(books)),
+                    books_only=sorted(set(books) - set(views)),
+                )
+            )
+        manager = ctx.cluster.manager
+        shares = manager.cluster.job_level.jobs if manager is not None else {}
+        for jobid, view in views.items():
+            record = books.get(jobid)
+            if record is None:
+                continue
+            if view["state"] != record.state.value:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"job {jobid} API state {view['state']!r} != "
+                        f"books state {record.state.value!r}",
+                        jobid=jobid, api=view["state"],
+                        books=record.state.value,
+                    )
+                )
+            if view["nnodes"] != record.spec.nnodes \
+                    or view["ranks"] != list(record.ranks):
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"job {jobid} API placement disagrees with books",
+                        jobid=jobid, api_nnodes=view["nnodes"],
+                        api_ranks=view["ranks"],
+                        books_nnodes=record.spec.nnodes,
+                        books_ranks=list(record.ranks),
+                    )
+                )
+            share = shares.get(jobid)
+            expect_job = share.job_limit_w if share is not None else None
+            expect_node = share.node_limit_w if share is not None else None
+            if view["job_limit_w"] != expect_job \
+                    or view["node_limit_w"] != expect_node:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"job {jobid} API limits "
+                        f"({view['job_limit_w']}, {view['node_limit_w']}) != "
+                        f"manager shares ({expect_job}, {expect_node})",
+                        jobid=jobid,
+                        api_job_limit_w=view["job_limit_w"],
+                        api_node_limit_w=view["node_limit_w"],
+                        manager_job_limit_w=expect_job,
+                        manager_node_limit_w=expect_node,
+                    )
+                )
+        return out
+
+
 class SiteBudgetChecker(InvariantChecker):
     """Site budget conservation (the federation tier's core safety).
 
@@ -610,6 +726,7 @@ def default_checkers() -> List[InvariantChecker]:
         OrphanShareChecker(),
         LifecycleChecker(),
         MonotonicCountersChecker(),
+        ServingViewChecker(),
         EngineChecker(),
         TelemetryRowsChecker(),
     ]

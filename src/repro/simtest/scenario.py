@@ -7,8 +7,9 @@ come from two places:
 
 * :func:`generate_scenario` draws one from ``simkernel.rng`` substreams
   (``simtest/topology``, ``simtest/jobs``, ``simtest/budget``,
-  ``simtest/faults``) rooted at a single integer seed — the same seed
-  always yields the same scenario, on any platform;
+  ``simtest/faults``, ``simtest/columnar``, ``simtest/serving``) rooted
+  at a single integer seed — the same seed always yields the same
+  scenario, on any platform;
 * :func:`Scenario.from_dict` reloads a shrunken reproducer artifact
   (see :mod:`repro.simtest.shrink`).
 
@@ -70,6 +71,37 @@ class JobEntry:
 
 
 @dataclass(frozen=True)
+class ServingMix:
+    """A seeded client mix injected through the serving API each tick.
+
+    The harness stands up a :class:`~repro.serving.service.PowerService`
+    over the scenario's cluster and fires ``requests_per_tick``
+    read-only requests from ``clients`` simulated clients at every
+    invariant tick — the production query-storm shape riding on top of
+    an arbitrary fuzzed scenario. Reads are pure by the serving tier's
+    contract, so a scenario's digest must be identical with or without
+    its mix (pinned by test).
+    """
+
+    clients: int = 8
+    requests_per_tick: int = 4
+    #: Page size the serving-view checker lists jobs with (small on
+    #: purpose: pagination boundaries are where view bugs live).
+    page_limit: int = 3
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ServingMix":
+        return cls(
+            clients=int(d.get("clients", 8)),
+            requests_per_tick=int(d.get("requests_per_tick", 4)),
+            page_limit=int(d.get("page_limit", 3)),
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A complete, replayable simulation-test scenario."""
 
@@ -95,6 +127,9 @@ class Scenario:
     #: — the exascale hot path, contractually equivalent to the scalar
     #: one, so the invariant checkers fuzz it too.
     columnar: bool = False
+    #: Drive a seeded serving-API client mix against the cluster while
+    #: it runs (None: no serving tier attached).
+    serving: Optional[ServingMix] = None
 
     # ------------------------------------------------------------------
     # Derived
@@ -113,6 +148,7 @@ class Scenario:
             f"{'+link' if self.link_faults else ''} "
             f"budget_steps={len(self.budget_schedule)}"
             f"{' columnar' if self.columnar else ''}"
+            f"{' serving' if self.serving is not None else ''}"
         )
 
     # ------------------------------------------------------------------
@@ -142,6 +178,10 @@ class Scenario:
             if lf["t_end"] == float("inf"):
                 lf["t_end"] = None  # JSON has no Infinity
             d["link_faults"] = lf
+        # Only present when set: scenario dicts feed the run digest, so
+        # a new always-there key would shift every historical digest.
+        if self.serving is not None:
+            d["serving"] = self.serving.to_dict()
         return d
 
     @classmethod
@@ -186,6 +226,10 @@ class Scenario:
             link_faults=link,
             drain_s=float(d.get("drain_s", 4.0)),
             columnar=bool(d.get("columnar", False)),
+            serving=(
+                None if d.get("serving") is None
+                else ServingMix.from_dict(d["serving"])
+            ),
         )
 
 
@@ -231,6 +275,9 @@ class GeneratorConfig:
     #: Probability the monitor keeps samples in the columnar store —
     #: often enough that the 100-seed batch fuzzes the exascale path.
     p_columnar: float = 0.25
+    #: Probability the scenario carries a serving-API client mix (the
+    #: query-storm campaign mode; see :class:`ServingMix`).
+    p_serving: float = 0.2
 
 
 def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scenario:
@@ -250,6 +297,8 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
     # Own substream: turning the columnar knob on or off never perturbs
     # the topology/job/fault draws existing seeds produce.
     columnar_rng = streams.get("simtest/columnar")
+    # Likewise for the serving campaign mode.
+    serving_rng = streams.get("simtest/serving")
 
     # Topology -----------------------------------------------------------
     n_nodes = int(topo.integers(cfg.min_nodes, cfg.max_nodes + 1))
@@ -314,6 +363,14 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
             t_end=80.0,
         )
 
+    serving: Optional[ServingMix] = None
+    if float(serving_rng.random()) < cfg.p_serving:
+        serving = ServingMix(
+            clients=int(serving_rng.integers(4, 33)),
+            requests_per_tick=int(serving_rng.integers(2, 9)),
+            page_limit=int(serving_rng.integers(2, 6)),
+        )
+
     return Scenario(
         seed=seed,
         platform=platform,
@@ -328,4 +385,5 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
         fault_events=fault_events,
         link_faults=link,
         columnar=float(columnar_rng.random()) < cfg.p_columnar,
+        serving=serving,
     )

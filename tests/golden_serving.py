@@ -1,0 +1,107 @@
+"""Golden fixture for the serving-tier smoke loadtest.
+
+``tests/golden/serving_smoke.json`` pins the full determinism contract
+of the load harness: the byte-identity of a seeded trace
+(``trace_sha256``), the byte-identity of every response the service
+gives to that trace (``response_digest``), and the exact status/op
+tallies of a clean run (zero errors by construction). Any unintentional
+change to trace generation, RNG substream layout, routing, response
+shaping or snapshot reads shows up here as a diff. Regenerate (only
+when an *intentional* behaviour change lands) with::
+
+    PYTHONPATH=src:tests python tests/golden_serving.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.cluster import PowerManagedCluster
+from repro.manager.cluster_manager import ManagerConfig
+from repro.serving import (
+    ClusterRegistry,
+    LoadProfile,
+    PowerService,
+    SimDriver,
+    generate_trace,
+    run_loadtest,
+    trace_lines,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "serving_smoke.json"
+)
+
+#: The pinned campaign: small enough to run in a second, wide enough to
+#: exercise every op in the default mix (100 requests).
+SEED = 7
+PROFILE = LoadProfile(
+    clients=25,
+    requests_per_client=4,
+    warmup_jobs=3,
+    advance_every=20,
+    advance_dt_s=1.0,
+)
+
+
+def build_service():
+    """The fixed world the golden campaign runs against."""
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=16,
+        seed=1,
+        manager_config=ManagerConfig(
+            global_cap_w=20_000.0,
+            policy="proportional",
+            static_node_cap_w=1950.0,
+        ),
+    )
+    registry = ClusterRegistry.from_cluster(cluster, name="default")
+    return PowerService(registry), SimDriver(registry)
+
+
+def run_smoke() -> Dict[str, Any]:
+    """Run the pinned campaign on a fresh world; return the fixture dict."""
+    service, driver = build_service()
+    trace = generate_trace(SEED, PROFILE, n_nodes=16)
+    result = run_loadtest(SEED, PROFILE, service, driver, trace=trace)
+    return {
+        "seed": SEED,
+        "profile": {
+            "clients": PROFILE.clients,
+            "requests_per_client": PROFILE.requests_per_client,
+            "warmup_jobs": PROFILE.warmup_jobs,
+            "advance_every": PROFILE.advance_every,
+            "advance_dt_s": PROFILE.advance_dt_s,
+        },
+        "n_requests": result.n_requests,
+        "errors": result.errors,
+        "status_counts": result.status_counts,
+        "op_counts": result.op_counts,
+        "trace_sha256": result.trace_sha256,
+        "response_digest": result.response_digest,
+        # A readable head of the trace, so a fixture diff shows *what*
+        # changed, not just that a hash moved.
+        "trace_head": trace_lines(trace)[:5],
+    }
+
+
+def write_fixture() -> None:
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    fixture = run_smoke()
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(fixture, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH} "
+          f"(trace={fixture['trace_sha256'][:12]}, "
+          f"responses={fixture['response_digest'][:12]})")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        raise SystemExit("refusing to overwrite goldens without --write")
+    write_fixture()

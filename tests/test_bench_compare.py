@@ -157,6 +157,43 @@ def test_mismatched_repeats_warn():
     assert any("best-of-5" in w and "best-of-3" in w for w in result.warnings)
 
 
+def test_string_created_unix_warns_instead_of_crashing():
+    # Hand-edited artifacts in the wild carry ISO strings here; the old
+    # loader warned and then crashed comparing str > int for ordering.
+    base = _report("base", [_entry("b", "wall_s", 1.0)], created="2024-01-01")
+    new = _report("new", [_entry("b", "wall_s", 1.0)])
+    result = compare_reports(base, new, 0.10)
+    assert result.ok
+    assert any("no usable" in w and "created_unix" in w for w in result.warnings)
+    assert not any("predates" in w for w in result.warnings)
+
+
+def test_bool_created_unix_is_not_a_timestamp():
+    # True passes isinstance(int) and True > 0 — it must still warn.
+    base = _report("base", [_entry("b", "wall_s", 1.0)], created=True)
+    new = _report("new", [_entry("b", "wall_s", 1.0)])
+    result = compare_reports(base, new, 0.10)
+    assert result.ok
+    assert any("no usable" in w and "created_unix" in w for w in result.warnings)
+
+
+def test_float_vs_int_repeats_do_not_warn():
+    # A JSON round trip through another tool may float-ify repeats;
+    # 3 vs 3.0 is the same best-of policy, not a mismatch.
+    base = _report("base", [_entry("b", "wall_s", 1.0)], repeats=3)
+    new = _report("new", [_entry("b", "wall_s", 1.0)], repeats=3.0)
+    result = compare_reports(base, new, 0.10)
+    assert not any("repeats differ" in w for w in result.warnings)
+
+
+def test_non_numeric_repeats_warn_without_crashing():
+    base = _report("base", [_entry("b", "wall_s", 1.0)], repeats="five")
+    new = _report("new", [_entry("b", "wall_s", 1.0)], repeats=5)
+    result = compare_reports(base, new, 0.10)
+    assert result.ok
+    assert any("repeats differ" in w for w in result.warnings)
+
+
 def test_platform_drift_warns_including_numpy():
     base = _report("base", [_entry("b", "wall_s", 1.0)])
     new = _report(

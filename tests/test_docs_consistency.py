@@ -125,6 +125,49 @@ def test_every_lifecycle_runtime_metric_is_documented():
     assert not missing, f"runtime metrics missing from docs: {sorted(missing)}"
 
 
+def test_every_serving_runtime_metric_is_documented():
+    # A short loadtest plus one failing request lights up the whole
+    # `serving_*` family (request/op counters, the error counter, the
+    # latency histogram, snapshot cache refreshes).
+    from repro.serving import (
+        ClusterRegistry,
+        LoadProfile,
+        PowerService,
+        SimDriver,
+        run_loadtest,
+    )
+
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=4,
+        seed=3,
+        manager_config=ManagerConfig(
+            global_cap_w=4800.0, policy="proportional", static_node_cap_w=1950.0
+        ),
+    )
+    registry = ClusterRegistry.from_cluster(cluster, name="default")
+    service = PowerService(registry)
+    run_loadtest(
+        1,
+        LoadProfile(clients=5, requests_per_client=2, warmup_jobs=1,
+                    advance_every=5),
+        service,
+        SimDriver(registry),
+    )
+    service.handle("GET", "/v1/clusters/nowhere")
+    emitted = cluster.telemetry_hub.metrics.names()
+    for name in (
+        "serving_requests_total",
+        "serving_errors_total",
+        "serving_request_latency_s",
+        "serving_snapshot_refreshes_total",
+    ):
+        assert name in emitted, name
+    doc = OBSERVABILITY_DOC.read_text()
+    missing = {n for n in emitted if f"`{n}`" not in doc}
+    assert not missing, f"runtime metrics missing from docs: {sorted(missing)}"
+
+
 # ----------------------------------------------------------------------
 # Dead links
 # ----------------------------------------------------------------------

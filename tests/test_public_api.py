@@ -31,6 +31,7 @@ def test_version_string():
         "repro.manager.policies",
         "repro.analysis",
         "repro.experiments",
+        "repro.serving",
         "repro.cli",
     ],
 )

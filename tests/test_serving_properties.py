@@ -1,0 +1,231 @@
+"""Property tests of the serving API (hypothesis, derandomized).
+
+Three properties the ISSUE pins:
+
+* **Pagination is a partition** — for any (limit, offset) walk, the
+  concatenated pages equal the full listing exactly: nothing dropped,
+  nothing duplicated, order preserved.
+* **Concise ⊂ detailed** — the concise job/node view is a *strict*
+  field-subset of the detailed view, and agrees with it on every shared
+  field.
+* **Malformed requests are client errors** — arbitrary garbage methods
+  / paths / params / bodies never produce a 500 or a traceback: any
+  failure is a structured 4xx with an ``error.code`` envelope.
+
+The worlds are built once at module scope and treated read-only (the
+fuzz target gets its own world so an accidentally *valid* submit can't
+touch the pagination fixtures).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import PowerManagedCluster
+from repro.manager.cluster_manager import ManagerConfig
+from repro.serving import (
+    CONCISE_JOB_FIELDS,
+    ClusterRegistry,
+    DETAILED_JOB_FIELDS,
+    PowerService,
+    SimDriver,
+)
+from repro.flux.jobspec import Jobspec
+
+settings.register_profile("repro", derandomize=True, max_examples=200)
+settings.load_profile("repro")
+
+N_JOBS = 23
+
+
+def _world():
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=8,
+        seed=21,
+        manager_config=ManagerConfig(
+            global_cap_w=10_000.0, policy="proportional",
+            static_node_cap_w=1950.0,
+        ),
+    )
+    registry = ClusterRegistry.from_cluster(cluster, name="default")
+    service = PowerService(registry)
+    driver = SimDriver(registry)
+    # A mixed population: small jobs complete, wide ones run or queue,
+    # a couple get cancelled — every JobState appears in the books.
+    for i in range(N_JOBS):
+        nnodes = 1 + (i % 4) if i % 5 else 8
+        cluster.submit(Jobspec(app="gemm", nnodes=nnodes,
+                               params={"work_scale": 0.3 + 0.1 * (i % 3)}))
+    for jobid in (10, 20):
+        service.handle("DELETE", f"/v1/clusters/default/jobs/{jobid}")
+    driver.advance(40.0)
+    return service
+
+
+SERVICE = _world()
+FUZZ_SERVICE = _world()
+BACKEND = SERVICE.registry.resolve("default")
+
+
+def _walk_pages(params):
+    """Follow next_offset to the end; return the concatenated jobids."""
+    seen, offset, pages = [], params.get("offset", 0), 0
+    while True:
+        resp = SERVICE.handle("GET", "/v1/clusters/default/jobs",
+                              {**params, "offset": offset})
+        assert resp.status == 200, resp.body
+        seen.extend(job["jobid"] for job in resp.body["jobs"])
+        pages += 1
+        assert pages <= N_JOBS + 1, "pagination does not terminate"
+        if resp.body["next_offset"] is None:
+            return seen, resp.body["total"]
+        assert resp.body["next_offset"] == offset + resp.body["limit"]
+        offset = resp.body["next_offset"]
+
+
+# ---------------------------------------------------------------------------
+# Pagination
+# ---------------------------------------------------------------------------
+
+
+@given(limit=st.integers(min_value=1, max_value=N_JOBS + 2))
+def test_page_walk_is_exactly_the_full_listing(limit):
+    expected = [r.jobid for r in BACKEND.jobs.values()]
+    seen, total = _walk_pages({"limit": limit})
+    assert seen == expected
+    assert total == len(expected)
+    assert len(seen) == len(set(seen))
+
+
+@given(
+    limit=st.integers(min_value=1, max_value=N_JOBS + 2),
+    state=st.sampled_from(["submitted", "running", "completed", "cancelled"]),
+)
+def test_filtered_page_walk_partitions_the_filtered_listing(limit, state):
+    expected = [r.jobid for r in BACKEND.jobs.values()
+                if r.state.value == state]
+    seen, total = _walk_pages({"limit": limit, "state": state})
+    assert seen == expected
+    assert total == len(expected)
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=N_JOBS + 5),
+    limit=st.integers(min_value=1, max_value=N_JOBS + 5),
+)
+def test_single_page_is_the_exact_slice(offset, limit):
+    expected = [r.jobid for r in BACKEND.jobs.values()]
+    resp = SERVICE.handle("GET", "/v1/clusters/default/jobs",
+                          {"offset": offset, "limit": limit})
+    assert resp.status == 200
+    assert [j["jobid"] for j in resp.body["jobs"]] == \
+        expected[offset:offset + limit]
+
+
+@given(limit=st.integers(min_value=1, max_value=11))
+def test_node_pages_partition_the_cluster(limit):
+    seen, offset = [], 0
+    while True:
+        resp = SERVICE.handle("GET", "/v1/clusters/default/nodes",
+                              {"offset": offset, "limit": limit})
+        assert resp.status == 200
+        seen.extend(n["rank"] for n in resp.body["nodes"])
+        if resp.body["next_offset"] is None:
+            break
+        offset = resp.body["next_offset"]
+    assert seen == list(range(BACKEND.n_nodes))
+
+
+# ---------------------------------------------------------------------------
+# Concise ⊂ detailed
+# ---------------------------------------------------------------------------
+
+
+@given(jobid=st.integers(min_value=1, max_value=N_JOBS))
+def test_concise_job_view_is_strict_subset_of_detailed(jobid):
+    concise = SERVICE.handle("GET", f"/v1/clusters/default/jobs/{jobid}")
+    detailed = SERVICE.handle("GET", f"/v1/clusters/default/jobs/{jobid}",
+                              {"response_format": "detailed"})
+    assert concise.status == detailed.status == 200
+    assert set(concise.body) < set(detailed.body)  # strict subset
+    assert set(concise.body) == set(CONCISE_JOB_FIELDS)
+    assert set(detailed.body) == set(DETAILED_JOB_FIELDS)
+    for key, value in concise.body.items():
+        assert detailed.body[key] == value
+
+
+@given(rank=st.integers(min_value=0, max_value=7))
+def test_concise_node_view_is_strict_subset_of_detailed(rank):
+    concise = SERVICE.handle("GET", "/v1/clusters/default/nodes",
+                             {"offset": rank, "limit": 1})
+    detailed = SERVICE.handle(
+        "GET", "/v1/clusters/default/nodes",
+        {"offset": rank, "limit": 1, "response_format": "detailed"},
+    )
+    c, d = concise.body["nodes"][0], detailed.body["nodes"][0]
+    assert set(c) < set(d)
+    for key, value in c.items():
+        assert d[key] == value
+
+
+# ---------------------------------------------------------------------------
+# Malformed requests: structured 4xx, never a 500
+# ---------------------------------------------------------------------------
+
+_json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+_json_values = st.recursive(
+    _json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+_paths = st.one_of(
+    st.sampled_from([
+        "/v1/clusters/default/jobs",
+        "/v1/clusters/default/jobs/0",
+        "/v1/clusters/default/jobs/nan",
+        "/v1/clusters/default/nodes",
+        "/v1/clusters//jobs",
+        "/v1/clusters/default/jobs/1/output/extra",
+        "/v1/batch",
+        "/v1/site/power",
+        "/v1",
+        "/",
+        "",
+    ]),
+    st.text(alphabet="/abcjv1?&=%. ", max_size=40),
+)
+
+
+@given(
+    method=st.sampled_from(["GET", "POST", "DELETE", "PUT", "PATCH", "BREW"]),
+    path=_paths,
+    params=st.dictionaries(
+        st.sampled_from(["limit", "offset", "response_format", "state", "x"]),
+        st.one_of(st.integers(-100, 100_000), st.text(max_size=8)),
+        max_size=4,
+    ),
+    body=st.one_of(st.none(), _json_values),
+)
+def test_garbage_requests_never_500(method, path, params, body):
+    resp = FUZZ_SERVICE.handle(method, path, params, body)
+    assert resp.status < 500, (method, path, params, body, resp.body)
+    if resp.status >= 400:
+        err = resp.body["error"]
+        assert isinstance(err["code"], str) and err["code"]
+        assert isinstance(err["message"], str) and err["message"]
+
+
+@given(ops=st.lists(_json_values, min_size=1, max_size=5))
+def test_garbage_batch_ops_fail_individually_not_the_envelope(ops):
+    resp = FUZZ_SERVICE.handle("POST", "/v1/batch", body={"ops": ops})
+    assert resp.status in (200, 400)
+    if resp.status == 200:
+        for entry in resp.body["results"]:
+            assert entry["status"] < 500

@@ -13,6 +13,10 @@
 #              committed fixture tests/golden/policy_head_to_head.csv
 #   lifecycle - snapshot schema-version lint + a seeded 16-node
 #              crash→snapshot→restore→digest-equivalence check
+#   serve    - serving-tier gate: boot a 16-node cluster behind the API
+#              (`repro serve --smoke`), then a seeded 100-client
+#              loadtest that must finish with zero errors and p99
+#              under a latency bound (see docs/serving.md)
 #   bench    - quick perf suite compared against the committed
 #              BENCH_columnar.json baseline; OFF by default (set
 #              REPRO_BENCH_GATE=1) so the flow stays fast
@@ -23,6 +27,11 @@
 #   REPRO_SIMTEST_SEEDS   smoke-batch size                 (default 25)
 #   REPRO_FEDERATE_SEEDS  federated smoke-batch size       (default 10)
 #   REPRO_LIFECYCLE_SEED  lifecycle check scenario seed    (default 1)
+#   REPRO_SERVE_SEED      loadtest trace seed              (default 1)
+#   REPRO_SERVE_CLIENTS   loadtest client count            (default 100)
+#   REPRO_SERVE_P99_MS    loadtest p99 latency bound, ms   (default 250;
+#              generous — the gate is about catastrophic handler
+#              regressions, not micro-benchmarking shared CI hosts)
 #   REPRO_BENCH_GATE      run the bench stage when set to 1 (default off)
 #   REPRO_BENCH_BASELINE  baseline artifact  (default BENCH_columnar_quick.json:
 #                         quick-vs-quick is the only apples-to-apples compare —
@@ -37,12 +46,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="${STAGES:-tier1 shuffle cov simtest federate policies lifecycle bench}"
+STAGES="${STAGES:-tier1 shuffle cov simtest federate policies lifecycle serve bench}"
 REPRO_COV_MIN="${REPRO_COV_MIN:-80}"
 REPRO_SHUFFLE_SEED="${REPRO_SHUFFLE_SEED:-1}"
 REPRO_SIMTEST_SEEDS="${REPRO_SIMTEST_SEEDS:-25}"
 REPRO_FEDERATE_SEEDS="${REPRO_FEDERATE_SEEDS:-10}"
 REPRO_LIFECYCLE_SEED="${REPRO_LIFECYCLE_SEED:-1}"
+REPRO_SERVE_SEED="${REPRO_SERVE_SEED:-1}"
+REPRO_SERVE_CLIENTS="${REPRO_SERVE_CLIENTS:-100}"
+REPRO_SERVE_P99_MS="${REPRO_SERVE_P99_MS:-250}"
 REPRO_BENCH_GATE="${REPRO_BENCH_GATE:-0}"
 REPRO_BENCH_BASELINE="${REPRO_BENCH_BASELINE:-BENCH_columnar_quick.json}"
 REPRO_BENCH_MAX_REGRESS="${REPRO_BENCH_MAX_REGRESS:-50%}"
@@ -97,6 +109,17 @@ for stage in $STAGES; do
             python -m repro.cli lifecycle --schema-lint
             banner "lifecycle: crash-restore digest equivalence (seed $REPRO_LIFECYCLE_SEED, 16 nodes)"
             python -m repro.cli lifecycle --seed "$REPRO_LIFECYCLE_SEED" --nodes 16
+            ;;
+        serve)
+            banner "serve: API boot smoke (16 nodes over HTTP)"
+            python -m repro.cli serve --smoke --port 0 --nodes 16
+            banner "serve: ${REPRO_SERVE_CLIENTS}-client loadtest (seed $REPRO_SERVE_SEED, zero errors, p99 <= ${REPRO_SERVE_P99_MS} ms)"
+            servedir="$(mktemp -d)"
+            trap 'rm -rf "$servedir"' EXIT
+            python -m repro.cli loadtest \
+                --clients "$REPRO_SERVE_CLIENTS" --seed "$REPRO_SERVE_SEED" \
+                --p99-max "$REPRO_SERVE_P99_MS" --out "$servedir"
+            rm -rf "$servedir"
             ;;
         bench)
             if [ "$REPRO_BENCH_GATE" != "1" ]; then
