@@ -19,6 +19,9 @@ Mirrors the user-facing tools of the paper's deployment:
 * ``repro simtest`` — seeded scenario fuzzing under the runtime
   invariant checkers, with failure shrinking and seed/artifact replay
   (see docs/testing.md).
+* ``repro tenants`` — multi-tenant fairness: the weighted/oversubscribed
+  demo report (``--report``, optional accounting CSV export) or seeded
+  tenant-forced scenario fuzzing (see docs/tenancy.md).
 * ``repro federate`` — the site tier: a scripted two-cluster federation
   demo (``--demo``), or seeded *federated* scenario fuzzing under the
   site-level invariant checkers (see docs/federation.md).
@@ -337,6 +340,48 @@ def _cmd_simtest(args: argparse.Namespace) -> int:
     seeds = range(args.seed_start, args.seed_start + args.seeds)
     report = run_batch(
         seeds,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifacts,
+        progress=(
+            (lambda r: print(r.summary(), file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    """Multi-tenant fairness: demo report and tenant-forced fuzzing."""
+    if args.report:
+        from repro.tenancy.report import run_demo
+
+        run_demo(args.seed if args.seed is not None else 0, csv_path=args.csv)
+        return 0
+
+    from repro.simtest import default_checkers, generate_scenario, run_scenario
+    from repro.simtest.fuzzer import run_batch
+    from repro.simtest.scenario import GeneratorConfig
+
+    # Every seed carries a tenant mix (the knob rides its own substream,
+    # so the rest of the scenario matches plain `repro simtest` seeds).
+    config = GeneratorConfig(p_tenancy=1.0)
+
+    if args.seed is not None:
+        result = run_scenario(
+            generate_scenario(args.seed, config), checkers=default_checkers()
+        )
+        print(result.summary())
+        if not result.ok:
+            for v in result.violations[: args.max_violations]:
+                print(f"  [{v.invariant}] t={v.t:.3f}: {v.message}")
+        return 0 if result.ok else 1
+
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+    report = run_batch(
+        seeds,
+        config=config,
         shrink=not args.no_shrink,
         artifact_dir=args.artifacts,
         progress=(
@@ -871,6 +916,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each scenario result as it completes",
     )
     st.set_defaults(func=_cmd_simtest)
+
+    tn = sub.add_parser(
+        "tenants",
+        help="multi-tenant fairness: demo report or tenant-forced fuzzing",
+    )
+    tn.add_argument(
+        "--report", action="store_true",
+        help="run the weighted/oversubscribed demo and print its report",
+    )
+    tn.add_argument(
+        "--csv", metavar="PATH",
+        help="with --report: also write the accounting CSV export",
+    )
+    tn.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of tenant-mix scenarios to fuzz (default: 25)",
+    )
+    tn.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first seed of the batch (default: 0)",
+    )
+    tn.add_argument(
+        "--seed", type=int, default=None,
+        help="replay a single tenant-forced seed (or pick the --report seed)",
+    )
+    tn.add_argument(
+        "--artifacts", metavar="DIR",
+        help="directory for shrunk reproducer artifacts (batch mode)",
+    )
+    tn.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violations without shrinking them",
+    )
+    tn.add_argument(
+        "--max-violations", type=int, default=5,
+        help="violations to print per failing scenario (default: 5)",
+    )
+    tn.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print each scenario result as it completes",
+    )
+    tn.set_defaults(func=_cmd_tenants)
 
     f = sub.add_parser(
         "federate",

@@ -103,6 +103,7 @@ class PowerManagedCluster:
         monitor_columnar: bool = False,
         sim=None,
         hostname_prefix: Optional[str] = None,
+        tenancy=None,
     ) -> None:
         self.instance = FluxInstance(
             platform=platform,
@@ -142,6 +143,14 @@ class PowerManagedCluster:
         self.faults = FaultInjector(
             self.instance, fault_plan, on_restart=self._on_broker_restart
         )
+        #: Tenancy coordinator (fairshare + admission + accounting);
+        #: None — the anonymous-job paper configuration — unless a
+        #: :class:`~repro.tenancy.coordinator.TenancyConfig` was given.
+        self.tenancy = None
+        if tenancy is not None:
+            from repro.tenancy.coordinator import TenancyCoordinator
+
+            self.tenancy = TenancyCoordinator(self, tenancy)
 
     def _on_broker_restart(self, broker: Broker) -> None:
         """Reload management modules on a broker that came back up.
@@ -167,10 +176,20 @@ class PowerManagedCluster:
     def nodes(self):
         return self.instance.nodes
 
-    def submit(self, spec: Jobspec, depends_on=None) -> JobRecord:
+    def submit(self, spec: Jobspec, depends_on=None) -> Optional[JobRecord]:
+        """Submit a job. With a tenancy coordinator attached the spec
+        passes admission first and the return value may be None (queued
+        or rejected — ``self.tenancy.last_decision`` says which)."""
+        if self.tenancy is not None:
+            return self.tenancy.submit(spec, depends_on=depends_on)
         return self.instance.submit(spec, depends_on=depends_on)
 
     def submit_at(self, spec: Jobspec, when: float) -> None:
+        if self.tenancy is not None:
+            # Route the deferred submission through admission too
+            # (instance.submit_at would bypass the coordinator).
+            self.sim.schedule_at(when, self.tenancy.submit, spec)
+            return
         self.instance.submit_at(spec, when)
 
     def run_until_complete(self, timeout_s: float = 1e7) -> float:

@@ -71,11 +71,69 @@ def split_budget_np(
     return {jobid: float(shares[i]) for i, jobid in enumerate(jobids)}
 
 
+def split_budget_weighted_np(
+    budget_w: float,
+    job_nodes: Mapping[int, int],
+    node_peak_w: float,
+    weights: Optional[Mapping[int, float]] = None,
+) -> Dict[int, float]:
+    """Vectorized :func:`~repro.tenancy.fairshare.split_budget_weighted`.
+
+    The pin test and the rate computation are elementwise ufuncs (the
+    same IEEE operations, in the same order, as the scalar loop); the
+    weighted node total and the running ``remaining`` are accumulated
+    sequentially in the scalar's free-list order, so the result is
+    bitwise equal at every size.
+    """
+    if not job_nodes:
+        return {}
+    from repro.tenancy.fairshare import normalize_weights
+
+    jobids = list(job_nodes)
+    n = len(jobids)
+    counts = np.fromiter(
+        (float(job_nodes[j]) for j in jobids), np.float64, n
+    )
+    if np.any(counts < 0):
+        bad = jobids[int(np.nonzero(counts < 0)[0][0])]
+        raise ValueError(f"job {bad!r} node count must be >= 0")
+    if not counts.any():
+        return {}  # mirrors the scalar: no allocated nodes, no entries
+    wn_map = normalize_weights(weights, jobids)
+    wn = np.fromiter((wn_map[j] for j in jobids), np.float64, n)
+
+    alloc = np.zeros(n, dtype=np.float64)
+    free_mask = np.ones(n, dtype=bool)
+    remaining = float(budget_w)
+    terms = wn * counts  # elementwise wn_j · n_j, one op per job
+    while free_mask.any():
+        free = np.nonzero(free_mask)[0]
+        total_wn = _seq_sum(terms[i] for i in free)
+        if total_wn <= 0.0:
+            alloc[free] = 0.0
+            break
+        pin = free_mask & (node_peak_w * total_wn <= remaining * wn)
+        if pin.any():
+            peak_alloc = node_peak_w * counts
+            # Sequential remaining updates in the scalar's pin order
+            # (ascending index == free-list insertion order).
+            for i in np.nonzero(pin)[0]:
+                alloc[i] = peak_alloc[i]
+                remaining -= alloc[i]
+            free_mask &= ~pin
+            continue
+        rate = remaining * wn / total_wn
+        alloc[free] = (rate * counts)[free]
+        break
+    return {j: float(alloc[i]) for i, j in enumerate(jobids)}
+
+
 def split_site_budget_np(
     site_budget_w: float,
     demands: Mapping[str, float],
     floors: Optional[Mapping[str, float]] = None,
     ceilings: Optional[Mapping[str, Optional[float]]] = None,
+    weights: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, float]:
     """Vectorized :func:`~repro.federation.rebalance.split_site_budget`.
 
@@ -97,6 +155,14 @@ def split_site_budget_np(
     if np.any(demand < 0):
         bad = names[int(np.nonzero(demand < 0)[0][0])]
         raise ValueError(f"cluster {bad!r} demand must be >= 0")
+    if weights is None:
+        eff = demand
+    else:
+        from repro.tenancy.fairshare import normalize_weights
+
+        wn_map = normalize_weights(weights, names)
+        wn = np.fromiter((wn_map[c] for c in names), np.float64, n)
+        eff = wn * demand  # elementwise, matching the scalar wn_c · d_c
     lo = np.fromiter((lo_map[c] for c in names), np.float64, n)
     has_hi = np.fromiter((hi_map[c] is not None for c in names), bool, n)
     hi = np.fromiter(
@@ -119,7 +185,7 @@ def split_site_budget_np(
         if free.size == 0:
             break
         remaining = max(0.0, site_budget_w - pinned_sum())
-        weight = demand[free]
+        weight = eff[free]
         total_w = _seq_sum(weight)
         if total_w <= 0.0:
             prop = np.full(free.size, remaining / free.size)
@@ -161,7 +227,7 @@ def split_site_budget_np(
         open_idx = np.nonzero(open_mask)[0]
         if open_idx.size == 0:  # pragma: no cover - target <= sum of ceilings
             break
-        weight = demand[open_idx]
+        weight = eff[open_idx]
         total_w = _seq_sum(weight)
         if total_w <= 0.0:
             add = np.full(open_idx.size, leftover / open_idx.size)

@@ -67,6 +67,7 @@ def split_site_budget(
     demands: Mapping[str, float],
     floors: Optional[Mapping[str, float]] = None,
     ceilings: Optional[Mapping[str, Optional[float]]] = None,
+    weights: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, float]:
     """Divide the site budget over live clusters by demand weight.
 
@@ -75,6 +76,12 @@ def split_site_budget(
     share is reclaimed by the same recompute that notices the outage).
     ``floors``/``ceilings`` clamp each cluster's share into
     ``[floor, ceiling]``; missing entries mean 0 / unbounded.
+    ``weights`` (fairshare priorities, missing → 1.0) scale each
+    cluster's fill weight to ``wn_c × demand_c`` after normalizing by
+    the maximum weight; ``None`` — and, because ``w / w == 1.0`` and
+    ``1.0 × d == d`` in IEEE-754, all-equal weights — leaves the fill
+    bitwise identical to the unweighted split (the tenancy property
+    suite asserts ``==`` on this).
 
     The fill is the cluster-manager rule lifted one level: distribute
     the whole budget proportionally to demand, then pin any cluster
@@ -96,6 +103,13 @@ def split_site_budget(
     for c in names:
         if float(demands[c]) < 0:
             raise ValueError(f"cluster {c!r} demand must be >= 0")
+    if weights is None:
+        eff = {c: float(demands[c]) for c in names}
+    else:
+        from repro.tenancy.fairshare import normalize_weights
+
+        wn = normalize_weights(weights, names)
+        eff = {c: wn[c] * float(demands[c]) for c in names}
 
     pinned: Dict[str, float] = {}
     while True:
@@ -103,7 +117,7 @@ def split_site_budget(
         if not free:
             break
         remaining = max(0.0, site_budget_w - sum(pinned.values()))
-        weight = {c: float(demands[c]) for c in free}
+        weight = {c: eff[c] for c in free}
         total_w = sum(weight.values())
         if total_w <= 0.0:
             prop = {c: remaining / len(free) for c in free}
@@ -151,7 +165,7 @@ def split_site_budget(
         ]
         if not open_c:  # pragma: no cover - target <= sum of ceilings
             break
-        weight = {c: float(demands[c]) for c in open_c}
+        weight = {c: eff[c] for c in open_c}
         total_w = sum(weight.values())
         for c in open_c:
             add = (

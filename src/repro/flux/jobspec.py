@@ -50,6 +50,12 @@ class Jobspec:
     user:
         Submitting user (user-level instances can apply their own
         policies).
+    project:
+        Chargeable project for the tenancy tier (see
+        :mod:`repro.tenancy`); ``None`` — the default everywhere the
+        tenant model is not in play — resolves through the tenant
+        directory by ``user``, falling back to the unaffiliated
+        project.
     """
 
     app: str
@@ -59,6 +65,7 @@ class Jobspec:
     launcher: str = "mpi"
     user: str = "user0"
     name: Optional[str] = None
+    project: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.nnodes < 1:
@@ -91,7 +98,7 @@ class JobRecord:
 
     def to_kvs(self) -> Dict[str, Any]:
         """JSON-compatible record for the KVS (what clients read)."""
-        return {
+        d = {
             "jobid": self.jobid,
             "app": self.spec.app,
             "name": self.spec.label,
@@ -104,3 +111,8 @@ class JobRecord:
             "t_start": self.t_start,
             "t_end": self.t_end,
         }
+        # Only present when set: anonymous records keep their exact
+        # historical key set (KVS contents feed golden fixtures).
+        if self.spec.project is not None:
+            d["project"] = self.spec.project
+        return d

@@ -94,6 +94,12 @@ class ClusterLevelManager(Module):
         self.job_level = JobLevelManager(broker)
         #: (time, total_active_nodes, per_node_share_w) — Fig 5 series.
         self.share_log: List[tuple] = []
+        #: Optional fairshare hook installed by the tenancy tier
+        #: (:class:`repro.tenancy.coordinator.TenancyCoordinator`):
+        #: ``splitter(budget_w, {jobid: nodes}, node_peak_w) ->
+        #: {jobid: job_limit_w}``. When None (the default) the manager
+        #: runs the paper's anonymous proportional split untouched.
+        self.share_splitter = None
         #: Per-rank lifecycle: only AVAILABLE ranks are booked into new
         #: jobs' power shares. The scheduler does not track broker
         #: liveness, so a job can start on a rank whose management plane
@@ -270,6 +276,18 @@ class ClusterLevelManager(Module):
     # ------------------------------------------------------------------
     # Proportional sharing (Section III-B1)
     # ------------------------------------------------------------------
+    def effective_budget_w(self) -> Optional[float]:
+        """The budget the proportional split divides: the global cap
+        minus the idle-node reserve (when accounted); None if uncapped."""
+        if self.config.global_cap_w is None:
+            return None
+        budget = self.config.global_cap_w
+        if self.config.account_idle_nodes:
+            total_nodes = self.job_level.active_node_count()
+            idle = max(0, self.broker.overlay.size - total_nodes)
+            budget = max(0.0, budget - idle * self.config.idle_node_w)
+        return budget
+
     def per_node_share_w(self) -> Optional[float]:
         """Current per-node allocation, or None when uncapped."""
         if self.config.global_cap_w is None:
@@ -277,10 +295,7 @@ class ClusterLevelManager(Module):
         total_nodes = self.job_level.active_node_count()
         if total_nodes == 0:
             return None
-        budget = self.config.global_cap_w
-        if self.config.account_idle_nodes:
-            idle = max(0, self.broker.overlay.size - total_nodes)
-            budget = max(0.0, budget - idle * self.config.idle_node_w)
+        budget = self.effective_budget_w()
         return per_node_share(budget, total_nodes, self.config.node_peak_w)
 
     def _recompute(self) -> None:
@@ -313,8 +328,26 @@ class ClusterLevelManager(Module):
             "manager",
             MANAGER_RECOMPUTE_COST_PER_JOB_S * max(1, len(self.job_level.jobs)),
         )
+        # Fairshare hook: when the tenancy tier installed a splitter and
+        # the cluster is capped with active jobs, job limits come from
+        # the weighted water-fill instead of the flat share. With the
+        # hook absent (every anonymous deployment) this is the exact
+        # historical code path, byte for byte.
+        weighted: Optional[Dict[int, float]] = None
+        if self.share_splitter is not None and share is not None:
+            weighted = self.share_splitter(
+                self.effective_budget_w(),
+                {
+                    jobid: len(state.ranks)
+                    for jobid, state in self.job_level.jobs.items()
+                },
+                self.config.node_peak_w,
+            )
         for jobid, state in list(self.job_level.jobs.items()):
-            job_limit = None if share is None else share * len(state.ranks)
+            if weighted is not None:
+                job_limit: Optional[float] = weighted.get(jobid, 0.0)
+            else:
+                job_limit = None if share is None else share * len(state.ranks)
             self.job_level.assign(jobid, job_limit)
 
     # ------------------------------------------------------------------

@@ -58,6 +58,22 @@ DEFAULT_OP_MIX: Tuple[Tuple[str, float], ...] = (
     ("submit_job", 0.05),
 )
 
+#: Op mix for tenancy-aware campaigns: the default dashboard shape with
+#: a heavy ``/v1/accounting`` read stream carved out of the other reads.
+#: DEFAULT_OP_MIX stays untouched — golden serving traces pin it.
+ACCOUNTING_OP_MIX: Tuple[Tuple[str, float], ...] = (
+    ("cluster_power", 0.18),
+    ("list_jobs", 0.16),
+    ("get_job", 0.14),
+    ("accounting", 0.20),
+    ("nodes", 0.08),
+    ("queue", 0.08),
+    ("job_output", 0.06),
+    ("health", 0.04),
+    ("batch_power", 0.02),
+    ("submit_job", 0.04),
+)
+
 #: Apps the generator submits (portable on every platform).
 SUBMIT_APPS: Tuple[str, ...] = ("gemm", "quicksilver", "lammps")
 
@@ -218,6 +234,13 @@ def generate_trace(seed: int, profile: LoadProfile,
                 "name": f"load-{seq}",
             }
             known_jobs += 1
+        elif op == "accounting":
+            params = {
+                "response_format": fmt,
+                "limit": int(payload.choice([2, 5, 10])),
+                "offset": 0,
+            }
+            path = "/v1/accounting"
         else:
             raise ValueError(f"unknown op in mix: {op!r}")
         trace.append(TracedRequest(

@@ -82,6 +82,12 @@ class ClusterBackend:
     def manager(self):
         return self.cluster.manager
 
+    # -- tenancy -------------------------------------------------------
+    @property
+    def tenancy(self):
+        """The cluster's tenancy coordinator, or None (anonymous)."""
+        return getattr(self.cluster, "tenancy", None)
+
     def job_power_state(self, jobid: int):
         """Manager-internal share bookkeeping for an active job."""
         if self.cluster.manager is None:

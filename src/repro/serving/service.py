@@ -61,6 +61,30 @@ DETAILED_JOB_FIELDS = CONCISE_JOB_FIELDS + (
     "node_limit_w",
 )
 
+#: Tenant job views add the resolved project on top of DETAILED (only
+#: when a tenancy coordinator is attached — anonymous clusters keep the
+#: exact historical field set the goldens pin).
+TENANT_JOB_FIELDS = DETAILED_JOB_FIELDS + ("project",)
+
+#: Accounting views (``/v1/accounting``): same concise ⊂ detailed
+#: projection contract as job views.
+CONCISE_ACCOUNTING_FIELDS = (
+    "cluster",
+    "project",
+    "weight",
+    "effective_weight",
+    "active_jobs",
+)
+DETAILED_ACCOUNTING_FIELDS = CONCISE_ACCOUNTING_FIELDS + (
+    "account",
+    "usage_ws",
+    "lifetime_ws",
+    "granted_w",
+    "admitted_total",
+    "queued_total",
+    "rejected_total",
+)
+
 _VALID_STATES = {s.value for s in JobState}
 
 
@@ -144,6 +168,11 @@ def _job_view(backend: ClusterBackend, record: JobRecord,
     if state is not None:
         view["job_limit_w"] = state.job_limit_w
         view["node_limit_w"] = state.node_limit_w
+    # Tenant clusters expose the resolved project; anonymous clusters
+    # keep the exact historical field set (golden serving digests).
+    tenancy = backend.tenancy
+    if tenancy is not None:
+        view["project"] = tenancy.project_of_job(record.jobid)
     return view
 
 
@@ -221,6 +250,12 @@ class PowerService:
             return "batch", self._batch(body)
         if parts == ["site", "power"] and method == "GET":
             return "site_power", self._site_power()
+        if parts == ["accounting"] and method == "GET":
+            return "accounting", self._accounting(params)
+        if len(parts) == 2 and parts[0] == "accounting" and method == "GET":
+            return "accounting_project", self._accounting_project(
+                parts[1], params
+            )
 
         if len(parts) >= 2 and parts[0] == "clusters":
             backend = self._backend(parts[1])
@@ -336,12 +371,27 @@ class PowerService:
                 400, "bad_request",
                 f"state must be one of {sorted(_VALID_STATES)}, got {state!r}",
             )
+        user = params.get("user")
+        if user is not None and not isinstance(user, str):
+            raise ApiError(400, "bad_request", "user must be a string")
+        project = params.get("project")
+        if project is not None and not isinstance(project, str):
+            raise ApiError(400, "bad_request", "project must be a string")
+        tenancy = backend.tenancy
+
+        def _project_of(record: JobRecord) -> Optional[str]:
+            if tenancy is not None:
+                return tenancy.project_of_job(record.jobid)
+            return record.spec.project
+
         # jobids are issued sequentially and the books are insertion
         # ordered, so this listing order is stable across pages — the
         # pagination property tests lean on exactly that.
         records = [
             r for r in backend.jobs.values()
-            if state is None or r.state.value == state
+            if (state is None or r.state.value == state)
+            and (user is None or r.spec.user == user)
+            and (project is None or _project_of(r) == project)
         ]
         page = records[offset:offset + limit]
         next_offset = offset + limit if offset + limit < len(records) else None
@@ -400,6 +450,58 @@ class PowerService:
                         if r.state is JobState.RUNNING],
         })
 
+    def _accounting_rows(self, cluster: Optional[str]) -> List[Dict[str, Any]]:
+        """Per-(cluster, project) accounting rows over tenant-enabled
+        backends, in (cluster, project) order. Anonymous clusters
+        simply contribute no rows."""
+        rows: List[Dict[str, Any]] = []
+        for name in self.registry.names():
+            if cluster is not None and name != cluster:
+                continue
+            tenancy = self.registry.resolve(name).tenancy
+            if tenancy is None:
+                continue
+            for row in tenancy.accounting_rows():
+                rows.append({"cluster": name, **row})
+        return rows
+
+    def _accounting(self, params: Dict[str, Any]) -> ApiResponse:
+        detailed = _format_param(params)
+        offset = _int_param(params, "offset", 0, 0)
+        limit = _int_param(params, "limit", DEFAULT_PAGE_LIMIT, 1, MAX_PAGE_LIMIT)
+        cluster = params.get("cluster")
+        if cluster is not None and not isinstance(cluster, str):
+            raise ApiError(400, "bad_request", "cluster must be a string")
+        if cluster is not None:
+            # Resolve for the 404 contract and canonicalize aliases.
+            cluster = self._backend(cluster).name
+        rows = self._accounting_rows(cluster)
+        fields = DETAILED_ACCOUNTING_FIELDS if detailed else CONCISE_ACCOUNTING_FIELDS
+        page = rows[offset:offset + limit]
+        next_offset = offset + limit if offset + limit < len(rows) else None
+        return ApiResponse(200, {
+            "accounts": [{k: row[k] for k in fields} for row in page],
+            "total": len(rows),
+            "offset": offset,
+            "limit": limit,
+            "next_offset": next_offset,
+        })
+
+    def _accounting_project(self, project: str,
+                            params: Dict[str, Any]) -> ApiResponse:
+        del params  # project detail is always the full view
+        entries = [
+            {k: row[k] for k in DETAILED_ACCOUNTING_FIELDS}
+            for row in self._accounting_rows(None)
+            if row["project"] == project
+        ]
+        if not entries:
+            raise ApiError(
+                404, "unknown_project",
+                f"no tenant-enabled cluster knows project {project!r}",
+            )
+        return ApiResponse(200, {"project": project, "entries": entries})
+
     def _site_power(self) -> ApiResponse:
         site = self.registry.site
         if site is None:
@@ -450,6 +552,18 @@ class PowerService:
             raise ApiError(400, "bad_request", "user must be a string")
         spec = Jobspec(app=app, nnodes=nnodes, params=params, name=name, user=user)
         record = backend.submit(spec)
+        if record is None:
+            # Tenancy admission queued or rejected the submission; both
+            # are client outcomes with the structured decision attached.
+            tenancy = backend.tenancy
+            decision = tenancy.last_decision if tenancy is not None else None
+            body: Dict[str, Any] = {
+                "cluster": backend.name,
+                "admitted": False,
+                "decision": decision.to_dict() if decision is not None else None,
+            }
+            status = 202 if decision is not None and decision.action == "queue" else 403
+            return ApiResponse(status, body)
         return ApiResponse(201, _job_view(backend, record, detailed=True))
 
     def _cancel_job(self, backend: ClusterBackend, jobid: int) -> ApiResponse:

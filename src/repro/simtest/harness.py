@@ -31,7 +31,7 @@ from repro.flux.jobspec import Jobspec
 from repro.manager.cluster_manager import ManagerConfig
 from repro.monitor.client import JobPowerData
 from repro.simtest.invariants import InvariantChecker, Violation, default_checkers
-from repro.simtest.scenario import Scenario
+from repro.simtest.scenario import Scenario, TenantMix
 
 #: How often the invariant tick runs (simulated seconds). Matches the
 #: monitor's default sampling period so every sampling epoch is seen.
@@ -117,6 +117,31 @@ def _canonical(obj: Any) -> Any:
     return obj
 
 
+def _tenancy_config(mix: TenantMix, global_cap_w: Optional[float]):
+    """Build the cluster's :class:`~repro.tenancy.TenancyConfig` from a
+    scenario's :class:`~repro.simtest.scenario.TenantMix`."""
+    from repro.tenancy import AdmissionConfig, TenancyConfig, TenantDirectory
+
+    directory = TenantDirectory.build(
+        projects=list(mix.projects), users=list(mix.users)
+    )
+    admission = None
+    if mix.admission and global_cap_w is not None:
+        admission = AdmissionConfig(
+            budget_w=global_cap_w,
+            admit_node_w=mix.admit_node_w,
+            oversubscription=mix.oversubscription,
+            max_queue_depth=mix.max_queue_depth,
+        )
+    return TenancyConfig(
+        directory=directory,
+        half_life_s=mix.half_life_s,
+        usage_norm_ws=mix.usage_norm_ws,
+        accounting_interval_s=mix.accounting_interval_s,
+        admission=admission,
+    )
+
+
 def run_scenario(
     scenario: Scenario,
     checkers: Optional[List[InvariantChecker]] = None,
@@ -148,6 +173,9 @@ def run_scenario(
             static_node_cap_w=scenario.static_node_cap_w,
             account_idle_nodes=scenario.account_idle_nodes,
         )
+    tenancy_config = None
+    if scenario.tenancy is not None:
+        tenancy_config = _tenancy_config(scenario.tenancy, scenario.global_cap_w)
     cluster = PowerManagedCluster(
         platform=scenario.platform,
         n_nodes=scenario.n_nodes,
@@ -157,6 +185,7 @@ def run_scenario(
         monitor_strategy=scenario.monitor_strategy,
         fault_plan=scenario.fault_plan(),
         monitor_columnar=scenario.columnar,
+        tenancy=tenancy_config,
     )
     ctx = SimtestContext(cluster, scenario)
     result = SimtestResult(scenario=scenario)
@@ -233,6 +262,7 @@ def run_scenario(
             app=entry.app,
             nnodes=min(entry.nnodes, scenario.n_nodes),
             params={"work_scale": entry.work_scale},
+            **({"user": entry.user} if entry.user is not None else {}),
         )
         if entry.submit_t <= 0.0:
             cluster.submit(spec)
@@ -273,9 +303,23 @@ def run_scenario(
     jm = cluster.instance.jobmanager
     timed_out = False
     n_expected = len(scenario.jobs)
+
     # all_complete() is vacuously true before deferred submissions fire,
     # so also wait until every scenario job has actually been submitted.
-    while len(jm.jobs) < n_expected or not jm.all_complete():
+    # With admission control some submissions are rejected (never reach
+    # the job manager) or queued (reach it later), so count decisions at
+    # the coordinator instead of records in the books.
+    def _pending() -> bool:
+        coord = cluster.tenancy
+        if coord is not None and coord.admission_enabled:
+            return (
+                coord.submissions_total < n_expected
+                or coord.queue_len > 0
+                or not jm.all_complete()
+            )
+        return len(jm.jobs) < n_expected or not jm.all_complete()
+
+    while _pending():
         if halted:
             break
         if not sim.step():
@@ -347,6 +391,10 @@ def run_scenario(
     for name in DIGEST_COUNTERS:
         total = sum(s.value for s in metrics.series_for(name))
         summary["counters"][name] = total
+    # Only present for tenanted scenarios: the key's absence keeps every
+    # historical (anonymous) digest byte-identical.
+    if scenario.tenancy is not None and cluster.tenancy is not None:
+        summary["tenancy"] = cluster.tenancy.digest_summary()
     blob = json.dumps(_canonical(summary), sort_keys=True).encode()
     result.digest = hashlib.sha256(blob).hexdigest()
     return result

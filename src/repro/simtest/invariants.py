@@ -31,6 +31,16 @@ The invariants encode the paper's implicit safety properties
   jobs; limits match);
 * ``engine``      — simulated time is monotonic and the event heap's
   live count stays sane;
+* ``tenant_conservation`` — with a tenant mix attached, installed job
+  limits equal the weighted water-fill recomputed independently from
+  the coordinator's weights (and conserve the budget);
+* ``tenant_no_starvation`` — every active job holds at least its
+  fairshare floor ``min(peak·n, budget·wn·n/W)``; no tenant with
+  demand is starved below entitlement;
+* ``tenant_admission`` — the coordinator's admission log replays
+  exactly through the pure ``decide()`` (same inputs → same decision),
+  and at end of run the queue is drained and the admitted jobids are
+  precisely the job-manager books;
 * ``telemetry_rows`` (end of run) — client CSV rows are well-formed:
   component powers are non-negative and sum to at most the node power,
   and per-host timestamps are sorted and inside the job window.
@@ -616,6 +626,215 @@ class ServingViewChecker(InvariantChecker):
         return out
 
 
+class TenantConservationChecker(InvariantChecker):
+    """Installed job limits match the weighted water-fill, recomputed.
+
+    Active only when the cluster carries a tenancy coordinator with the
+    fairshare splitter installed; a no-op otherwise. The checker reruns
+    :func:`~repro.tenancy.fairshare.split_budget_weighted` over the
+    manager's live books and the coordinator's cached weights — the
+    same pure inputs the manager's ``_recompute`` used — so any drift
+    (a buggy splitter, a stale weight cache, a missed recompute) shows
+    up as a per-job mismatch or a conservation breach.
+    """
+
+    name = "tenant_conservation"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        coord = getattr(ctx.cluster, "tenancy", None)
+        manager = ctx.cluster.manager
+        if coord is None or manager is None:
+            return []
+        root = manager.cluster
+        if root.share_splitter is None or root.config.policy == "static":
+            return []
+        if root.config.global_cap_w is None:
+            return []
+        if root.per_node_share_w() is None:
+            return []  # no active nodes: limits are legitimately None
+        from repro.tenancy.fairshare import split_budget_weighted
+
+        job_nodes = {
+            jobid: len(state.ranks)
+            for jobid, state in root.job_level.jobs.items()
+        }
+        if not job_nodes:
+            return []
+        budget = root.effective_budget_w()
+        expected = split_budget_weighted(
+            budget, job_nodes, root.config.node_peak_w,
+            coord.job_weights(job_nodes),
+        )
+        out: List[Violation] = []
+        total = 0.0
+        for jobid, state in root.job_level.jobs.items():
+            limit = state.job_limit_w
+            if limit is None:
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"job {jobid} has no power limit under the "
+                        f"fairshare split",
+                        jobid=jobid,
+                    )
+                )
+                continue
+            total += limit
+            want = expected[jobid]
+            if abs(limit - want) > REL_EPS * max(1.0, abs(want)):
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"job {jobid} limit {limit:.6f} W != weighted "
+                        f"water-fill {want:.6f} W",
+                        jobid=jobid, installed_w=limit, expected_w=want,
+                        weights=coord.job_weights(job_nodes),
+                    )
+                )
+        cap = root.config.node_peak_w * sum(job_nodes.values())
+        conserve = min(float(budget), cap)
+        if total > conserve * (1.0 + REL_EPS) + REL_EPS:
+            out.append(
+                self.violation(
+                    ctx,
+                    f"weighted limits total {total:.6f} W exceeds "
+                    f"min(budget, peak demand) {conserve:.6f} W",
+                    total_w=total, conserve_w=conserve, budget_w=budget,
+                )
+            )
+        return out
+
+
+class TenantFloorChecker(InvariantChecker):
+    """No-starvation: every active job holds at least its fairshare floor.
+
+    The floor is the first-round weighted proportional rate capped at
+    peak (:func:`~repro.tenancy.fairshare.fair_floor_w`); the water-fill
+    provably never allocates below it, so a breach means a tenant is
+    being starved below entitlement.
+    """
+
+    name = "tenant_no_starvation"
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        coord = getattr(ctx.cluster, "tenancy", None)
+        manager = ctx.cluster.manager
+        if coord is None or manager is None:
+            return []
+        root = manager.cluster
+        if root.share_splitter is None or root.config.policy == "static":
+            return []
+        if root.config.global_cap_w is None or root.per_node_share_w() is None:
+            return []
+        from repro.tenancy.fairshare import fair_floor_w
+
+        job_nodes = {
+            jobid: len(state.ranks)
+            for jobid, state in root.job_level.jobs.items()
+        }
+        if not job_nodes:
+            return []
+        floors = fair_floor_w(
+            root.effective_budget_w(), job_nodes, root.config.node_peak_w,
+            coord.job_weights(job_nodes),
+        )
+        out: List[Violation] = []
+        for jobid, state in root.job_level.jobs.items():
+            limit = state.job_limit_w
+            if limit is None:
+                continue  # conservation checker reports the miss
+            floor = floors[jobid]
+            if limit < floor * (1.0 - REL_EPS) - REL_EPS:
+                project = coord.project_of_job(jobid)
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"job {jobid} (project {project}) granted "
+                        f"{limit:.6f} W below its fairshare floor "
+                        f"{floor:.6f} W",
+                        jobid=jobid, project=project,
+                        granted_w=limit, floor_w=floor,
+                    )
+                )
+        return out
+
+
+class TenantAdmissionChecker(InvariantChecker):
+    """Admission decisions are a pure function of their logged inputs.
+
+    Replays every new :class:`~repro.tenancy.coordinator.AdmissionRecord`
+    through :func:`~repro.tenancy.admission.decide` and demands the full
+    decision (action, code, demand, committed, capacity) comes back
+    identical. At end of run the queue must be drained and the admitted
+    jobids must be exactly the job-manager's books — nothing snuck past
+    the gate, nothing admitted got lost.
+    """
+
+    name = "tenant_admission"
+
+    def __init__(self) -> None:
+        self._replayed = 0
+
+    def check(self, ctx: "SimtestContext") -> List[Violation]:
+        coord = getattr(ctx.cluster, "tenancy", None)
+        if coord is None or not coord.admission_enabled:
+            return []
+        from repro.tenancy.admission import decide
+
+        admission = coord.config.admission
+        out: List[Violation] = []
+        for record in coord.decisions[self._replayed:]:
+            expect = decide(
+                admission, record.nnodes, record.committed_w,
+                record.queue_depth, known_tenant=record.known_tenant,
+            )
+            if expect.to_dict() != record.decision.to_dict():
+                out.append(
+                    self.violation(
+                        ctx,
+                        f"admission decision at t={record.t:.3f} for "
+                        f"{record.user!r} does not replay: logged "
+                        f"{record.decision.action}/{record.decision.code}, "
+                        f"replayed {expect.action}/{expect.code}",
+                        logged=record.decision.to_dict(),
+                        replayed=expect.to_dict(),
+                        inputs=record.to_dict(),
+                    )
+                )
+        self._replayed = len(coord.decisions)
+        return out
+
+    def at_end(self, ctx: "SimtestContext") -> List[Violation]:
+        coord = getattr(ctx.cluster, "tenancy", None)
+        if coord is None or not coord.admission_enabled:
+            return []
+        out: List[Violation] = []
+        if not coord.drained():
+            out.append(
+                self.violation(
+                    ctx,
+                    f"admission queue still holds {coord.queue_len} "
+                    f"spec(s) at end of run",
+                    queue_len=coord.queue_len,
+                )
+            )
+        admitted = {
+            r.jobid for r in coord.decisions
+            if r.decision.action == "admit" and r.jobid is not None
+        }
+        books = set(ctx.cluster.instance.jobmanager.jobs)
+        if admitted != books:
+            out.append(
+                self.violation(
+                    ctx,
+                    "admitted jobids disagree with job-manager books",
+                    admitted_only=sorted(admitted - books),
+                    books_only=sorted(books - admitted),
+                )
+            )
+        return out
+
+
 class SiteBudgetChecker(InvariantChecker):
     """Site budget conservation (the federation tier's core safety).
 
@@ -727,6 +946,9 @@ def default_checkers() -> List[InvariantChecker]:
         LifecycleChecker(),
         MonotonicCountersChecker(),
         ServingViewChecker(),
+        TenantConservationChecker(),
+        TenantFloorChecker(),
+        TenantAdmissionChecker(),
         EngineChecker(),
         TelemetryRowsChecker(),
     ]

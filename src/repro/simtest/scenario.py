@@ -7,8 +7,8 @@ come from two places:
 
 * :func:`generate_scenario` draws one from ``simkernel.rng`` substreams
   (``simtest/topology``, ``simtest/jobs``, ``simtest/budget``,
-  ``simtest/faults``, ``simtest/columnar``, ``simtest/serving``) rooted
-  at a single integer seed — the same seed always yields the same
+  ``simtest/faults``, ``simtest/columnar``, ``simtest/serving``,
+  ``simtest/tenancy``) rooted at a single integer seed — the same seed always yields the same
   scenario, on any platform;
 * :func:`Scenario.from_dict` reloads a shrunken reproducer artifact
   (see :mod:`repro.simtest.shrink`).
@@ -21,7 +21,7 @@ power management logic, not to rediscover documented input validation.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultEvent, FaultPlan, LinkFaults
@@ -56,9 +56,17 @@ class JobEntry:
     nnodes: int
     work_scale: float = 1.0
     submit_t: float = 0.0
+    #: Submitting user for tenancy scenarios; None — every scenario
+    #: without a tenant mix — submits anonymously, exactly as before.
+    user: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        d = asdict(self)
+        # Only present when set: job dicts feed the run digest, so an
+        # always-there key would shift every historical digest.
+        if self.user is None:
+            del d["user"]
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "JobEntry":
@@ -67,6 +75,7 @@ class JobEntry:
             nnodes=int(d["nnodes"]),
             work_scale=float(d.get("work_scale", 1.0)),
             submit_t=float(d.get("submit_t", 0.0)),
+            user=(None if d.get("user") is None else str(d["user"])),
         )
 
 
@@ -102,6 +111,64 @@ class ServingMix:
 
 
 @dataclass(frozen=True)
+class TenantMix:
+    """A tenant population riding on a fuzzed scenario.
+
+    The harness builds a :class:`~repro.tenancy.TenantDirectory` from
+    ``projects``/``users``, attaches a
+    :class:`~repro.tenancy.TenancyConfig` to the cluster, and (when
+    ``admission`` is set) an :class:`~repro.tenancy.AdmissionConfig`
+    sized from the scenario's ``global_cap_w`` — so the fairshare
+    water-fill, the decaying ledger and the admit/queue/reject gate all
+    run under the invariant checkers on arbitrary scenarios.
+    """
+
+    #: (project name, fairshare weight) pairs, all under one account.
+    projects: Tuple[Tuple[str, float], ...] = ()
+    #: (user, project) memberships; job entries name these users.
+    users: Tuple[Tuple[str, str], ...] = ()
+    half_life_s: float = 600.0
+    usage_norm_ws: float = 500_000.0
+    accounting_interval_s: float = 10.0
+    #: Gate submissions through admission control (needs a capped
+    #: scenario: the admission budget is the scenario's global cap).
+    admission: bool = False
+    oversubscription: float = 1.0
+    admit_node_w: float = 500.0
+    max_queue_depth: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "projects": [[name, w] for name, w in self.projects],
+            "users": [[u, p] for u, p in self.users],
+            "half_life_s": self.half_life_s,
+            "usage_norm_ws": self.usage_norm_ws,
+            "accounting_interval_s": self.accounting_interval_s,
+            "admission": self.admission,
+            "oversubscription": self.oversubscription,
+            "admit_node_w": self.admit_node_w,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TenantMix":
+        return cls(
+            projects=tuple((str(n), float(w)) for n, w in d.get("projects", [])),
+            users=tuple((str(u), str(p)) for u, p in d.get("users", [])),
+            half_life_s=float(d.get("half_life_s", 600.0)),
+            usage_norm_ws=float(d.get("usage_norm_ws", 500_000.0)),
+            accounting_interval_s=float(d.get("accounting_interval_s", 10.0)),
+            admission=bool(d.get("admission", False)),
+            oversubscription=float(d.get("oversubscription", 1.0)),
+            admit_node_w=float(d.get("admit_node_w", 500.0)),
+            max_queue_depth=(
+                None if d.get("max_queue_depth") is None
+                else int(d["max_queue_depth"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A complete, replayable simulation-test scenario."""
 
@@ -130,6 +197,9 @@ class Scenario:
     #: Drive a seeded serving-API client mix against the cluster while
     #: it runs (None: no serving tier attached).
     serving: Optional[ServingMix] = None
+    #: Tenant population + fairshare/admission knobs (None: the
+    #: anonymous-job configuration every pre-tenancy scenario ran).
+    tenancy: Optional[TenantMix] = None
 
     # ------------------------------------------------------------------
     # Derived
@@ -149,7 +219,16 @@ class Scenario:
             f"budget_steps={len(self.budget_schedule)}"
             f"{' columnar' if self.columnar else ''}"
             f"{' serving' if self.serving is not None else ''}"
+            f"{self._describe_tenancy()}"
         )
+
+    def _describe_tenancy(self) -> str:
+        if self.tenancy is None:
+            return ""
+        suffix = f" tenants={len(self.tenancy.projects)}p/{len(self.tenancy.users)}u"
+        if self.tenancy.admission:
+            suffix += "+admission"
+        return suffix
 
     # ------------------------------------------------------------------
     # JSON round trip
@@ -182,6 +261,8 @@ class Scenario:
         # a new always-there key would shift every historical digest.
         if self.serving is not None:
             d["serving"] = self.serving.to_dict()
+        if self.tenancy is not None:
+            d["tenancy"] = self.tenancy.to_dict()
         return d
 
     @classmethod
@@ -229,6 +310,10 @@ class Scenario:
             serving=(
                 None if d.get("serving") is None
                 else ServingMix.from_dict(d["serving"])
+            ),
+            tenancy=(
+                None if d.get("tenancy") is None
+                else TenantMix.from_dict(d["tenancy"])
             ),
         )
 
@@ -278,6 +363,12 @@ class GeneratorConfig:
     #: Probability the scenario carries a serving-API client mix (the
     #: query-storm campaign mode; see :class:`ServingMix`).
     p_serving: float = 0.2
+    #: Probability the scenario carries a tenant mix (fairshare weights
+    #: + usage accounting; admission too when the scenario is capped).
+    p_tenancy: float = 0.25
+    #: Probability a *tenanted, capped* scenario also gates submissions
+    #: through admission control.
+    p_admission: float = 0.5
 
 
 def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scenario:
@@ -299,6 +390,9 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
     columnar_rng = streams.get("simtest/columnar")
     # Likewise for the serving campaign mode.
     serving_rng = streams.get("simtest/serving")
+    # And the tenant mix: turning p_tenancy up or down leaves every
+    # other dimension of existing seeds untouched.
+    tenancy_rng = streams.get("simtest/tenancy")
 
     # Topology -----------------------------------------------------------
     n_nodes = int(topo.integers(cfg.min_nodes, cfg.max_nodes + 1))
@@ -371,6 +465,48 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
             page_limit=int(serving_rng.integers(2, 6)),
         )
 
+    # Tenant mix ---------------------------------------------------------
+    tenancy: Optional[TenantMix] = None
+    if float(tenancy_rng.random()) < cfg.p_tenancy:
+        n_projects = int(tenancy_rng.integers(2, 5))
+        projects = tuple(
+            (f"proj{i}", float(tenancy_rng.choice([0.5, 1.0, 2.0, 4.0])))
+            for i in range(n_projects)
+        )
+        users: List[Tuple[str, str]] = []
+        for i in range(n_projects):
+            for k in range(int(tenancy_rng.integers(1, 3))):
+                users.append((f"u{i}_{k}", f"proj{i}"))
+        admission = False
+        oversubscription, admit_node_w = 1.0, 500.0
+        max_queue_depth: Optional[int] = None
+        if global_cap_w is not None and \
+                float(tenancy_rng.random()) < cfg.p_admission:
+            # Reservation sizes chosen so admission actually bites
+            # against BUDGET_PER_NODE_RANGE_W draws (500 W rarely,
+            # 3050 W often).
+            admission = True
+            admit_node_w = float(tenancy_rng.choice([500.0, 1500.0, 3050.0]))
+            oversubscription = float(tenancy_rng.choice([1.0, 1.25]))
+            max_queue_depth = (None, 2, 4)[int(tenancy_rng.integers(3))]
+        tenancy = TenantMix(
+            projects=projects,
+            users=tuple(users),
+            half_life_s=float(tenancy_rng.choice([120.0, 600.0])),
+            accounting_interval_s=float(tenancy_rng.choice([5.0, 10.0])),
+            admission=admission,
+            oversubscription=oversubscription,
+            admit_node_w=admit_node_w,
+            max_queue_depth=max_queue_depth,
+        )
+        # Every job submits as one of the mix's users (drawn from the
+        # tenancy substream, after the sort: the underlying job draws
+        # are byte-identical to the tenancy-off generation).
+        jobs = [
+            replace(j, user=users[int(tenancy_rng.integers(len(users)))][0])
+            for j in jobs
+        ]
+
     return Scenario(
         seed=seed,
         platform=platform,
@@ -386,4 +522,5 @@ def generate_scenario(seed: int, cfg: Optional[GeneratorConfig] = None) -> Scena
         link_faults=link,
         columnar=float(columnar_rng.random()) < cfg.p_columnar,
         serving=serving,
+        tenancy=tenancy,
     )

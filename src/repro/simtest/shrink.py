@@ -11,7 +11,9 @@ the scenario while preserving *the same invariant violation*:
 3. **smaller cluster** — halve ``n_nodes`` (clamping job widths and
    discarding faults aimed at amputated ranks) down to a floor;
 4. **shorter horizon** — zero the submit spread, shrink work scales
-   and the drain window.
+   and the drain window;
+5. **simpler tenancy** — drop the tenant mix entirely (and the job
+   users with it), else just switch admission control off.
 
 Passes repeat until a full sweep removes nothing (a fixpoint) or the
 run budget is exhausted. The result is emitted as a JSON artifact that
@@ -201,6 +203,24 @@ def shrink_scenario(
             v = still_fails(candidate)
             if v is not None:
                 current, best_violation, changed = candidate, v, True
+
+        # Pass 5: simpler tenancy (drop the mix, else just admission).
+        if current.tenancy is not None:
+            candidate = replace(
+                current,
+                tenancy=None,
+                jobs=tuple(replace(j, user=None) for j in current.jobs),
+            )
+            v = still_fails(candidate)
+            if v is not None:
+                current, best_violation, changed = candidate, v, True
+            elif current.tenancy.admission:
+                candidate = replace(
+                    current, tenancy=replace(current.tenancy, admission=False)
+                )
+                v = still_fails(candidate)
+                if v is not None:
+                    current, best_violation, changed = candidate, v, True
 
     return ShrinkReport(
         original=scenario,

@@ -1,0 +1,102 @@
+"""Exponentially-decaying usage accounting (pure; property-tested).
+
+The fairshare feedback loop from the control-theory literature
+(PAPERS.md, "Sustaining Performance While Reducing Energy
+Consumption"): a project's *decayed usage* — watt-seconds charged with
+an exponential half-life — divides down its effective weight, so heavy
+recent consumers yield allocation to light ones and the system tracks
+long-run fairness instead of instantaneous demand.
+
+All functions are pure in simulated time (the caller passes ``now``),
+so the same event sequence always produces the same ledger bytes —
+the admission-determinism acceptance test relies on that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Default usage half-life (simulated seconds). Short enough that a
+#: simtest-scale run (~100 s) sees meaningful decay.
+DEFAULT_HALF_LIFE_S = 600.0
+
+#: Usage (watt-seconds) at which a project's effective weight halves.
+DEFAULT_USAGE_NORM_WS = 500_000.0
+
+
+def decay_factor(dt_s: float, half_life_s: float) -> float:
+    """``0.5 ** (dt / half_life)`` with ``dt`` clamped at 0.
+
+    Always in ``(0, 1]``: exactly 1.0 at ``dt <= 0``, exactly 0.5 one
+    half-life later, monotonically decreasing in ``dt``.
+    """
+    if half_life_s <= 0:
+        raise ValueError(f"half_life_s must be > 0, got {half_life_s}")
+    if dt_s <= 0.0:
+        return 1.0
+    return 0.5 ** (dt_s / half_life_s)
+
+
+def effective_weight(base_weight: float, usage_ws: float, norm_ws: float) -> float:
+    """Fairshare-discounted weight: ``base / (1 + usage / norm)``.
+
+    Bounds (pinned by the property suite): always in ``(0, base]``,
+    exactly ``base`` at zero usage, exactly ``base / 2`` at
+    ``usage == norm``, monotonically decreasing in usage.
+    """
+    if not base_weight > 0.0:
+        raise ValueError(f"base_weight must be > 0, got {base_weight}")
+    if norm_ws <= 0:
+        raise ValueError(f"norm_ws must be > 0, got {norm_ws}")
+    if usage_ws < 0:
+        raise ValueError(f"usage_ws must be >= 0, got {usage_ws}")
+    return base_weight / (1.0 + usage_ws / norm_ws)
+
+
+class UsageLedger:
+    """Per-project decayed usage plus lifetime totals.
+
+    ``charge`` folds new watt-seconds into the decayed balance;
+    ``decayed`` reads the balance as of ``now`` without mutating.
+    Lazy decay (apply the factor only when touched) keeps charging
+    O(1) per project and independent of tick rate.
+    """
+
+    def __init__(self, half_life_s: float = DEFAULT_HALF_LIFE_S) -> None:
+        if half_life_s <= 0:
+            raise ValueError(f"half_life_s must be > 0, got {half_life_s}")
+        self.half_life_s = float(half_life_s)
+        self._usage_ws: Dict[str, float] = {}
+        self._t_last: Dict[str, float] = {}
+        self._lifetime_ws: Dict[str, float] = {}
+
+    def decayed(self, project: str, now: float) -> float:
+        usage = self._usage_ws.get(project)
+        if usage is None:
+            return 0.0
+        dt = now - self._t_last.get(project, now)
+        return usage * decay_factor(dt, self.half_life_s)
+
+    def lifetime(self, project: str) -> float:
+        return self._lifetime_ws.get(project, 0.0)
+
+    def charge(self, project: str, watts: float, duration_s: float, now: float) -> float:
+        """Charge ``watts × duration_s`` watt-seconds as of ``now``;
+        returns the new decayed balance."""
+        if watts < 0 or duration_s < 0:
+            raise ValueError("charge must be non-negative")
+        delta = float(watts) * float(duration_s)
+        balance = self.decayed(project, now) + delta
+        self._usage_ws[project] = balance
+        self._t_last[project] = now
+        self._lifetime_ws[project] = self._lifetime_ws.get(project, 0.0) + delta
+        return balance
+
+    def projects(self) -> List[str]:
+        return sorted(set(self._usage_ws) | set(self._lifetime_ws))
+
+    def snapshot(self, now: float) -> List[Tuple[str, float, float]]:
+        """``(project, decayed_ws, lifetime_ws)`` rows, sorted."""
+        return [
+            (p, self.decayed(p, now), self.lifetime(p)) for p in self.projects()
+        ]

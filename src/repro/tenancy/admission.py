@@ -1,0 +1,169 @@
+"""Admission control (pure; replay-checked).
+
+When the site budget is oversubscribed the production stance is to say
+*no at the door*, not to silently throttle everyone below their
+feasible floor. Admission reserves ``admit_node_w`` watts per node for
+every admitted-but-unfinished job; a submission whose reservation does
+not fit next to the committed ones is **queued** (FIFO, released as
+capacity frees) or **rejected** with a structured reason.
+
+:func:`decide` is a pure function of its inputs — no clocks, no RNG,
+no cluster state — so the simtest ``tenant_admission`` checker replays
+every logged decision through it and demands byte-equal outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.federation.rebalance import REL_EPS
+
+#: Decision actions.
+ADMIT = "admit"
+QUEUE = "queue"
+REJECT = "reject"
+
+#: Structured decision codes (the machine-readable reject reasons).
+CODE_OK = "ok"
+CODE_UNCONSTRAINED = "unconstrained"
+CODE_OVERSUBSCRIBED = "oversubscribed"
+CODE_TOO_LARGE = "too_large"
+CODE_QUEUE_FULL = "queue_full"
+CODE_UNKNOWN_TENANT = "unknown_tenant"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Site admission policy.
+
+    ``budget_w`` is the power contract admission defends (normally the
+    cluster's global cap at t=0); ``None`` disables capacity checks.
+    ``admit_node_w`` is the per-node reservation an admitted job holds
+    — the minimum power the site promises it — so admitted jobs can
+    always be granted at least their floor.
+    ``oversubscription >= 1`` deliberately overbooks the contract (the
+    fairshare water-fill absorbs the squeeze).
+    """
+
+    budget_w: Optional[float]
+    admit_node_w: float = 500.0
+    oversubscription: float = 1.0
+    max_queue_depth: Optional[int] = None
+    #: Reject submissions from users the directory does not know
+    #: (off by default: unknown users fall into ``unaffiliated``).
+    enforce_registration: bool = False
+
+    def __post_init__(self) -> None:
+        if self.budget_w is not None and self.budget_w < 0:
+            raise ValueError(f"budget_w must be >= 0, got {self.budget_w}")
+        if self.admit_node_w <= 0:
+            raise ValueError(
+                f"admit_node_w must be > 0, got {self.admit_node_w}"
+            )
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+
+    def capacity_w(self) -> Optional[float]:
+        if self.budget_w is None:
+            return None
+        return self.oversubscription * self.budget_w
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check."""
+
+    action: str  # admit | queue | reject
+    code: str
+    reason: str
+    demand_w: float
+    committed_w: float
+    capacity_w: Optional[float]
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == ADMIT
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "action": self.action,
+            "code": self.code,
+            "reason": self.reason,
+            "demand_w": self.demand_w,
+            "committed_w": self.committed_w,
+            "capacity_w": self.capacity_w,
+        }
+
+
+def decide(
+    config: AdmissionConfig,
+    nnodes: int,
+    committed_w: float,
+    queue_depth: int,
+    known_tenant: bool = True,
+) -> AdmissionDecision:
+    """Admission check for one submission (pure, deterministic).
+
+    ``committed_w`` is the reservation held by admitted-but-unfinished
+    jobs; ``queue_depth`` the current FIFO length. Ordering of checks
+    (registration → feasibility → capacity → queue) is part of the
+    replay contract — don't reorder without bumping the docs.
+    """
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    demand_w = float(nnodes) * config.admit_node_w
+    capacity = config.capacity_w()
+    if config.enforce_registration and not known_tenant:
+        return AdmissionDecision(
+            action=REJECT, code=CODE_UNKNOWN_TENANT,
+            reason="user is not registered with any project",
+            demand_w=demand_w, committed_w=committed_w, capacity_w=capacity,
+        )
+    if capacity is None:
+        return AdmissionDecision(
+            action=ADMIT, code=CODE_UNCONSTRAINED,
+            reason="no admission budget configured",
+            demand_w=demand_w, committed_w=committed_w, capacity_w=None,
+        )
+    tol = REL_EPS * max(1.0, capacity)
+    if demand_w > capacity + tol:
+        # Infeasible even on an idle system: queueing it would wedge
+        # the FIFO forever, so this is a hard reject.
+        return AdmissionDecision(
+            action=REJECT, code=CODE_TOO_LARGE,
+            reason=(
+                f"job reservation {demand_w:.1f} W exceeds site capacity "
+                f"{capacity:.1f} W even when idle"
+            ),
+            demand_w=demand_w, committed_w=committed_w, capacity_w=capacity,
+        )
+    if committed_w + demand_w <= capacity + tol:
+        return AdmissionDecision(
+            action=ADMIT, code=CODE_OK,
+            reason="reservation fits within site capacity",
+            demand_w=demand_w, committed_w=committed_w, capacity_w=capacity,
+        )
+    if config.max_queue_depth is not None and queue_depth >= config.max_queue_depth:
+        return AdmissionDecision(
+            action=REJECT, code=CODE_QUEUE_FULL,
+            reason=(
+                f"site oversubscribed and admission queue full "
+                f"({queue_depth}/{config.max_queue_depth})"
+            ),
+            demand_w=demand_w, committed_w=committed_w, capacity_w=capacity,
+        )
+    return AdmissionDecision(
+        action=QUEUE, code=CODE_OVERSUBSCRIBED,
+        reason=(
+            f"committed {committed_w:.1f} W + reservation {demand_w:.1f} W "
+            f"exceeds capacity {capacity:.1f} W; queued until capacity frees"
+        ),
+        demand_w=demand_w, committed_w=committed_w, capacity_w=capacity,
+    )

@@ -1,0 +1,191 @@
+"""Tenant / project / account model.
+
+Mirrors the slurm-style accounting hierarchy the sites in the paper
+operate: an **account** (funding line) owns **projects**, a project has
+**users**, and a job submission carries a user (and optionally an
+explicit project). Fairshare weights multiply down the tree: a
+project's base weight is ``project.weight × account.weight``.
+
+Everything is plain, JSON-round-trippable data — no simulator, no
+clocks — so the directory can be built once, shipped inside scenario
+artifacts, and compared byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Project that jobs from unknown users are accounted against. It
+#: always exists with weight 1.0, so an anonymous submission is a
+#: first-class (if low-priority) tenant rather than an error.
+UNAFFILIATED = "unaffiliated"
+
+DEFAULT_ACCOUNT = "default"
+
+
+def _check_weight(kind: str, name: str, weight: float) -> None:
+    if not weight > 0.0 or weight != weight or weight == float("inf"):
+        raise ValueError(
+            f"{kind} {name!r} weight must be finite and > 0, got {weight}"
+        )
+
+
+@dataclass(frozen=True)
+class Account:
+    """A funding line: the root of the fairshare tree."""
+
+    name: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("account name must be non-empty")
+        _check_weight("account", self.name, self.weight)
+
+
+@dataclass(frozen=True)
+class Project:
+    """A chargeable project under an account."""
+
+    name: str
+    account: str = DEFAULT_ACCOUNT
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("project name must be non-empty")
+        _check_weight("project", self.name, self.weight)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """The identity a submission resolves to: user + project."""
+
+    user: str
+    project: str = UNAFFILIATED
+
+
+class TenantDirectory:
+    """The site's account/project/user registry.
+
+    Deterministic by construction: iteration orders are sorted, the
+    JSON round trip is canonical, and lookups are pure.
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, Account] = {
+            DEFAULT_ACCOUNT: Account(name=DEFAULT_ACCOUNT)
+        }
+        self._projects: Dict[str, Project] = {
+            UNAFFILIATED: Project(name=UNAFFILIATED)
+        }
+        self._user_project: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_account(self, account: Account) -> None:
+        self._accounts[account.name] = account
+
+    def add_project(self, project: Project) -> None:
+        if project.account not in self._accounts:
+            self._accounts[project.account] = Account(name=project.account)
+        self._projects[project.name] = project
+
+    def add_user(self, user: str, project: str) -> None:
+        if not user:
+            raise ValueError("user name must be non-empty")
+        if project not in self._projects:
+            raise ValueError(f"unknown project {project!r} for user {user!r}")
+        self._user_project[user] = project
+
+    @classmethod
+    def build(
+        cls,
+        projects: Iterable[Tuple[str, float]] = (),
+        users: Iterable[Tuple[str, str]] = (),
+    ) -> "TenantDirectory":
+        """Convenience constructor from ``(name, weight)`` / ``(user,
+        project)`` pairs — the shape scenario tenant mixes carry."""
+        directory = cls()
+        for name, weight in projects:
+            directory.add_project(Project(name=name, weight=float(weight)))
+        for user, project in users:
+            directory.add_user(user, project)
+        return directory
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def project_of(self, user: Optional[str]) -> str:
+        """The project ``user``'s jobs are accounted against
+        (:data:`UNAFFILIATED` for unknown or missing users)."""
+        if user is None:
+            return UNAFFILIATED
+        return self._user_project.get(user, UNAFFILIATED)
+
+    def knows_user(self, user: Optional[str]) -> bool:
+        return user is not None and user in self._user_project
+
+    def resolve(self, user: Optional[str], project: Optional[str] = None) -> Tenant:
+        """Resolve a submission to a tenant. An explicit ``project``
+        wins over the user's registered one when it exists."""
+        if project is not None and project in self._projects:
+            return Tenant(user=user or "", project=project)
+        return Tenant(user=user or "", project=self.project_of(user))
+
+    def base_weight(self, project: str) -> float:
+        """The project's static fairshare weight: its own × its
+        account's (unknown projects weigh like :data:`UNAFFILIATED`)."""
+        p = self._projects.get(project) or self._projects[UNAFFILIATED]
+        account = self._accounts.get(p.account) or self._accounts[DEFAULT_ACCOUNT]
+        return p.weight * account.weight
+
+    def projects(self) -> List[str]:
+        """All registered project names, sorted."""
+        return sorted(self._projects)
+
+    def project(self, name: str) -> Optional[Project]:
+        return self._projects.get(name)
+
+    def users(self) -> List[str]:
+        return sorted(self._user_project)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "accounts": [
+                {"name": a.name, "weight": a.weight}
+                for _, a in sorted(self._accounts.items())
+            ],
+            "projects": [
+                {"name": p.name, "account": p.account, "weight": p.weight}
+                for _, p in sorted(self._projects.items())
+            ],
+            "users": [
+                {"user": u, "project": p}
+                for u, p in sorted(self._user_project.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TenantDirectory":
+        directory = cls()
+        for a in d.get("accounts", []):
+            directory.add_account(
+                Account(name=str(a["name"]), weight=float(a.get("weight", 1.0)))
+            )
+        for p in d.get("projects", []):
+            directory.add_project(
+                Project(
+                    name=str(p["name"]),
+                    account=str(p.get("account", DEFAULT_ACCOUNT)),
+                    weight=float(p.get("weight", 1.0)),
+                )
+            )
+        for u in d.get("users", []):
+            directory.add_user(str(u["user"]), str(u["project"]))
+        return directory

@@ -1,0 +1,256 @@
+"""Serving-tier accounting surface: pagination, formats, admission
+HTTP envelopes, tenant filters, and the accounting loadgen mix.
+
+Everything runs against the in-process :class:`PowerService` — the
+same deterministic request/response layer the serving goldens pin —
+so these are fast, hermetic, and byte-stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import PowerManagedCluster
+from repro.manager.cluster_manager import ManagerConfig
+from repro.serving.driver import SimDriver
+from repro.serving.loadgen import (
+    ACCOUNTING_OP_MIX,
+    LoadProfile,
+    generate_trace,
+    run_loadtest,
+)
+from repro.serving.registry import ClusterRegistry
+from repro.serving.service import PowerService
+from repro.tenancy import AdmissionConfig, TenancyConfig, TenantDirectory
+
+
+def _directory() -> TenantDirectory:
+    return TenantDirectory.build(
+        projects=[("astro", 3.0), ("bio", 1.0)],
+        users=[("alice", "astro"), ("bob", "bio")],
+    )
+
+
+def _service(
+    admission: AdmissionConfig | None = None, seed: int = 11
+) -> tuple[PowerService, SimDriver]:
+    cluster = PowerManagedCluster(
+        platform="lassen",
+        n_nodes=8,
+        seed=seed,
+        manager_config=ManagerConfig(
+            global_cap_w=8000.0,
+            policy="proportional",
+            static_node_cap_w=1950.0,
+        ),
+        tenancy=TenancyConfig(
+            directory=_directory(),
+            accounting_interval_s=5.0,
+            admission=admission,
+        ),
+    )
+    registry = ClusterRegistry.from_cluster(cluster, name="prod", aliases=["p"])
+    return PowerService(registry), SimDriver(registry)
+
+
+@pytest.fixture()
+def gated():
+    """Service with admission gating and a depth-1 queue, pre-loaded so
+    every HTTP admission outcome (201/202/403) is reachable."""
+    service, driver = _service(
+        admission=AdmissionConfig(
+            budget_w=8000.0, admit_node_w=1000.0, max_queue_depth=1
+        )
+    )
+    for user in ("alice", "bob"):
+        r = service.handle(
+            "POST",
+            "/v1/clusters/prod/jobs",
+            body={"app": "gemm", "nnodes": 4, "user": user},
+        )
+        assert r.status == 201, r.body
+    return service, driver
+
+
+def test_submit_admission_envelopes(gated):
+    service, _ = gated
+    # Oversubscribed → 202 queued with the structured decision attached.
+    r = service.handle(
+        "POST",
+        "/v1/clusters/prod/jobs",
+        body={"app": "gemm", "nnodes": 2, "user": "alice"},
+    )
+    assert r.status == 202, (r.status, r.body)
+    assert r.body["admitted"] is False
+    assert r.body["decision"]["action"] == "queue"
+    assert r.body["decision"]["code"] == "oversubscribed"
+    # Queue full → 403 reject.
+    r = service.handle(
+        "POST",
+        "/v1/clusters/prod/jobs",
+        body={"app": "gemm", "nnodes": 2, "user": "bob"},
+    )
+    assert r.status == 403, (r.status, r.body)
+    assert r.body["decision"]["code"] == "queue_full"
+    # Oversized for the cluster → service-level 400, before admission.
+    r = service.handle(
+        "POST",
+        "/v1/clusters/prod/jobs",
+        body={"app": "gemm", "nnodes": 30, "user": "bob"},
+    )
+    assert r.status == 400
+
+
+def test_submit_too_large_is_403():
+    """Power-infeasible but schedulable → admission's too_large reject."""
+    service, _ = _service(
+        admission=AdmissionConfig(budget_w=8000.0, admit_node_w=1500.0),
+        seed=2,
+    )
+    r = service.handle(
+        "POST",
+        "/v1/clusters/prod/jobs",
+        body={"app": "gemm", "nnodes": 8, "user": "alice"},
+    )
+    assert r.status == 403
+    assert r.body["decision"]["code"] == "too_large"
+
+
+def test_accounting_pagination_partitions_exactly(gated):
+    service, driver = gated
+    driver.advance(12.0)
+    page1 = service.handle(
+        "GET", "/v1/accounting", params={"limit": "1", "offset": "0"}
+    )
+    assert page1.status == 200
+    assert page1.body["total"] >= 2
+    assert page1.body["next_offset"] == 1
+    rest = service.handle(
+        "GET", "/v1/accounting", params={"limit": "100", "offset": "1"}
+    )
+    assert rest.status == 200
+    everything = service.handle("GET", "/v1/accounting").body["accounts"]
+    assert page1.body["accounts"] + rest.body["accounts"] == everything
+    # Past-the-end offset is an empty page, not an error.
+    empty = service.handle(
+        "GET", "/v1/accounting", params={"offset": str(len(everything))}
+    )
+    assert empty.status == 200 and empty.body["accounts"] == []
+
+
+def test_accounting_concise_subset_of_detailed(gated):
+    service, driver = gated
+    driver.advance(12.0)
+    concise = service.handle("GET", "/v1/accounting").body["accounts"]
+    detailed = service.handle(
+        "GET", "/v1/accounting", params={"response_format": "detailed"}
+    ).body["accounts"]
+    assert len(concise) == len(detailed)
+    for c, d in zip(concise, detailed):
+        assert set(c) < set(d), (set(c), set(d))
+        for key, value in c.items():
+            assert d[key] == value
+
+
+def test_accounting_alias_and_project_detail(gated):
+    service, driver = gated
+    driver.advance(12.0)
+    via_alias = service.handle("GET", "/v1/accounting", params={"cluster": "p"})
+    assert via_alias.status == 200 and via_alias.body["accounts"]
+    detail = service.handle("GET", "/v1/accounting/astro")
+    assert detail.status == 200 and detail.body["entries"]
+    missing = service.handle("GET", "/v1/accounting/nope")
+    assert missing.status == 404
+    assert missing.body["error"]["code"] == "unknown_project"
+
+
+def test_job_list_tenant_filters(gated):
+    service, _ = gated
+    by_user = service.handle(
+        "GET", "/v1/clusters/prod/jobs", params={"user": "alice"}
+    )
+    assert by_user.status == 200 and len(by_user.body["jobs"]) == 1
+    by_project = service.handle(
+        "GET", "/v1/clusters/prod/jobs", params={"project": "astro"}
+    )
+    assert by_project.status == 200 and by_project.body["jobs"]
+    for job in by_project.body["jobs"]:
+        detail = service.handle(
+            "GET",
+            f"/v1/clusters/prod/jobs/{job['jobid']}",
+            params={"response_format": "detailed"},
+        )
+        assert detail.body.get("project") == "astro"
+        assert detail.body.get("user") == "alice"
+
+
+def test_accounting_on_tenancyless_cluster_is_empty_200():
+    cluster = PowerManagedCluster(platform="lassen", n_nodes=4, seed=3)
+    service = PowerService(ClusterRegistry.from_cluster(cluster, name="default"))
+    r = service.handle("GET", "/v1/accounting")
+    assert r.status == 200 and r.body["accounts"] == []
+    assert service.handle("GET", "/v1/accounting/astro").status == 404
+
+
+def test_fuzzed_tenant_payloads_never_500(gated):
+    """Adversarial submit payloads and accounting params produce clean
+    4xx/2xx envelopes — never an unhandled exception."""
+    service, _ = gated
+    rng = np.random.default_rng(42)
+    junk_values = [
+        None, "", "alice", 0, -3, 3.5, True, [], ["x"], {}, {"a": 1},
+        "nope", "astro", 10**9, "\x00", "u" * 512,
+    ]
+    for _ in range(150):
+        body = {"app": "gemm", "nnodes": 2}
+        for key in ("user", "project", "nnodes", "app"):
+            if rng.random() < 0.6:
+                body[key] = junk_values[int(rng.integers(len(junk_values)))]
+        r = service.handle("POST", "/v1/clusters/prod/jobs", body=body)
+        assert r.status < 500, (r.status, body, r.body)
+    for _ in range(60):
+        params = {}
+        for key in ("limit", "offset", "cluster", "response_format"):
+            if rng.random() < 0.6:
+                params[key] = str(
+                    junk_values[int(rng.integers(len(junk_values)))]
+                )
+        r = service.handle("GET", "/v1/accounting", params=params)
+        assert r.status < 500, (r.status, params, r.body)
+        project = str(junk_values[int(rng.integers(len(junk_values)))])
+        r = service.handle("GET", f"/v1/accounting/{project}")
+        assert r.status < 500, (r.status, project, r.body)
+
+
+def test_loadgen_accounting_mix_runs_clean_and_deterministic():
+    def fresh():
+        cluster = PowerManagedCluster(
+            platform="lassen",
+            n_nodes=16,
+            seed=5,
+            manager_config=ManagerConfig(
+                global_cap_w=40000.0,
+                policy="proportional",
+                static_node_cap_w=3050.0,
+            ),
+            tenancy=TenancyConfig(directory=_directory()),
+        )
+        registry = ClusterRegistry.from_cluster(cluster, name="default")
+        return PowerService(registry), SimDriver(registry)
+
+    profile = LoadProfile(
+        clients=20, requests_per_client=4, op_mix=ACCOUNTING_OP_MIX
+    )
+    service, driver = fresh()
+    result = run_loadtest(7, profile, service, driver)
+    assert result.errors == 0, result.status_counts
+    assert result.op_counts.get("accounting", 0) > 0
+    service, driver = fresh()
+    again = run_loadtest(7, profile, service, driver)
+    assert again.response_digest == result.response_digest
+
+
+def test_default_op_mix_untouched_by_accounting_op():
+    trace = generate_trace(3, LoadProfile(clients=10, requests_per_client=3))
+    assert all(r.op != "accounting" for r in trace)

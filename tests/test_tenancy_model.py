@@ -1,0 +1,253 @@
+"""Unit tests for the tenancy model, usage ledger and admission rules.
+
+The pure substrate under the coordinator (ISSUE 10): the
+account/project/user directory and its canonical JSON round trip, the
+exponentially-decaying usage ledger, and the structured admission
+decision function whose check ordering the simtest replay checker
+depends on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.tenancy.accounting import (
+    DEFAULT_HALF_LIFE_S,
+    UsageLedger,
+    decay_factor,
+    effective_weight,
+)
+from repro.tenancy.admission import (
+    ADMIT,
+    CODE_OK,
+    CODE_OVERSUBSCRIBED,
+    CODE_QUEUE_FULL,
+    CODE_TOO_LARGE,
+    CODE_UNCONSTRAINED,
+    CODE_UNKNOWN_TENANT,
+    QUEUE,
+    REJECT,
+    AdmissionConfig,
+    AdmissionDecision,
+    decide,
+)
+from repro.tenancy.model import (
+    DEFAULT_ACCOUNT,
+    UNAFFILIATED,
+    Account,
+    Project,
+    Tenant,
+    TenantDirectory,
+)
+
+
+# ----------------------------------------------------------------------
+# Directory
+# ----------------------------------------------------------------------
+def _demo_directory() -> TenantDirectory:
+    return TenantDirectory.build(
+        projects=[("astro", 4.0), ("bio", 2.0)],
+        users=[("alice", "astro"), ("bo", "bio")],
+    )
+
+
+def test_directory_always_has_unaffiliated():
+    d = TenantDirectory()
+    assert UNAFFILIATED in d.projects()
+    assert d.base_weight(UNAFFILIATED) == 1.0
+    assert d.project_of("nobody") == UNAFFILIATED
+    assert d.project_of(None) == UNAFFILIATED
+    assert not d.knows_user("nobody")
+    assert not d.knows_user(None)
+
+
+def test_directory_build_and_lookups():
+    d = _demo_directory()
+    assert d.projects() == ["astro", "bio", UNAFFILIATED]
+    assert d.users() == ["alice", "bo"]
+    assert d.project_of("alice") == "astro"
+    assert d.knows_user("bo")
+    assert d.base_weight("astro") == 4.0
+    assert d.base_weight("no-such-project") == 1.0  # falls back to unaffiliated
+
+
+def test_directory_resolve_explicit_project_wins():
+    d = _demo_directory()
+    assert d.resolve("alice") == Tenant(user="alice", project="astro")
+    # A registered explicit project overrides the user's own.
+    assert d.resolve("alice", "bio") == Tenant(user="alice", project="bio")
+    # An unknown explicit project falls back to the user's registration.
+    assert d.resolve("alice", "ghost") == Tenant(user="alice", project="astro")
+    assert d.resolve(None) == Tenant(user="", project=UNAFFILIATED)
+
+
+def test_directory_account_weight_multiplies_down():
+    d = TenantDirectory()
+    d.add_account(Account(name="hpc", weight=3.0))
+    d.add_project(Project(name="astro", account="hpc", weight=4.0))
+    assert d.base_weight("astro") == 12.0
+    # Projects under the implicit default account keep their own weight.
+    d.add_project(Project(name="bio", weight=2.0))
+    assert d.base_weight("bio") == 2.0
+    assert d.project("bio").account == DEFAULT_ACCOUNT
+
+
+def test_directory_roundtrip_is_canonical():
+    d = _demo_directory()
+    payload = d.to_dict()
+    again = TenantDirectory.from_dict(payload)
+    assert again.to_dict() == payload
+    assert again.projects() == d.projects()
+    assert again.base_weight("astro") == d.base_weight("astro")
+    assert again.project_of("bo") == "bio"
+
+
+def test_directory_validation():
+    d = TenantDirectory()
+    with pytest.raises(ValueError):
+        d.add_user("", UNAFFILIATED)
+    with pytest.raises(ValueError):
+        d.add_user("alice", "no-such-project")
+    for bad in (0.0, -1.0, float("nan"), float("inf")):
+        with pytest.raises(ValueError):
+            Project(name="p", weight=bad)
+        with pytest.raises(ValueError):
+            Account(name="a", weight=bad)
+    with pytest.raises(ValueError):
+        Project(name="")
+    with pytest.raises(ValueError):
+        Account(name="")
+
+
+# ----------------------------------------------------------------------
+# Usage ledger
+# ----------------------------------------------------------------------
+def test_ledger_charge_and_decay():
+    ledger = UsageLedger(half_life_s=100.0)
+    assert ledger.decayed("astro", 0.0) == 0.0
+    ledger.charge("astro", watts=1000.0, duration_s=10.0, now=0.0)
+    assert ledger.decayed("astro", 0.0) == 10_000.0
+    # One half-life later, exactly half remains.
+    assert math.isclose(ledger.decayed("astro", 100.0), 5_000.0, rel_tol=1e-12)
+    # Lifetime total never decays.
+    assert ledger.lifetime("astro") == 10_000.0
+
+
+def test_ledger_lazy_decay_is_tick_rate_independent():
+    """Charging via many small ticks or one big one lands on the same
+    balance — the decay is a pure function of (amount, age)."""
+    fine = UsageLedger(half_life_s=50.0)
+    for i in range(10):
+        fine.charge("p", watts=100.0, duration_s=1.0, now=float(i + 1))
+    coarse = UsageLedger(half_life_s=50.0)
+    for i in range(10):
+        coarse.charge("p", watts=100.0, duration_s=1.0, now=float(i + 1))
+        # Interleave idle reads; they must not perturb the balance.
+        coarse.decayed("p", float(i + 1) + 0.5)
+    assert fine.decayed("p", 20.0) == coarse.decayed("p", 20.0)
+
+
+def test_ledger_snapshot_sorted_and_validation():
+    ledger = UsageLedger()
+    assert ledger.half_life_s == DEFAULT_HALF_LIFE_S
+    ledger.charge("zeta", 10.0, 1.0, now=0.0)
+    ledger.charge("alpha", 20.0, 1.0, now=0.0)
+    rows = ledger.snapshot(0.0)
+    assert [r[0] for r in rows] == ["alpha", "zeta"]
+    assert rows[0][1] == 20.0 and rows[0][2] == 20.0
+    with pytest.raises(ValueError):
+        UsageLedger(half_life_s=0.0)
+    with pytest.raises(ValueError):
+        ledger.charge("p", -1.0, 1.0, now=0.0)
+    with pytest.raises(ValueError):
+        decay_factor(10.0, 0.0)
+    with pytest.raises(ValueError):
+        effective_weight(0.0, 10.0, 10.0)
+    with pytest.raises(ValueError):
+        effective_weight(1.0, -1.0, 10.0)
+    with pytest.raises(ValueError):
+        effective_weight(1.0, 10.0, 0.0)
+
+
+def test_effective_weight_halves_at_norm():
+    assert effective_weight(4.0, 0.0, 1000.0) == 4.0
+    assert effective_weight(4.0, 1000.0, 1000.0) == 2.0
+
+
+# ----------------------------------------------------------------------
+# Admission
+# ----------------------------------------------------------------------
+def _cfg(**kw) -> AdmissionConfig:
+    base = dict(budget_w=10_000.0, admit_node_w=1000.0)
+    base.update(kw)
+    return AdmissionConfig(**base)
+
+
+def test_decide_admit_when_fits():
+    d = decide(_cfg(), nnodes=4, committed_w=0.0, queue_depth=0)
+    assert (d.action, d.code) == (ADMIT, CODE_OK)
+    assert d.admitted
+    assert d.demand_w == 4000.0 and d.capacity_w == 10_000.0
+
+
+def test_decide_unconstrained_without_budget():
+    d = decide(_cfg(budget_w=None), nnodes=100, committed_w=1e9, queue_depth=9)
+    assert (d.action, d.code) == (ADMIT, CODE_UNCONSTRAINED)
+    assert d.capacity_w is None
+
+
+def test_decide_too_large_is_hard_reject():
+    """A job infeasible even on an idle system never enters the queue."""
+    d = decide(_cfg(), nnodes=11, committed_w=0.0, queue_depth=0)
+    assert (d.action, d.code) == (REJECT, CODE_TOO_LARGE)
+    assert not d.admitted
+
+
+def test_decide_queue_then_queue_full():
+    cfg = _cfg(max_queue_depth=1)
+    q = decide(cfg, nnodes=4, committed_w=8000.0, queue_depth=0)
+    assert (q.action, q.code) == (QUEUE, CODE_OVERSUBSCRIBED)
+    full = decide(cfg, nnodes=4, committed_w=8000.0, queue_depth=1)
+    assert (full.action, full.code) == (REJECT, CODE_QUEUE_FULL)
+    # Unbounded queue never rejects on depth.
+    unbounded = decide(_cfg(), nnodes=4, committed_w=8000.0, queue_depth=10_000)
+    assert unbounded.action == QUEUE
+
+
+def test_decide_registration_check_runs_first():
+    """unknown_tenant outranks every other check — even too_large."""
+    cfg = _cfg(enforce_registration=True)
+    d = decide(cfg, nnodes=999, committed_w=0.0, queue_depth=0, known_tenant=False)
+    assert (d.action, d.code) == (REJECT, CODE_UNKNOWN_TENANT)
+    ok = decide(cfg, nnodes=4, committed_w=0.0, queue_depth=0, known_tenant=True)
+    assert ok.action == ADMIT
+
+
+def test_decide_oversubscription_scales_capacity():
+    cfg = _cfg(oversubscription=1.5)
+    assert cfg.capacity_w() == 15_000.0
+    d = decide(cfg, nnodes=12, committed_w=0.0, queue_depth=0)
+    assert (d.action, d.code) == (ADMIT, CODE_OK)
+
+
+def test_decide_is_pure_and_serializable():
+    d1 = decide(_cfg(), nnodes=4, committed_w=8000.0, queue_depth=0)
+    d2 = decide(_cfg(), nnodes=4, committed_w=8000.0, queue_depth=0)
+    assert d1 == d2
+    assert d1.to_dict() == d2.to_dict()
+    assert AdmissionDecision(**d1.to_dict()) == d1
+
+
+def test_admission_config_validation():
+    with pytest.raises(ValueError):
+        AdmissionConfig(budget_w=-1.0)
+    with pytest.raises(ValueError):
+        AdmissionConfig(budget_w=100.0, admit_node_w=0.0)
+    with pytest.raises(ValueError):
+        AdmissionConfig(budget_w=100.0, oversubscription=0.5)
+    with pytest.raises(ValueError):
+        AdmissionConfig(budget_w=100.0, max_queue_depth=-1)
+    with pytest.raises(ValueError):
+        decide(_cfg(), nnodes=0, committed_w=0.0, queue_depth=0)

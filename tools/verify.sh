@@ -17,6 +17,9 @@
 #              (`repro serve --smoke`), then a seeded 100-client
 #              loadtest that must finish with zero errors and p99
 #              under a latency bound (see docs/serving.md)
+#   tenancy  - multi-tenant gate: the fairshare property + model suites,
+#              then a forced-tenancy fuzz batch under the tenant
+#              invariant checkers (see docs/tenancy.md)
 #   bench    - quick perf suite compared against the committed
 #              BENCH_columnar.json baseline; OFF by default (set
 #              REPRO_BENCH_GATE=1) so the flow stays fast
@@ -29,6 +32,7 @@
 #   REPRO_LIFECYCLE_SEED  lifecycle check scenario seed    (default 1)
 #   REPRO_SERVE_SEED      loadtest trace seed              (default 1)
 #   REPRO_SERVE_CLIENTS   loadtest client count            (default 100)
+#   REPRO_TENANCY_SEEDS   tenant-mix fuzz-batch size       (default 100)
 #   REPRO_SERVE_P99_MS    loadtest p99 latency bound, ms   (default 250;
 #              generous — the gate is about catastrophic handler
 #              regressions, not micro-benchmarking shared CI hosts)
@@ -46,7 +50,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-STAGES="${STAGES:-tier1 shuffle cov simtest federate policies lifecycle serve bench}"
+STAGES="${STAGES:-tier1 shuffle cov simtest federate policies lifecycle serve tenancy bench}"
 REPRO_COV_MIN="${REPRO_COV_MIN:-80}"
 REPRO_SHUFFLE_SEED="${REPRO_SHUFFLE_SEED:-1}"
 REPRO_SIMTEST_SEEDS="${REPRO_SIMTEST_SEEDS:-25}"
@@ -55,6 +59,7 @@ REPRO_LIFECYCLE_SEED="${REPRO_LIFECYCLE_SEED:-1}"
 REPRO_SERVE_SEED="${REPRO_SERVE_SEED:-1}"
 REPRO_SERVE_CLIENTS="${REPRO_SERVE_CLIENTS:-100}"
 REPRO_SERVE_P99_MS="${REPRO_SERVE_P99_MS:-250}"
+REPRO_TENANCY_SEEDS="${REPRO_TENANCY_SEEDS:-100}"
 REPRO_BENCH_GATE="${REPRO_BENCH_GATE:-0}"
 REPRO_BENCH_BASELINE="${REPRO_BENCH_BASELINE:-BENCH_columnar_quick.json}"
 REPRO_BENCH_MAX_REGRESS="${REPRO_BENCH_MAX_REGRESS:-50%}"
@@ -120,6 +125,14 @@ for stage in $STAGES; do
                 --clients "$REPRO_SERVE_CLIENTS" --seed "$REPRO_SERVE_SEED" \
                 --p99-max "$REPRO_SERVE_P99_MS" --out "$servedir"
             rm -rf "$servedir"
+            ;;
+        tenancy)
+            banner "tenancy: fairshare property + model suites"
+            python -m pytest -x -q \
+                tests/test_tenancy_fairshare_properties.py \
+                tests/test_tenancy_model.py
+            banner "tenancy: forced-tenancy fuzz batch ($REPRO_TENANCY_SEEDS seeds)"
+            python -m repro.cli tenants --seeds "$REPRO_TENANCY_SEEDS"
             ;;
         bench)
             if [ "$REPRO_BENCH_GATE" != "1" ]; then
